@@ -1,0 +1,294 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (E01–E16, one
+// per theorem/lemma/observation of the paper, plus the A1–A5 design
+// ablations) and micro-benchmarks of the kernels.  Run:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark bodies call the same internal/experiments generators as
+// cmd/experiments, so `-bench` output and the printed tables cannot drift.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// benchTable runs a table generator b.N times, reporting rows/op so the
+// benchmark fails loudly if a generator errors.
+func benchTable(b *testing.B, gen func() (*report.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tb.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE01LowerBound(b *testing.B) {
+	benchTable(b, experiments.E01LowerBound)
+}
+
+func BenchmarkE02ThreePass1(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E02ThreePass1([]int{1024}) })
+}
+
+func BenchmarkE03ExpTwoPassMesh(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E03ExpTwoPassMesh(1024, 5) })
+}
+
+func BenchmarkE04ZeroOne(b *testing.B) {
+	benchTable(b, experiments.E04ZeroOne)
+}
+
+func BenchmarkE05ThreePass2(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E05ThreePass2([]int{1024}) })
+}
+
+func BenchmarkE06ShuffleLemma(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E06ShuffleLemma(5) })
+}
+
+func BenchmarkE07ExpectedTwoPass(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E07ExpectedTwoPass([]int{1024}, 5) })
+}
+
+func BenchmarkE08ModColumnsort(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E08ModColumnsort(1024, 5) })
+}
+
+func BenchmarkE09ExpectedThreePass(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E09ExpectedThreePass(1024, 5) })
+}
+
+func BenchmarkE10SevenPass(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E10SevenPass([]int{1024}) })
+}
+
+func BenchmarkE11ExpectedSixPass(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E11ExpectedSixPass(1024, 5) })
+}
+
+func BenchmarkE12IntegerSort(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E12IntegerSort(1024, 5) })
+}
+
+func BenchmarkE13RadixSort(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E13RadixSort(1024) })
+}
+
+func BenchmarkE14Subblock(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E14Subblock(4096) })
+}
+
+func BenchmarkE15Summary(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E15Summary(4096) })
+}
+
+func BenchmarkE16Multiway(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.E16Multiway(1024) })
+}
+
+func BenchmarkAblationA1CleanupWindow(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.A1CleanupWindow(5) })
+}
+
+func BenchmarkAblationA2SnakeDirection(b *testing.B) {
+	benchTable(b, func() (*report.Table, error) { return experiments.A2SnakeDirection(5) })
+}
+
+func BenchmarkAblationA3IntegerStriping(b *testing.B) {
+	benchTable(b, experiments.A3IntegerStriping)
+}
+
+func BenchmarkAblationA4MergeKernel(b *testing.B) {
+	benchTable(b, experiments.A4MergeKernel)
+}
+
+func BenchmarkAblationA5Detection(b *testing.B) {
+	benchTable(b, experiments.A5Detection)
+}
+
+// --- direct algorithm benchmarks (keys/op at headline capacity) ---
+
+func benchAlgorithm(b *testing.B, m int, n int, run func(a *pdm.Array, in *pdm.Stripe) (*core.Result, error)) {
+	bsz := memsort.Isqrt(m)
+	benchAlgorithmD(b, m, bsz/4, n, run)
+}
+
+func benchAlgorithmD(b *testing.B, m, d, n int, run func(a *pdm.Array, in *pdm.Stripe) (*core.Result, error)) {
+	b.Helper()
+	bsz := memsort.Isqrt(m)
+	a, err := pdm.New(pdm.Config{D: d, B: bsz, Mem: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := workload.Perm(n, 1)
+	in, err := a.NewStripe(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := in.Load(data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ResetStats()
+		res, err := run(a, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.ReadPasses, "read-passes")
+			b.ReportMetric(res.WritePasses, "write-passes")
+		}
+		res.Out.Free()
+	}
+}
+
+func BenchmarkSortThreePass1(b *testing.B) {
+	benchAlgorithm(b, 1024, 1024*32, core.ThreePass1)
+}
+
+func BenchmarkSortThreePass2(b *testing.B) {
+	benchAlgorithm(b, 1024, 1024*32, core.ThreePass2)
+}
+
+func BenchmarkSortExpectedTwoPass(b *testing.B) {
+	n1 := core.ExpectedTwoPassRuns(1024, 1)
+	benchAlgorithm(b, 1024, n1*1024, core.ExpectedTwoPass)
+}
+
+func BenchmarkSortSevenPass(b *testing.B) {
+	benchAlgorithm(b, 1024, 1024*1024, core.SevenPass)
+}
+
+func BenchmarkSortSevenPassMesh(b *testing.B) {
+	benchAlgorithm(b, 1024, 1024*1024, core.SevenPassMesh)
+}
+
+func BenchmarkSortExpectedSixPass(b *testing.B) {
+	// D = 4 so l = 4 superruns reach full disk occupancy while staying
+	// inside the per-segment ExpectedTwoPass window (exactly 6 passes).
+	benchAlgorithmD(b, 1024, 4, 16*1024, core.ExpectedSixPass)
+}
+
+func BenchmarkSortRadix(b *testing.B) {
+	benchAlgorithm(b, 1024, 1024*256, func(a *pdm.Array, in *pdm.Stripe) (*core.Result, error) {
+		return core.RadixSort(a, in, 1<<30)
+	})
+}
+
+func BenchmarkSortMultiwayBaseline(b *testing.B) {
+	benchAlgorithm(b, 1024, 1024*32, baseline.MultiwayMergeSort)
+}
+
+func BenchmarkSortColumnsortBaseline(b *testing.B) {
+	a, err := pdm.New(pdm.Config{D: 8, B: 16, Mem: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, s, err := baseline.ColumnsortGeometry(4096, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := workload.Perm(r*s, 1)
+	in, err := a.NewStripe(r * s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := in.Load(data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * r * s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ResetStats()
+		res, err := baseline.Columnsort(a, in, r, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Out.Free()
+	}
+}
+
+// --- kernel micro-benchmarks ---
+
+func BenchmarkKernelSort(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := workload.Perm(n, 2)
+			buf := make([]int64, n)
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				memsort.Keys(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelLoserTree(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			per := 1 << 12
+			lanes := make([][]int64, k)
+			for i := range lanes {
+				lane := workload.Uniform(per, 0, 1<<30, int64(i))
+				memsort.Keys(lane)
+				lanes[i] = lane
+			}
+			dst := make([]int64, k*per)
+			b.SetBytes(int64(8 * k * per))
+			for i := 0; i < b.N; i++ {
+				memsort.MultiMerge(dst, lanes)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelSymMerge(b *testing.B) {
+	n := 1 << 16
+	src := make([]int64, n)
+	half := workload.Perm(n/2, 3)
+	memsort.Keys(half)
+	copy(src, half)
+	half2 := workload.Perm(n/2, 4)
+	memsort.Keys(half2)
+	copy(src[n/2:], half2)
+	buf := make([]int64, n)
+	b.SetBytes(int64(8 * n))
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		memsort.SymMerge(buf, n/2)
+	}
+}
+
+func BenchmarkFacadeSortAuto(b *testing.B) {
+	m, err := NewMachine(MachineConfig{Memory: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	src := workload.Perm(4096*16, 5)
+	keys := make([]int64, len(src))
+	b.SetBytes(int64(8 * len(src)))
+	for i := 0; i < b.N; i++ {
+		copy(keys, src)
+		if _, err := m.Sort(keys, Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func TestReadWriteKeysRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.bin")
+	keys := []int64{-5, 0, 1 << 40, 7}
+	if err := writeKeys(path, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, keys) {
+		t.Fatalf("round trip = %v", got)
+	}
+	// Corrupt size.
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readKeys(path); err == nil {
+		t.Fatal("ragged file accepted")
+	}
+	if _, err := readKeys(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	cases := map[string]repro.Algorithm{
+		"auto":   repro.Auto,
+		"mesh3":  repro.ThreePassMesh,
+		"mesh2e": repro.TwoPassMeshExpected,
+		"lmm3":   repro.ThreePassLMM,
+		"exp2":   repro.TwoPassExpected,
+		"exp3":   repro.ThreePassExpected,
+		"seven":  repro.SevenPass,
+		"six":    repro.SixPassExpected,
+	}
+	for name, want := range cases {
+		got, err := parseAlg(name)
+		if err != nil || got != want {
+			t.Fatalf("parseAlg(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseAlg("bogus"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	keys := workload.Perm(3000, 5)
+	if err := writeKeys(in, keys); err != nil {
+		t.Fatal(err)
+	}
+	scratch := filepath.Join(dir, "disks")
+	if err := os.Mkdir(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, 256, 0, "lmm3", 1<<32, scratch, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readKeys(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.IsSorted(got) || len(got) != 3000 {
+		t.Fatal("output not sorted")
+	}
+}
+
+func TestRunGenerateAndRadix(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sorted.bin")
+	scratch := filepath.Join(dir, "disks")
+	if err := os.Mkdir(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", out, 256, 4, "radix", 1<<20, scratch, 2000, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readKeys(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.IsSorted(got) || len(got) != 2000 {
+		t.Fatal("generated+radix output wrong")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 256, 0, "auto", 1<<20, t.TempDir(), 0, 1); err == nil {
+		t.Fatal("no input accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	if err := writeKeys(in, []int64{3, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", 256, 0, "bogus", 1<<20, dir, 0, 1); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}

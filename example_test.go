@@ -1,0 +1,61 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// Sorting with an explicitly chosen algorithm reports the paper's pass
+// counts exactly.
+func Example() {
+	m, err := repro.NewMachine(repro.MachineConfig{Memory: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	keys := workload.Perm(1024*32, 1) // M·√M keys: the three-pass capacity
+	report, err := m.Sort(keys, repro.ThreePassLMM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.0f read passes, %.0f write passes\n",
+		report.Algorithm, report.ReadPasses, report.WritePasses)
+	// Output:
+	// ThreePass2: 3 read passes, 3 write passes
+}
+
+// Plan shows which algorithm Auto would pick as the input grows.
+func ExampleMachine_Plan() {
+	m, err := repro.NewMachine(repro.MachineConfig{Memory: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	for _, n := range []int{2048, 32768, 1048576} {
+		fmt.Printf("N = %7d -> %s\n", n, m.Plan(n))
+	}
+	// Output:
+	// N =    2048 -> ExpectedTwoPass
+	// N =   32768 -> ThreePass2
+	// N = 1048576 -> SevenPass
+}
+
+// Capacity exposes the paper's capacity hierarchy on a given machine.
+func ExampleMachine_Capacity() {
+	m, err := repro.NewMachine(repro.MachineConfig{Memory: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	fmt.Println("2-pass:", m.Capacity(repro.TwoPassExpected))
+	fmt.Println("3-pass:", m.Capacity(repro.ThreePassLMM))
+	fmt.Println("7-pass:", m.Capacity(repro.SevenPass))
+	// Output:
+	// 2-pass: 32768
+	// 3-pass: 262144
+	// 7-pass: 16777216
+}

@@ -1,0 +1,49 @@
+// Integer sorting: the paper's Section 7 motivation is bounded-universe
+// keys — "weather data, market data … social security numbers", i.e. 32-bit
+// integers.  RadixSort handles ANY input size in a constant number of
+// passes, where the comparison algorithms are capped at M².
+//
+// This example sorts synthetic 32-bit "records" far beyond the comparison
+// algorithms' two-pass capacity and compares the measured passes with
+// Observation 7.2's 3.6-pass reading.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const mem = 1 << 12 // M = 4096, B = 64, D = 16 (C = 4)
+	m, err := repro.NewMachine(repro.MachineConfig{Memory: mem})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	const universe = int64(1) << 32 // 32-bit keys
+	rng := rand.New(rand.NewSource(7))
+
+	for _, n := range []int{mem * 64, mem * 1024, mem * 4096} {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Int63n(universe)
+		}
+		report, err := m.SortInts(keys, universe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] < keys[i-1] {
+				log.Fatal("output not sorted")
+			}
+		}
+		fmt.Printf("N = %8d (N/M = %4d): %.3f read passes, %.3f write passes\n",
+			n, n/mem, report.ReadPasses, report.WritePasses)
+	}
+	fmt.Println("\nObservation 7.2: at N = M^2, B = sqrt(M), C = 4 the paper bounds RadixSort by 3.6 passes;")
+	fmt.Println("the N/M = 4096 row is that configuration (constants differ at simulator scale, shape holds).")
+}

@@ -1,0 +1,303 @@
+package baseline
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+	"repro/internal/workload"
+)
+
+// newColumnsortArray builds a PDM with B ≈ M^(1/3), the columnsort regime.
+func newColumnsortArray(t *testing.T, m, b, d int) *pdm.Array {
+	t.Helper()
+	a, err := pdm.New(pdm.Config{D: d, B: b, Mem: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func loadInput(t *testing.T, a *pdm.Array, data []int64) *pdm.Stripe {
+	t.Helper()
+	s, err := a.NewStripe(len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	a.ResetStats()
+	return s
+}
+
+func verifySorted(t *testing.T, res *core.Result, input []int64) {
+	t.Helper()
+	got, err := res.Out.Unload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int64(nil), input...)
+	memsort.Keys(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("output differs from sorted input")
+	}
+}
+
+func TestColumnsortGeometry(t *testing.T) {
+	r, s, err := ColumnsortGeometry(4096, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 4096 || s != 32 {
+		t.Fatalf("geometry = (%d, %d), want (4096, 32)", r, s)
+	}
+	if 2*(s-1)*(s-1) > r {
+		t.Fatal("geometry violates Leighton's condition")
+	}
+	if _, _, err := ColumnsortGeometry(4097, 16); err == nil {
+		t.Fatal("non-dividing block size accepted")
+	}
+}
+
+func TestColumnsortSortsInThreePasses(t *testing.T) {
+	// M = 4096, B = 16 = M^(1/3), D = 8.
+	a := newColumnsortArray(t, 4096, 16, 8)
+	r, s, err := ColumnsortGeometry(a.Mem(), a.B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r * s
+	for name, data := range map[string][]int64{
+		"random":   workload.Perm(n, 1),
+		"sorted":   workload.Sorted(n),
+		"reversed": workload.ReverseSorted(n),
+		"dups":     workload.FewDistinct(n, 5, 2),
+		"zeroone":  workload.ZeroOneK(n, n/2, 3),
+	} {
+		in := loadInput(t, a, data)
+		res, err := Columnsort(a, in, r, s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		verifySorted(t, res, data)
+		if res.ReadPasses != 3 || res.WritePasses != 3 {
+			t.Fatalf("%s: passes = %.3f read / %.3f write, want exactly 3",
+				name, res.ReadPasses, res.WritePasses)
+		}
+		res.Out.Free()
+		in.Free()
+	}
+}
+
+func TestColumnsortCapacityBelowLMM(t *testing.T) {
+	// Observation 4.1: columnsort sorts ~M^1.5/sqrt(2) keys in 3 passes vs
+	// M^1.5 for ThreePass2 — capacity ratio strictly below 1.
+	m := 4096
+	r, s, err := ColumnsortGeometry(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmmCap := m * memsort.Isqrt(m)
+	if r*s >= lmmCap {
+		t.Fatalf("columnsort capacity %d not below LMM capacity %d", r*s, lmmCap)
+	}
+	if float64(r*s) < float64(lmmCap)/4 {
+		t.Fatalf("columnsort capacity %d implausibly small vs %d", r*s, lmmCap)
+	}
+}
+
+func TestColumnsortValidation(t *testing.T) {
+	a := newColumnsortArray(t, 4096, 16, 8)
+	in, err := a.NewStripe(64 * 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Columnsort(a, in, 64, 16); err == nil {
+		t.Fatal("r < 2(s-1)^2 accepted")
+	}
+	if _, err := Columnsort(a, in, 128, 8); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestModifiedColumnsortRandomTwoPasses(t *testing.T) {
+	a := newColumnsortArray(t, 4096, 16, 8)
+	// Far fewer columns than the deterministic geometry allows: random
+	// inputs then clean up within the window w.h.p.
+	r, s := 4096, 8
+	n := r * s
+	fellBack := 0
+	for trial := 0; trial < 8; trial++ {
+		data := workload.Perm(n, int64(trial))
+		in := loadInput(t, a, data)
+		res, err := ModifiedColumnsort(a, in, r, s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		verifySorted(t, res, data)
+		if res.FellBack {
+			fellBack++
+		} else if res.ReadPasses != 2 || res.WritePasses != 2 {
+			t.Fatalf("trial %d: passes = %.3f/%.3f, want exactly 2",
+				trial, res.ReadPasses, res.WritePasses)
+		}
+		res.Out.Free()
+		in.Free()
+	}
+	if fellBack > 1 {
+		t.Fatalf("%d/8 random trials fell back", fellBack)
+	}
+}
+
+func TestModifiedColumnsortAdversarialFallsBack(t *testing.T) {
+	a := newColumnsortArray(t, 4096, 16, 8)
+	r, s := 4096, 8
+	n := r * s
+	// All small keys in one input column: the column sorts cannot spread
+	// them, so the window overflows and the fallback must run.
+	data := workload.SegmentReversed(n, r)
+	in := loadInput(t, a, data)
+	res, err := ModifiedColumnsort(a, in, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySorted(t, res, data)
+	if !res.FellBack {
+		t.Fatal("adversarial input did not fall back")
+	}
+	if res.ReadPasses <= 3 || res.ReadPasses > 5 {
+		t.Fatalf("fallback read passes = %.3f, want in (3, 5]", res.ReadPasses)
+	}
+}
+
+func TestSubblockGeometry(t *testing.T) {
+	r, s, b, err := SubblockGeometry(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 4096 || r != 4*s*b || b*b != s {
+		t.Fatalf("geometry = (r=%d, s=%d, b=%d)", r, s, b)
+	}
+	if _, _, _, err := SubblockGeometry(8); err == nil {
+		t.Fatal("tiny memory accepted")
+	}
+}
+
+func TestSubblockColumnsortSorts(t *testing.T) {
+	m := 4096
+	r, s, b, err := SubblockGeometry(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newColumnsortArray(t, m, b, 8)
+	n := r * s
+	for name, data := range map[string][]int64{
+		"random":  workload.Perm(n, 4),
+		"zeroone": workload.ZeroOneK(n, n/3, 5),
+		"dups":    workload.FewDistinct(n, 9, 6),
+	} {
+		in := loadInput(t, a, data)
+		res, err := SubblockColumnsort(a, in, r, s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		verifySorted(t, res, data)
+		// Five scheduled passes (see doc comment: the original's 4 needs
+		// layout tricks beyond this simulator's block model).
+		if res.ReadPasses != 5 || res.WritePasses != 5 {
+			t.Fatalf("%s: passes = %.3f read / %.3f write, want exactly 5",
+				name, res.ReadPasses, res.WritePasses)
+		}
+		res.Out.Free()
+		in.Free()
+	}
+}
+
+func TestSubblockCapacityBetweenColumnsortAndLMMSquared(t *testing.T) {
+	// Observation 6.1's headline: M^(5/3)/4^(2/3) sits between columnsort's
+	// M^1.5/sqrt(2) and SevenPass's M^2.  M = 16384 avoids the power-of-
+	// four rounding cliff (s = 256 = (M/4)^(2/3) exactly).
+	m := 16384
+	r, s, _, err := SubblockGeometry(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, sc, err := ColumnsortGeometry(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r*s <= rc*sc {
+		t.Fatalf("subblock capacity %d not above columnsort capacity %d", r*s, rc*sc)
+	}
+	if r*s >= m*m {
+		t.Fatalf("subblock capacity %d not below M^2 = %d", r*s, m*m)
+	}
+}
+
+func TestSubblockValidation(t *testing.T) {
+	a := newColumnsortArray(t, 4096, 4, 8)
+	in, err := a.NewStripe(16 * 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SubblockColumnsort(a, in, 16, 16); err == nil {
+		t.Fatal("r < 4 s^1.5 accepted")
+	}
+}
+
+func TestMultiwayMergeSort(t *testing.T) {
+	// B = sqrt(M) machine, same as the core algorithms, for an apples-to-
+	// apples pass comparison.
+	a, err := pdm.New(pdm.Config{D: 4, B: 16, Mem: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nM := range []int{1, 4, 16, 64} {
+		n := nM * 256
+		data := workload.Perm(n, int64(nM))
+		in := loadInput(t, a, data)
+		res, err := MultiwayMergeSort(a, in)
+		if err != nil {
+			t.Fatalf("N=%dM: %v", nM, err)
+		}
+		verifySorted(t, res, data)
+		predicted := MultiwayPredictedPasses(n, 256, 16)
+		if res.ReadPasses < predicted {
+			t.Fatalf("N=%dM: read passes %.3f below the textbook count %.0f?", nM, res.ReadPasses, predicted)
+		}
+		// Demand reads lose some parallelism but should stay within 2x.
+		if res.ReadPasses > 2*predicted {
+			t.Fatalf("N=%dM: read passes %.3f far above predicted %.0f", nM, res.ReadPasses, predicted)
+		}
+		res.Out.Free()
+		in.Free()
+	}
+}
+
+func TestMultiwayTakesMorePassesThanLMMAtMSquared(t *testing.T) {
+	// The paper's framing: at N = M², SevenPass does 7 passes while
+	// multiway merge needs 1 + ceil(log_{M/2B}(M)) rounds — compare the
+	// textbook numbers (at paper scale M = 10^8, B = 10^4: multiway does
+	// 1+2 rounds = 3 passes... the interesting regime is small fan-in).
+	// Here just confirm prediction monotonicity and measurement agreement.
+	if MultiwayPredictedPasses(256*256, 256, 16) <= MultiwayPredictedPasses(256*4, 256, 16) {
+		t.Fatal("prediction not increasing in N")
+	}
+}
+
+func TestMultiwayValidation(t *testing.T) {
+	a, err := pdm.New(pdm.Config{D: 4, B: 16, Mem: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := a.NewStripe(16 * 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MultiwayMergeSort(a, in); err == nil {
+		t.Fatal("non-multiple-of-M input accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package baseline implements the out-of-core sorting algorithms the paper
+// compares against, scheduled as accounted PDM passes:
+//
+//   - Chaudhry–Cormen three-pass columnsort (Observation 4.1) and its
+//     probabilistic two-pass variant that skips steps 1–2 (Observation 5.1);
+//   - subblock columnsort of Chaudhry–Cormen–Hamon (Observation 6.1);
+//   - classical multiway external merge sort (the Section 1 context:
+//     asymptotically optimal, but more passes at practical sizes).
+//
+// The baselines use their own block-size regimes (columnsort wants
+// B ≈ M^(1/3); multiway merge works at any B), so harnesses build separate
+// pdm.Array instances for them rather than reusing the B = √M arrays of the
+// core algorithms — exactly the comparison the paper draws.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// ColumnsortGeometry picks the largest power-of-two column count s (and
+// column length r = M) satisfying Leighton's r ≥ 2(s−1)² on a machine with
+// memory m and block size b, with the divisibility the PDM schedule needs
+// (b | r/s).  Capacity r·s approaches the paper's M·√(M/2) up to
+// power-of-two rounding.
+func ColumnsortGeometry(m, b int) (r, s int, err error) {
+	if m%b != 0 {
+		return 0, 0, fmt.Errorf("baseline: B = %d does not divide M = %d", b, m)
+	}
+	r = m
+	for cand := 2; ; cand *= 2 {
+		if 2*(cand-1)*(cand-1) > r || r%(cand*b) != 0 || cand > r/b {
+			break
+		}
+		s = cand
+	}
+	if s == 0 {
+		return 0, 0, fmt.Errorf("baseline: no feasible columnsort geometry for M = %d, B = %d", m, b)
+	}
+	return r, s, nil
+}
+
+// Columnsort sorts in with Leighton's columnsort adapted to the PDM the way
+// Chaudhry and Cormen do, in exactly three passes:
+//
+//	pass 1: read each column, sort it (step 1), scatter-write the transpose
+//	        (step 2) — source column j lands as s contiguous segments of
+//	        r/s keys, one per destination column;
+//	pass 2: read each column of the transposed matrix, sort it (step 3),
+//	        write it back in place;
+//	pass 3: steps 4–8 in one rolling pass: each chunk gathers one column of
+//	        the *untransposed* view (s segments of r/s keys), and the
+//	        rolling window performs the step-5 sort plus the steps-6–8
+//	        half-column merge (every key is within r/2 < r of home).
+//
+// in must hold exactly r·s keys laid out column-major (any fixed
+// relabeling of the stripe).
+func Columnsort(a *pdm.Array, in *pdm.Stripe, r, s int) (*core.Result, error) {
+	if err := checkColGeometry(a, in, r, s, true); err != nil {
+		return nil, err
+	}
+	start := a.Stats()
+	out, err := columnsortTail(a, in, r, s, true)
+	if err != nil {
+		return nil, err
+	}
+	return core.Finish(a, out, in.Len(), start, false), nil
+}
+
+// ModifiedColumnsort is the Observation 5.1 variant: steps 1–2 are skipped,
+// so only passes 2–3 run (two passes).  For a random input permutation the
+// rolling window suffices with high probability when r is comfortably above
+// the Lemma 4.2 displacement scale; on overflow the untouched input is
+// re-sorted with the full three-pass Columnsort (2+3 passes total).
+func ModifiedColumnsort(a *pdm.Array, in *pdm.Stripe, r, s int) (*core.Result, error) {
+	if err := checkColGeometry(a, in, r, s, false); err != nil {
+		return nil, err
+	}
+	start := a.Stats()
+	out, err := columnsortTail(a, in, r, s, false)
+	if err == nil {
+		return core.Finish(a, out, in.Len(), start, false), nil
+	}
+	if !errors.Is(err, core.ErrCleanupOverflow) {
+		return nil, err
+	}
+	if r < 2*(s-1)*(s-1) {
+		return nil, fmt.Errorf("baseline: fallback infeasible: r = %d < 2(s-1)^2; %w", r, err)
+	}
+	out, err = columnsortTail(a, in, r, s, true)
+	if err != nil {
+		return nil, err
+	}
+	return core.Finish(a, out, in.Len(), start, true), nil
+}
+
+func checkColGeometry(a *pdm.Array, in *pdm.Stripe, r, s int, requireTall bool) error {
+	b := a.B()
+	switch {
+	case r <= 0 || s <= 0 || in.Len() != r*s:
+		return fmt.Errorf("baseline: %d keys cannot form an %dx%d matrix", in.Len(), r, s)
+	case r > a.Mem():
+		return fmt.Errorf("baseline: column length %d exceeds memory %d", r, a.Mem())
+	case r%b != 0 || (r/s)%b != 0:
+		return fmt.Errorf("baseline: geometry r=%d s=%d not block aligned at B=%d", r, s, b)
+	case r%2 != 0:
+		return fmt.Errorf("baseline: columnsort needs even r, got %d", r)
+	case requireTall && r < 2*(s-1)*(s-1):
+		return fmt.Errorf("baseline: columnsort needs r >= 2(s-1)^2 = %d, got %d", 2*(s-1)*(s-1), r)
+	}
+	return nil
+}
+
+// columnsortTail runs passes 1–3 (or 2–3 when full is false) and returns
+// the sorted output stripe, or core.ErrCleanupOverflow if the final rolling
+// pass detects dirt beyond its window (only possible when full is false).
+func columnsortTail(a *pdm.Array, in *pdm.Stripe, r, s int, full bool) (*pdm.Stripe, error) {
+	b := a.B()
+	seg := r / s
+	cur := in
+	var cols []*pdm.Stripe
+
+	// Pass 1 (steps 1–2), only in the full algorithm: sort source columns
+	// and scatter the transpose.  Transpose sends column-major index p to
+	// (p mod s)·r + p÷s, so source column j writes destination column d's
+	// positions [j·seg, (j+1)·seg) — the d-th residue class of j's keys.
+	if full {
+		tcols := make([]*pdm.Stripe, s)
+		for d := range tcols {
+			st, err := a.NewStripeSkew(r, d)
+			if err != nil {
+				return nil, err
+			}
+			tcols[d] = st
+		}
+		buf, err := a.Arena().Alloc(r)
+		if err != nil {
+			freeStripes(tcols)
+			return nil, err
+		}
+		gather, err := a.Arena().Alloc(r)
+		if err != nil {
+			a.Arena().Free(buf)
+			freeStripes(tcols)
+			return nil, err
+		}
+		for j := 0; j < s; j++ {
+			if err := in.ReadAt(j*r, buf); err != nil {
+				a.Arena().Free(buf)
+				a.Arena().Free(gather)
+				freeStripes(tcols)
+				return nil, err
+			}
+			memsort.Keys(buf)
+			// Element i of sorted column j has column-major index p=j·r+i;
+			// destination column d = p mod s, position p/s.  Since
+			// p = j·r + i and consecutive i with i ≡ d−j·r (mod s) map to
+			// consecutive destination positions, each destination column
+			// receives one contiguous segment.
+			addrs := make([]pdm.BlockAddr, 0, r/b)
+			views := make([][]int64, 0, r/b)
+			for d := 0; d < s; d++ {
+				first := ((d-j*r)%s + s) % s // smallest i with (j·r+i) ≡ d (mod s)
+				dstOff := (j*r + first) / s
+				segBuf := gather[d*seg : (d+1)*seg]
+				for k := 0; k < seg; k++ {
+					segBuf[k] = buf[first+k*s]
+				}
+				for blk := 0; blk < seg/b; blk++ {
+					addrs = append(addrs, tcols[d].BlockAddr(dstOff/b+blk))
+					views = append(views, segBuf[blk*b:(blk+1)*b])
+				}
+			}
+			if err := a.WriteV(addrs, views); err != nil {
+				a.Arena().Free(buf)
+				a.Arena().Free(gather)
+				freeStripes(tcols)
+				return nil, err
+			}
+		}
+		a.Arena().Free(buf)
+		a.Arena().Free(gather)
+		cols = tcols
+	} else {
+		// Steps 1–2 skipped: the "transposed matrix" is the raw input;
+		// view its columns as contiguous ranges of the input stripe.
+		cols = nil
+	}
+
+	// Pass 2 (step 3): sort each column of the (possibly skipped-)
+	// transposed matrix in memory and write it to a fresh column stripe.
+	sorted := make([]*pdm.Stripe, s)
+	buf, err := a.Arena().Alloc(r)
+	if err != nil {
+		freeStripes(cols)
+		return nil, err
+	}
+	for j := 0; j < s; j++ {
+		var err error
+		if cols != nil {
+			err = cols[j].ReadAt(0, buf)
+		} else {
+			err = cur.ReadAt(j*r, buf)
+		}
+		if err == nil {
+			memsort.Keys(buf)
+			var st *pdm.Stripe
+			st, err = a.NewStripeSkew(r, j)
+			if err == nil {
+				err = st.WriteAt(0, buf)
+				sorted[j] = st
+			}
+		}
+		if err != nil {
+			a.Arena().Free(buf)
+			freeStripes(cols)
+			freeStripes(sorted)
+			return nil, err
+		}
+	}
+	a.Arena().Free(buf)
+	freeStripes(cols)
+
+	// Pass 3 (steps 4–8): rolling window over the columns of the
+	// untransposed view.  Untransposed column c gathers, from each sorted
+	// column j, the segment of positions whose untranspose image lies in
+	// column c: destination q = i·s + j for source (i, j), so column c
+	// receives source positions i ∈ [c·seg, (c+1)·seg) of every j.
+	out, err := a.NewStripe(r * s)
+	if err != nil {
+		freeStripes(sorted)
+		return nil, err
+	}
+	segBlocks := seg / b
+	read := func(c int, dst []int64) error {
+		addrs := make([]pdm.BlockAddr, 0, s*segBlocks)
+		views := make([][]int64, 0, s*segBlocks)
+		for j := 0; j < s; j++ {
+			for blk := 0; blk < segBlocks; blk++ {
+				addrs = append(addrs, sorted[j].BlockAddr(c*segBlocks+blk))
+				views = append(views, dst[j*seg+blk*b:j*seg+(blk+1)*b])
+			}
+		}
+		return a.ReadV(addrs, views)
+	}
+	err = core.RollingPass(a, r, s, read, core.SequentialEmit(out))
+	freeStripes(sorted)
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	return out, nil
+}
+
+func freeStripes(ss []*pdm.Stripe) {
+	for _, s := range ss {
+		if s != nil {
+			s.Free()
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// ExpectedSixPassCapacity returns the key count Theorem 6.3 certifies for
+// six-pass sorting: M² / √((α+2)·ln M + 2).
+func ExpectedSixPassCapacity(m int, alpha float64) int {
+	return int(float64(m) * float64(m) / math.Sqrt((alpha+2)*math.Log(float64(m))+2))
+}
+
+// ExpectedSixPass sorts in with the paper's Section 6.2 algorithm: SevenPass
+// with its three-pass superrun formation replaced by the two-pass
+// ExpectedTwoPass (runs of length l·M each, l ≤ the ExpectedTwoPass window),
+// for six passes in total when no segment needs the fallback.
+//
+// If a segment's cleanup detects overflow, that segment alone is re-sorted
+// with ThreePass2 (three extra passes over l·M keys) and the result is
+// flagged FellBack; the merge phases are unconditional and exact.
+//
+// N must equal l²·M with l dividing √M.  The reliable-regime capacity is
+// bounded by both ExpectedSixPassCapacity and the ExpectedTwoPassRuns
+// window for the segment length l·M.
+func ExpectedSixPass(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	l := memsort.Isqrt(n / g.m)
+	if l*l*g.m != n || l < 1 || l > g.sqM || g.sqM%l != 0 {
+		return nil, fmt.Errorf("core: ExpectedSixPass needs N = l^2*M with l dividing sqrt(M); N = %d, M = %d", n, g.m)
+	}
+	start := a.Stats()
+
+	// Passes 1-2 (expected): superruns via ExpectedTwoPass, written
+	// unshuffled into the subsequence grid.
+	subseqs, err := makeSubseqStripes(a, l)
+	if err != nil {
+		return nil, err
+	}
+	staging, err := a.Arena().Alloc(g.dxb)
+	if err != nil {
+		freeAll2(subseqs)
+		return nil, err
+	}
+	fellBack := false
+	for i := 0; i < l; i++ {
+		_, fb, err := expectedTwoPassRange(a, in, i*l*g.m, l*g.m, unshuffleEmit(a, subseqs[i], staging))
+		if err != nil {
+			a.Arena().Free(staging)
+			freeAll2(subseqs)
+			return nil, err
+		}
+		fellBack = fellBack || fb
+	}
+	a.Arena().Free(staging)
+
+	// Passes 3-6: the outer merge, shared with SevenPass.
+	out, err := outerMerge(a, subseqs, l, n)
+	freeAll2(subseqs)
+	if err != nil {
+		return nil, err
+	}
+	return finish(a, out, n, start, fellBack), nil
+}

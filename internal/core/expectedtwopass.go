@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// ExpectedTwoPassCapacity returns the number of keys Theorem 5.1 certifies
+// for two-pass sorting at confidence parameter α:
+// N = M·√M / ((α+2)·ln M + 2).
+func ExpectedTwoPassCapacity(m int, alpha float64) int {
+	return int(float64(m) * math.Sqrt(float64(m)) / ((alpha+2)*math.Log(float64(m)) + 2))
+}
+
+// ExpectedTwoPassRuns returns the largest usable run count N1 = N/M for a
+// PDM with memory m: the largest divisor of √M such that the Lemma 4.2
+// displacement bound for N = N1·M keys split into M-key runs stays within
+// the M-key cleanup window.  (Divisibility keeps every pass block-aligned.)
+func ExpectedTwoPassRuns(m int, alpha float64) int {
+	sq := memsort.Isqrt(m)
+	best := 1
+	for n1 := 1; n1 <= sq; n1++ {
+		if sq%n1 != 0 {
+			continue
+		}
+		n := n1 * m
+		bound := float64(n)/math.Sqrt(float64(m))*
+			math.Sqrt((alpha+2)*math.Log(float64(n))+1) + float64(n)/float64(m)
+		if bound <= float64(m) {
+			best = n1
+		}
+	}
+	return best
+}
+
+// ExpectedTwoPass sorts in with the paper's Section 5 algorithm:
+//
+//	pass 1: form N1 = N/M sorted runs of M keys each;
+//	pass 2: shuffle the runs and repair the Lemma 4.2 displacement with the
+//	        rolling local sort, tracking the largest key shipped out.
+//
+// If the displacement ever exceeds the window — the paper's "problem
+// detected" event — the partial output is discarded and the untouched input
+// is re-sorted with ThreePass2 (Lemma 4.1), for 2+3 passes total.
+//
+// N must be a multiple of M with N1 = N/M dividing √M (block alignment of
+// the shuffled reads); Theorem 5.1 reliability needs N within
+// ExpectedTwoPassCapacity.
+func ExpectedTwoPass(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
+	start := a.Stats()
+	out, fellBack, err := expectedTwoPassRange(a, in, 0, in.Len(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return finish(a, out, in.Len(), start, fellBack), nil
+}
+
+// expectedTwoPassRange is ExpectedTwoPass over in[off:off+n] with an
+// optional emit override (ExpectedSixPass feeds its unshuffling emitter
+// here).  It reports whether the fallback path ran.
+func expectedTwoPassRange(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*pdm.Stripe, bool, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, false, err
+	}
+	if n <= 0 || n%g.m != 0 {
+		return nil, false, fmt.Errorf("core: ExpectedTwoPass needs N a multiple of M; N = %d, M = %d", n, g.m)
+	}
+	n1 := n / g.m
+	if n1 > g.sqM || g.sqM%n1 != 0 {
+		return nil, false, fmt.Errorf("core: ExpectedTwoPass needs N/M dividing sqrt(M); N/M = %d, sqrt(M) = %d", n1, g.sqM)
+	}
+	a.Arena().SetPhase("expectedtwopass/runs")
+	runs, err := formRuns(a, in, off, n, g.m) // pass 1
+	if err != nil {
+		return nil, false, err
+	}
+	var out *pdm.Stripe
+	userEmit := emit != nil
+	if !userEmit {
+		out, err = a.NewStripe(n)
+		if err != nil {
+			freeAll(runs)
+			return nil, false, err
+		}
+		emit = sequentialEmit(out)
+	}
+	a.Arena().SetPhase("expectedtwopass/cleanup")
+	err = shuffleCleanup(a, viewsOf(runs), g.m, emit) // pass 2
+	freeAll(runs)
+	a.Arena().SetPhase("")
+	if err == nil {
+		return out, false, nil
+	}
+	if out != nil {
+		out.Free()
+	}
+	if !errors.Is(err, ErrCleanupOverflow) {
+		return nil, false, err
+	}
+	// Problem detected: abort, re-sort the untouched input with the
+	// three-pass LMM algorithm, re-emitting through the caller's emitter.
+	var fbEmit emitFunc
+	if userEmit {
+		fbEmit = emit
+	}
+	fb, err := threePass2Range(a, in, off, n, fbEmit)
+	if err != nil {
+		return nil, true, err
+	}
+	return fb, true, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// ExpTwoPassMesh sorts in with the Section 3.2 variant of the mesh
+// algorithm (Theorem 3.2): Step 1 (the submesh sort) is skipped, leaving
+// two passes — sort the columns of the (N/√M)×√M mesh view, then the
+// rolling cleanup.  Without the submesh pass the dirty band after the
+// column sort is only probabilistically small (O(√(rows·log)) rows for a
+// random input permutation), so the cleanup verifies its emission order and
+// on overflow the algorithm falls back to ThreePass2 on the untouched
+// input, exactly as the paper prescribes (2 passes w.h.p., 2+3 on failure).
+//
+// The mesh view assigns column c the input range [c·(N/√M), (c+1)·(N/√M));
+// any fixed relabeling is legitimate since the input is an arbitrary
+// striped multiset.  N must be a multiple of M with N/M ≤ √M; the
+// Theorem 3.2 capacity for reliable two-pass behaviour is
+// N ≈ M·√M / (c·α·ln M).
+func ExpTwoPassMesh(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	l := n / g.m
+	if n <= 0 || n%g.m != 0 || l > g.sqM {
+		return nil, fmt.Errorf("core: ExpTwoPassMesh needs N a multiple of M with N/M <= sqrt(M); N = %d, M = %d", n, g.m)
+	}
+	start := a.Stats()
+	sq := g.sqM
+	colLen := n / sq // rows of the mesh view; ≤ M since l ≤ √M
+
+	// Pass 1: sort columns.  Column c = in[c·colLen, (c+1)·colLen); its
+	// segment j (√M keys) goes to block c of band-stripe j.  Columns are
+	// processed G = M/colLen at a time so the pass stays fully parallel
+	// even for short columns (l < D).
+	a.Arena().SetPhase("exptwopassmesh/columns")
+	bands := make([]*pdm.Stripe, l)
+	for j := range bands {
+		s, err := a.NewStripeSkew(g.m, j)
+		if err != nil {
+			return nil, err
+		}
+		bands[j] = s
+	}
+	batch := g.m / colLen
+	if batch > sq {
+		batch = sq
+	}
+	colBuf, err := a.Arena().Alloc(batch * colLen)
+	if err != nil {
+		freeAll(bands)
+		return nil, err
+	}
+	segs := colLen / sq // band segments per column = l
+	for c0 := 0; c0 < sq; c0 += batch {
+		cnt := batch
+		if c0+cnt > sq {
+			cnt = sq - c0
+		}
+		if err := in.ReadAt(c0*colLen, colBuf[:cnt*colLen]); err != nil {
+			a.Arena().Free(colBuf)
+			freeAll(bands)
+			return nil, err
+		}
+		addrs := make([]pdm.BlockAddr, 0, cnt*segs)
+		views := make([][]int64, 0, cnt*segs)
+		for ci := 0; ci < cnt; ci++ {
+			col := colBuf[ci*colLen : (ci+1)*colLen]
+			memsort.Keys(col)
+			for j := 0; j < segs; j++ {
+				addrs = append(addrs, bands[j].BlockAddr(c0+ci))
+				views = append(views, col[j*sq:(j+1)*sq])
+			}
+		}
+		if err := a.WriteV(addrs, views); err != nil {
+			a.Arena().Free(colBuf)
+			freeAll(bands)
+			return nil, err
+		}
+	}
+	a.Arena().Free(colBuf)
+
+	// Pass 2: rolling cleanup over the bands, with detection.
+	a.Arena().SetPhase("exptwopassmesh/cleanup")
+	out, err := a.NewStripe(n)
+	if err != nil {
+		freeAll(bands)
+		return nil, err
+	}
+	readBand := func(t int, dst []int64) error {
+		return bands[t].ReadAt(0, dst)
+	}
+	err = rollingPass(a, g.m, l, readBand, sequentialEmit(out))
+	freeAll(bands)
+	a.Arena().SetPhase("")
+	if err == nil {
+		return finish(a, out, n, start, false), nil
+	}
+	out.Free()
+	if !errors.Is(err, ErrCleanupOverflow) {
+		return nil, err
+	}
+	// Problem detected: abort and re-sort with the Lemma 4.1 algorithm.
+	fallback, err := threePass2Range(a, in, 0, n, nil)
+	if err != nil {
+		return nil, err
+	}
+	return finish(a, fallback, n, start, true), nil
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// blockSeq is a sequence of keys stored as addressed blocks with per-block
+// valid counts — the representation of the bucket runs IntegerSort builds.
+// Blocks may be partially full (the paper's "some of the blocks could be
+// nonfull"); the directory of counts is in-memory metadata, as in the paper.
+type blockSeq struct {
+	addrs  []pdm.BlockAddr
+	counts []int
+	total  int
+}
+
+// stripeBlockSeq views a whole stripe as a blockSeq of full blocks.
+func stripeBlockSeq(s *pdm.Stripe) blockSeq {
+	b := s.Array().B()
+	seq := blockSeq{
+		addrs:  make([]pdm.BlockAddr, s.Blocks()),
+		counts: make([]int, s.Blocks()),
+		total:  s.Len(),
+	}
+	for j := range seq.addrs {
+		seq.addrs[j] = s.BlockAddr(j)
+		seq.counts[j] = b
+	}
+	return seq
+}
+
+// scatterState carries the per-bucket disk-rotation cursors and the stripes
+// backing the scattered runs across scatter passes: every bucket's run is
+// striped round-robin across the disks in its own right, continuing across
+// phases — the LMM striping of [23] the paper prescribes — so later
+// sequential reads of any run achieve full parallelism.
+type scatterState struct {
+	nextDisk []int
+	stripes  []*pdm.Stripe
+}
+
+func (st *scatterState) freeStripes() {
+	for _, s := range st.stripes {
+		s.Free()
+	}
+	st.stripes = nil
+}
+
+// scatterPass streams src and distributes its keys into r bucket runs
+// according to bucketOf, which must be monotone nondecreasing in the key
+// (true for identity buckets and for any most-significant-digit extractor).
+//
+// Each phase reads ~M valid keys, groups them in memory, and writes only
+// FULL blocks: every bucket keeps one partial "carry" block in memory
+// between phases (R·B = M extra keys, inside the paper's memory envelope),
+// so padding appears only in the final flush — at most one non-full block
+// per bucket for the whole pass, which is what keeps the paper's µ < 1.
+// Blocks are placed on each bucket's own round-robin disk rotation (the LMM
+// striping of [23]), so later sequential reads of any run are fully
+// parallel.
+func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st *scatterState) ([]blockSeq, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	children := make([]blockSeq, r)
+	if src.total == 0 {
+		return children, nil
+	}
+	buf, err := a.Arena().Alloc(g.m + g.b)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Arena().Free(buf)
+	carry, err := a.Arena().Alloc(r * g.b)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Arena().Free(carry)
+	carryCnt := make([]int, r)
+	if st.nextDisk == nil {
+		st.nextDisk = make([]int, r)
+		for i := range st.nextDisk {
+			st.nextDisk[i] = i % g.d
+		}
+	}
+
+	// placeAndWrite assigns each pending block to its bucket's next
+	// rotation disk, backs them with a fresh stripe sized by the most
+	// loaded disk, performs one vectored write, and records the blocks in
+	// the children directory.
+	type pending struct {
+		bucket, count int
+	}
+	placeAndWrite := func(wviews [][]int64, meta []pending) error {
+		if len(meta) == 0 {
+			return nil
+		}
+		perDisk := make([]int, g.d)
+		targets := make([]int, len(meta))
+		for i, m := range meta {
+			d := st.nextDisk[m.bucket]
+			st.nextDisk[m.bucket] = (d + 1) % g.d
+			targets[i] = d
+			perDisk[d]++
+		}
+		rows := 0
+		for _, c := range perDisk {
+			if c > rows {
+				rows = c
+			}
+		}
+		ps, err := a.NewStripe(rows * g.d * g.b)
+		if err != nil {
+			return err
+		}
+		st.stripes = append(st.stripes, ps)
+		addrs := make([]pdm.BlockAddr, len(meta))
+		usedRows := make([]int, g.d)
+		for i, d := range targets {
+			addrs[i] = ps.BlockAddr(usedRows[d]*g.d + d)
+			usedRows[d]++
+		}
+		if err := a.WriteV(addrs, wviews); err != nil {
+			return err
+		}
+		for i, m := range meta {
+			c := &children[m.bucket]
+			c.addrs = append(c.addrs, addrs[i])
+			c.counts = append(c.counts, m.count)
+			c.total += m.count
+		}
+		return nil
+	}
+
+	for blk := 0; blk < len(src.addrs); {
+		// Accumulate close to M *valid* keys before scattering, compacting
+		// out the padding of partially-full source blocks after each read.
+		valid := 0
+		for blk < len(src.addrs) {
+			aligned := memsort.CeilDiv(valid, g.b) * g.b
+			slots := (len(buf) - aligned) / g.b
+			if slots == 0 || valid >= g.m {
+				break
+			}
+			batch := len(src.addrs) - blk
+			if batch > slots {
+				batch = slots
+			}
+			views := make([][]int64, batch)
+			for i := range views {
+				views[i] = buf[aligned+i*g.b : aligned+(i+1)*g.b]
+			}
+			if err := a.ReadV(src.addrs[blk:blk+batch], views); err != nil {
+				return nil, err
+			}
+			for i := 0; i < batch; i++ {
+				cnt := src.counts[blk+i]
+				copy(buf[valid:valid+cnt], buf[aligned+i*g.b:aligned+i*g.b+cnt])
+				valid += cnt
+			}
+			blk += batch
+		}
+
+		// Group by bucket: bucketOf is monotone in the key, so a key sort
+		// groups the buckets in value order.
+		memsort.Keys(buf[:valid])
+
+		// Assemble this phase's full blocks: carry-completion blocks (the
+		// in-memory partial topped up from the group) followed by direct
+		// full blocks out of buf.  Sub-block remainders are recorded and
+		// moved into the carry after the write (the carry segment may be
+		// serving as a completion-block view until then).
+		var wviews [][]int64
+		var meta []pending
+		type tail struct {
+			bucket, from, to int
+		}
+		var tails []tail
+		pos := 0
+		for pos < valid {
+			bkt := bucketOf(buf[pos])
+			if bkt < 0 || bkt >= r {
+				return nil, fmt.Errorf("core: key %d maps to bucket %d outside [0,%d)", buf[pos], bkt, r)
+			}
+			end := pos
+			for end < valid && bucketOf(buf[end]) == bkt {
+				end++
+			}
+			c := carryCnt[bkt]
+			seg := carry[bkt*g.b : (bkt+1)*g.b]
+			if c+(end-pos) < g.b {
+				// Not enough for a block: everything joins the carry now
+				// (the segment is not pending a write in this case).
+				copy(seg[c:], buf[pos:end])
+				carryCnt[bkt] += end - pos
+				pos = end
+				continue
+			}
+			if c > 0 {
+				copy(seg[c:], buf[pos:pos+g.b-c])
+				pos += g.b - c
+				wviews = append(wviews, seg)
+				meta = append(meta, pending{bkt, g.b})
+				carryCnt[bkt] = 0
+			}
+			for end-pos >= g.b {
+				wviews = append(wviews, buf[pos:pos+g.b])
+				meta = append(meta, pending{bkt, g.b})
+				pos += g.b
+			}
+			if pos < end {
+				tails = append(tails, tail{bkt, pos, end})
+				pos = end
+			}
+		}
+		if err := placeAndWrite(wviews, meta); err != nil {
+			return nil, err
+		}
+		for _, tl := range tails {
+			seg := carry[tl.bucket*g.b : (tl.bucket+1)*g.b]
+			copy(seg, buf[tl.from:tl.to])
+			carryCnt[tl.bucket] = tl.to - tl.from
+		}
+	}
+
+	// Final flush: one padded non-full block per bucket still carrying keys
+	// — the only padding of the whole pass.
+	var wviews [][]int64
+	var meta []pending
+	for bkt := 0; bkt < r; bkt++ {
+		if carryCnt[bkt] > 0 {
+			wviews = append(wviews, carry[bkt*g.b:(bkt+1)*g.b])
+			meta = append(meta, pending{bkt, carryCnt[bkt]})
+		}
+	}
+	if err := placeAndWrite(wviews, meta); err != nil {
+		return nil, err
+	}
+	return children, nil
+}
+
+// appender streams compacted keys into a stripe.  It buffers internally and
+// writes only when its buffer fills, so callers may feed it arbitrarily
+// small pieces without degrading the parallel write efficiency: every
+// physical write moves ⌊cap/B⌋ blocks in one vectored request.
+type appender struct {
+	out  *pdm.Stripe
+	buf  []int64 // buf[:fill] is pending output
+	fill int
+	pos  int
+	b    int
+}
+
+func (ap *appender) append(keys []int64) error {
+	for len(keys) > 0 {
+		n := len(ap.buf) - ap.fill
+		if n > len(keys) {
+			n = len(keys)
+		}
+		copy(ap.buf[ap.fill:], keys[:n])
+		ap.fill += n
+		keys = keys[n:]
+		if ap.fill == len(ap.buf) {
+			full := (ap.fill / ap.b) * ap.b
+			if err := ap.out.WriteAt(ap.pos, ap.buf[:full]); err != nil {
+				return err
+			}
+			ap.pos += full
+			copy(ap.buf, ap.buf[full:ap.fill])
+			ap.fill -= full
+		}
+	}
+	return nil
+}
+
+func (ap *appender) flush() error {
+	if ap.fill == 0 {
+		return nil
+	}
+	if ap.fill%ap.b != 0 {
+		return fmt.Errorf("core: appender flush with %d keys not block aligned", ap.fill)
+	}
+	err := ap.out.WriteAt(ap.pos, ap.buf[:ap.fill])
+	ap.pos += ap.fill
+	ap.fill = 0
+	return err
+}
+
+// streamBlockSeqs reads the concatenation of the given runs' blocks in
+// large balanced batches (batchBlocks per vectored request) and hands each
+// block's compacted keys to sink(run index, keys).  The per-run round-robin
+// striping makes every batch spread evenly across the disks regardless of
+// where run boundaries fall.
+func streamBlockSeqs(a *pdm.Array, g geometry, runs []blockSeq, raw []int64, sink func(run int, keys []int64) error) error {
+	batchBlocks := len(raw) / g.b
+	if batchBlocks == 0 {
+		return fmt.Errorf("core: raw buffer smaller than one block")
+	}
+	var addrs []pdm.BlockAddr
+	var counts []int
+	var owner []int
+	for ri, run := range runs {
+		addrs = append(addrs, run.addrs...)
+		counts = append(counts, run.counts...)
+		for range run.addrs {
+			owner = append(owner, ri)
+		}
+	}
+	views := make([][]int64, batchBlocks)
+	for pos := 0; pos < len(addrs); {
+		batch := len(addrs) - pos
+		if batch > batchBlocks {
+			batch = batchBlocks
+		}
+		for i := 0; i < batch; i++ {
+			views[i] = raw[i*g.b : (i+1)*g.b]
+		}
+		if err := a.ReadV(addrs[pos:pos+batch], views[:batch]); err != nil {
+			return err
+		}
+		for i := 0; i < batch; i++ {
+			if err := sink(owner[pos+i], views[i][:counts[pos+i]]); err != nil {
+				return err
+			}
+		}
+		pos += batch
+	}
+	return nil
+}
+
+// rearrangePass is the paper's step A: read the bucket runs in value order
+// and write the keys placed contiguously across the disks.  Keys within one
+// bucket are equal (bucket = value), so no re-sorting is needed.
+func rearrangePass(a *pdm.Array, runs []blockSeq, n int) (*pdm.Stripe, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	out, err := a.NewStripe(n)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := a.Arena().Alloc(g.m / 2)
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	defer a.Arena().Free(raw)
+	apBuf, err := a.Arena().Alloc(g.m + g.b)
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	defer a.Arena().Free(apBuf)
+	ap := &appender{out: out, buf: apBuf, b: g.b}
+	err = streamBlockSeqs(a, g, runs, raw, func(_ int, keys []int64) error {
+		return ap.append(keys)
+	})
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	if err := ap.flush(); err != nil {
+		out.Free()
+		return nil, err
+	}
+	return out, nil
+}
+
+// IntegerSort sorts in with the paper's Section 7 algorithm: the keys,
+// integers in [0, r) with r defaulting to M/B when r ≤ 0, are distributed
+// into r bucket runs in one streaming pass of bucketed block writes
+// ((1+µ) passes, µ < 1, from the padding of partial blocks — Theorem 7.1).
+// With rearrange, step A places the output contiguously for another (1+µ)
+// passes; without it the result remains as padded bucket runs and Out is
+// nil (the Result then only reports the I/O accounting).
+//
+// Keys equal within a bucket are not ordered further — with r = M/B and
+// bucket = key value this is a full sort of the bounded-universe keys.
+func IntegerSort(a *pdm.Array, in *pdm.Stripe, r int, rearrange bool) (*Result, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	if r <= 0 {
+		r = g.m / g.b
+	}
+	start := a.Stats()
+	st := &scatterState{}
+	defer st.freeStripes()
+	a.Arena().SetPhase("integersort/scatter")
+	runs, err := scatterPass(a, stripeBlockSeq(in), r, func(k int64) int { return int(k) }, st)
+	if err != nil {
+		return nil, err
+	}
+	var out *pdm.Stripe
+	if rearrange {
+		a.Arena().SetPhase("integersort/rearrange")
+		out, err = rearrangePass(a, runs, in.Len())
+		if err != nil {
+			return nil, err
+		}
+	}
+	a.Arena().SetPhase("")
+	return finish(a, out, in.Len(), start, false), nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// SevenPass sorts in with the paper's Section 6.1 algorithm in exactly
+// seven passes.  For N = l²·M with l ≤ √M (the paper's headline case is
+// l = √M, N = M²):
+//
+//	passes 1–3: ThreePass2 forms l sorted superruns of l·M keys each, the
+//	            final write unshuffled into √M subsequences per superrun
+//	            (steps 1–2 combined);
+//	pass 4:     unshuffle each subsequence into l parts (the inner
+//	            (l,m)-merge's unshuffle);
+//	pass 5:     in-memory merges of the inner part groups (step 3's
+//	            "mergings ... in one pass through the data" middle pass);
+//	pass 6:     shuffle + cleanup per subsequence group, producing the Q_j;
+//	pass 7:     shuffle Q_1..Q_√M + cleanup (steps 4–5, dirtiness ≤ M).
+//
+// l must divide √M so every pass stays block-aligned.
+func SevenPass(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	l := memsort.Isqrt(n / g.m)
+	if l*l*g.m != n || l < 1 || l > g.sqM || g.sqM%l != 0 {
+		return nil, fmt.Errorf("core: SevenPass needs N = l^2*M with l dividing sqrt(M); N = %d, M = %d", n, g.m)
+	}
+	start := a.Stats()
+
+	// Passes 1-3: superruns via ThreePass2, written unshuffled.
+	subseqs, err := makeSubseqStripes(a, l)
+	if err != nil {
+		return nil, err
+	}
+	staging, err := a.Arena().Alloc(g.dxb)
+	if err != nil {
+		freeAll2(subseqs)
+		return nil, err
+	}
+	for i := 0; i < l; i++ {
+		if _, err := threePass2Range(a, in, i*l*g.m, l*g.m, unshuffleEmit(a, subseqs[i], staging)); err != nil {
+			a.Arena().Free(staging)
+			freeAll2(subseqs)
+			return nil, err
+		}
+	}
+	a.Arena().Free(staging)
+
+	// Passes 4-7: the outer (√M-way) merge of the superruns.
+	out, err := outerMerge(a, subseqs, l, n)
+	freeAll2(subseqs)
+	if err != nil {
+		return nil, err
+	}
+	return finish(a, out, n, start, false), nil
+}
+
+// makeSubseqStripes allocates the l×√M grid of subsequence stripes: entry
+// (i, j) holds subsequence j of superrun i (its elements ≡ j mod √M),
+// length l·√M, skewed by i+j so both the unshuffled writes and the grouped
+// reads spread across the disks.
+func makeSubseqStripes(a *pdm.Array, l int) ([][]*pdm.Stripe, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*pdm.Stripe, l)
+	for i := range out {
+		out[i] = make([]*pdm.Stripe, g.sqM)
+		for j := range out[i] {
+			s, err := a.NewStripeSkew(l*g.b, i+j)
+			if err != nil {
+				freeAll2(out)
+				return nil, err
+			}
+			out[i][j] = s
+		}
+	}
+	return out, nil
+}
+
+// unshuffleEmit returns an emitFunc that scatters each sorted M-chunk into
+// the √M subsequence stripes: chunk element u belongs to subsequence
+// u mod √M, and the t-th chunk supplies block t of every subsequence.
+// Writes go out D blocks at a time through the provided D·B staging buffer,
+// so each emit costs the optimal √M/D parallel write steps.
+func unshuffleEmit(a *pdm.Array, subseqs []*pdm.Stripe, staging []int64) emitFunc {
+	sq := len(subseqs)
+	b := a.B()
+	d := a.D()
+	return func(t int, chunk []int64) error {
+		for j0 := 0; j0 < sq; j0 += d {
+			cnt := d
+			if j0+cnt > sq {
+				cnt = sq - j0
+			}
+			addrs := make([]pdm.BlockAddr, cnt)
+			views := make([][]int64, cnt)
+			for dj := 0; dj < cnt; dj++ {
+				j := j0 + dj
+				seg := staging[dj*b : (dj+1)*b]
+				for k := 0; k < b; k++ {
+					seg[k] = chunk[k*sq+j]
+				}
+				addrs[dj] = subseqs[j].BlockAddr(t)
+				views[dj] = seg
+			}
+			if err := a.WriteV(addrs, views); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// outerMerge performs passes 4-7 of SevenPass (equivalently passes 3-6 of
+// ExpectedSixPass): the (l, √M)-merge of l sorted superruns already
+// unshuffled into the subseqs grid, each subsequence of length l·√M keys.
+func outerMerge(a *pdm.Array, subseqs [][]*pdm.Stripe, l, n int) (*pdm.Stripe, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	sq := g.sqM
+	subLen := l * g.b // keys per subsequence
+
+	// Pass 4: unshuffle each subsequence (i,j) into l parts of √M keys;
+	// part p occupies block p of the rewritten stripe.
+	a.Arena().SetPhase("outer/unshuffle")
+	parts := make([][]*pdm.Stripe, len(subseqs))
+	for i := range parts {
+		parts[i] = make([]*pdm.Stripe, sq)
+		for j := range parts[i] {
+			s, err := a.NewStripeSkew(subLen, i+j)
+			if err != nil {
+				freeAll2(parts)
+				return nil, err
+			}
+			parts[i][j] = s
+		}
+	}
+	buf, err := a.Arena().Alloc(subLen)
+	if err != nil {
+		freeAll2(parts)
+		return nil, err
+	}
+	scatter, err := a.Arena().Alloc(subLen)
+	if err != nil {
+		a.Arena().Free(buf)
+		freeAll2(parts)
+		return nil, err
+	}
+	for i := range subseqs {
+		for j := range subseqs[i] {
+			if err := subseqs[i][j].ReadAt(0, buf); err != nil {
+				a.Arena().Free(buf)
+				a.Arena().Free(scatter)
+				freeAll2(parts)
+				return nil, err
+			}
+			for p := 0; p < l; p++ {
+				dst := scatter[p*g.b : (p+1)*g.b]
+				for k := range dst {
+					dst[k] = buf[p+k*l]
+				}
+			}
+			if err := parts[i][j].WriteAt(0, scatter); err != nil {
+				a.Arena().Free(buf)
+				a.Arena().Free(scatter)
+				freeAll2(parts)
+				return nil, err
+			}
+		}
+	}
+	a.Arena().Free(buf)
+	a.Arena().Free(scatter)
+
+	// Pass 5: inner group merges.  For each (j, p): merge part p of
+	// subsequence j across the l superruns — l lanes of √M keys = l·√M ≤ M
+	// records per merge — into L2(j,p).
+	a.Arena().SetPhase("outer/groupmerge")
+	l2 := make([][]*pdm.Stripe, sq)
+	for j := range l2 {
+		l2[j] = make([]*pdm.Stripe, l)
+	}
+	inBuf, err := a.Arena().Alloc(subLen)
+	if err != nil {
+		freeAll2(parts)
+		return nil, err
+	}
+	outBuf, err := a.Arena().Alloc(subLen)
+	if err != nil {
+		a.Arena().Free(inBuf)
+		freeAll2(parts)
+		return nil, err
+	}
+	lanes := make([][]int64, l)
+	for j := 0; j < sq; j++ {
+		for p := 0; p < l; p++ {
+			addrs := make([]pdm.BlockAddr, l)
+			views := make([][]int64, l)
+			for i := 0; i < l; i++ {
+				addrs[i] = parts[i][j].BlockAddr(p)
+				views[i] = inBuf[i*g.b : (i+1)*g.b]
+				lanes[i] = views[i]
+			}
+			if err := a.ReadV(addrs, views); err != nil {
+				a.Arena().Free(inBuf)
+				a.Arena().Free(outBuf)
+				freeAll2(parts)
+				freeAll2(l2)
+				return nil, err
+			}
+			memsort.MultiMerge(outBuf, lanes)
+			s, err := a.NewStripeSkew(subLen, j+p)
+			if err != nil {
+				a.Arena().Free(inBuf)
+				a.Arena().Free(outBuf)
+				freeAll2(parts)
+				freeAll2(l2)
+				return nil, err
+			}
+			if err := s.WriteAt(0, outBuf); err != nil {
+				a.Arena().Free(inBuf)
+				a.Arena().Free(outBuf)
+				freeAll2(parts)
+				freeAll2(l2)
+				return nil, err
+			}
+			l2[j][p] = s
+		}
+	}
+	a.Arena().Free(inBuf)
+	a.Arena().Free(outBuf)
+	freeAll2(parts)
+
+	// Pass 6: per-j shuffle + cleanup of the l merged part sequences into
+	// Q_j.  Inner dirtiness ≤ l·l ≤ l·√M = the chunk size.
+	a.Arena().SetPhase("outer/innerclean")
+	qs := make([]*pdm.Stripe, sq)
+	for j := 0; j < sq; j++ {
+		q, err := a.NewStripeSkew(l*subLen, j)
+		if err != nil {
+			freeAll2(l2)
+			freeAll(qs)
+			return nil, err
+		}
+		if err := shuffleCleanup(a, viewsOf(l2[j]), l*g.b, sequentialEmit(q)); err != nil {
+			freeAll2(l2)
+			freeAll(qs)
+			q.Free()
+			return nil, fmt.Errorf("core: SevenPass inner cleanup: %w", err)
+		}
+		qs[j] = q
+	}
+	freeAll2(l2)
+
+	// Pass 7: shuffle Q_1..Q_√M + cleanup; outer dirtiness ≤ l·√M ≤ M.
+	a.Arena().SetPhase("outer/finalclean")
+	out, err := a.NewStripe(n)
+	if err != nil {
+		freeAll(qs)
+		return nil, err
+	}
+	if err := shuffleCleanup(a, viewsOf(qs), g.m, sequentialEmit(out)); err != nil {
+		freeAll(qs)
+		out.Free()
+		return nil, fmt.Errorf("core: SevenPass final cleanup: %w", err)
+	}
+	freeAll(qs)
+	a.Arena().SetPhase("")
+	return out, nil
+}
+
+// freeAll2 frees a grid of stripes.
+func freeAll2(grid [][]*pdm.Stripe) {
+	for _, row := range grid {
+		freeAll(row)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pdm"
+	"repro/internal/workload"
+)
+
+func TestSevenPassMeshSortsMSquared(t *testing.T) {
+	for _, m := range []int{64, 256} {
+		a := newTestArray(t, m, 4)
+		n := m * m
+		data := workload.Perm(n, int64(m+3))
+		in := loadInput(t, a, data)
+		res, err := SevenPassMesh(a, in)
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		verifySorted(t, res, data)
+		if res.ReadPasses != 7 || res.WritePasses != 7 {
+			t.Fatalf("M=%d: passes = %.3f/%.3f, want exactly 7", m, res.ReadPasses, res.WritePasses)
+		}
+		assertMemoryEnvelope(t, a)
+		res.Out.Free()
+		in.Free()
+	}
+}
+
+func TestSevenPassMeshInputClasses(t *testing.T) {
+	const m = 64
+	a := newTestArray(t, m, 4)
+	n := m * m
+	for name, data := range inputs(int64(n), 8) {
+		in := loadInput(t, a, data)
+		res, err := SevenPassMesh(a, in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		verifySorted(t, res, data)
+		res.Out.Free()
+		in.Free()
+	}
+}
+
+func TestSevenPassMeshMatchesSevenPassAccounting(t *testing.T) {
+	// Same pass structure as the LMM-based SevenPass: identical I/O totals.
+	const m = 256
+	n := m * m
+	data := workload.Perm(n, 4)
+	a1 := newTestArray(t, m, 4)
+	in1 := loadInput(t, a1, data)
+	r1, err := SevenPass(a1, in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := newTestArray(t, m, 4)
+	in2 := loadInput(t, a2, data)
+	r2, err := SevenPassMesh(a2, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.IO.ReadSteps != r2.IO.ReadSteps || r1.IO.WriteSteps != r2.IO.WriteSteps {
+		t.Fatalf("I/O differs: LMM %v vs mesh %v", r1.IO, r2.IO)
+	}
+}
+
+func TestSevenPassMeshValidation(t *testing.T) {
+	a := newTestArray(t, 64, 4)
+	in, err := a.NewStripe(64 * 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SevenPassMesh(a, in); err == nil {
+		t.Fatal("non-l^2*M input accepted")
+	}
+}
+
+func TestSevenPassMeshOblivious(t *testing.T) {
+	const m = 64
+	n := m * m
+	run := func(a *pdm.Array, in *pdm.Stripe) (*Result, error) { return SevenPassMesh(a, in) }
+	ref := traceOf(t, m, workload.Perm(n, 1), run)
+	if !pdm.TracesEqual(ref, traceOf(t, m, workload.Perm(n, 2), run)) {
+		t.Fatal("SevenPassMesh I/O trace depends on the input")
+	}
+}

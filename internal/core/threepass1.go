@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// ThreePass1 sorts in with the paper's Section 3.1 mesh algorithm in exactly
+// three passes.  The input is viewed as an (N/√M)×√M mesh in row-major
+// order (a fixed relabeling of the stripe, so no physical layout assumption
+// is needed):
+//
+//	pass 1: sort each √M×√M submesh into row-major order, vertically
+//	        consecutive submeshes with opposite row directions, writing the
+//	        submesh out as √M column blocks on per-column skewed stripes;
+//	pass 2: sort every column of the whole mesh, writing each sorted column
+//	        as √M-row band segments on per-band skewed stripes;
+//	pass 3: rolling cleanup over the row-major band sequence.  By the
+//	        Shearsort principle at most (N/M)/2 rows are dirty after pass 2
+//	        — a contiguous band of ≤ M/2 keys — so the M-key window always
+//	        suffices (Theorem 3.1).
+//
+// N must be a positive multiple of M with N/M ≤ √M (N = M·√M is the
+// paper's headline case).
+func ThreePass1(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
+	start := a.Stats()
+	out, err := threePass1Range(a, in, 0, in.Len(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return finish(a, out, in.Len(), start, false), nil
+}
+
+// threePass1Range runs ThreePass1 over in[off:off+n].  When emit is nil the
+// sorted output is written sequentially to a fresh stripe, which is
+// returned; otherwise every sorted M-chunk is handed to emit (SevenPassMesh
+// uses this to write its superruns unshuffled) and the returned stripe is
+// nil.
+func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*pdm.Stripe, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	l := n / g.m // number of √M×√M submeshes (and of M-key bands)
+	if n <= 0 || n%g.m != 0 || l > g.sqM {
+		return nil, fmt.Errorf("core: ThreePass1 needs N a multiple of M with N/M <= sqrt(M); N = %d, M = %d", n, g.m)
+	}
+	sq := g.sqM
+
+	// Pass 1: submesh sort.  Submesh k is the input range [k·M, (k+1)·M);
+	// its column c goes to block k of column-stripe c.
+	a.Arena().SetPhase("threepass1/submesh")
+	cols := make([]*pdm.Stripe, sq)
+	for c := range cols {
+		s, err := a.NewStripeSkew(l*g.b, c)
+		if err != nil {
+			return nil, err
+		}
+		cols[c] = s
+	}
+	defer freeAll(cols)
+	buf, err := a.Arena().Alloc(g.m)
+	if err != nil {
+		return nil, err
+	}
+	gather, err := a.Arena().Alloc(g.m)
+	if err != nil {
+		a.Arena().Free(buf)
+		return nil, err
+	}
+	for k := 0; k < l; k++ {
+		if err := in.ReadAt(off+k*g.m, buf); err != nil {
+			a.Arena().Free(buf)
+			a.Arena().Free(gather)
+			return nil, err
+		}
+		memsort.Keys(buf)
+		reversed := k%2 == 1
+		// gather[c*√M + r] = column c, row r of the sorted submesh.
+		for c := 0; c < sq; c++ {
+			src := c
+			if reversed {
+				src = sq - 1 - c
+			}
+			for r := 0; r < sq; r++ {
+				gather[c*sq+r] = buf[r*sq+src]
+			}
+		}
+		addrs := make([]pdm.BlockAddr, sq)
+		views := make([][]int64, sq)
+		for c := 0; c < sq; c++ {
+			addrs[c] = cols[c].BlockAddr(k)
+			views[c] = gather[c*sq : (c+1)*sq]
+		}
+		if err := a.WriteV(addrs, views); err != nil {
+			a.Arena().Free(buf)
+			a.Arena().Free(gather)
+			return nil, err
+		}
+	}
+	a.Arena().Free(buf)
+	a.Arena().Free(gather)
+
+	// Pass 2: column sort.  Column c is l·√M ≤ M keys; its sorted segment j
+	// (√M keys = the column's share of band j) goes to block c of
+	// band-stripe j.  Columns are processed G = min(√M, M/colLen) at a time
+	// so every I/O request spans ~√M blocks even when the columns are short
+	// (l < D), keeping the pass fully parallel at any input size.
+	a.Arena().SetPhase("threepass1/columns")
+	bands := make([]*pdm.Stripe, l)
+	for j := range bands {
+		s, err := a.NewStripeSkew(g.m, j)
+		if err != nil {
+			return nil, err
+		}
+		bands[j] = s
+	}
+	defer freeAll(bands)
+	colLen := l * sq
+	batch := g.m / colLen // = √M/l ≥ 1
+	if batch > sq {
+		batch = sq
+	}
+	colBuf, err := a.Arena().Alloc(batch * colLen)
+	if err != nil {
+		return nil, err
+	}
+	for c0 := 0; c0 < sq; c0 += batch {
+		cnt := batch
+		if c0+cnt > sq {
+			cnt = sq - c0
+		}
+		raddrs := make([]pdm.BlockAddr, 0, cnt*l)
+		rviews := make([][]int64, 0, cnt*l)
+		for ci := 0; ci < cnt; ci++ {
+			for k := 0; k < l; k++ {
+				raddrs = append(raddrs, cols[c0+ci].BlockAddr(k))
+				rviews = append(rviews, colBuf[ci*colLen+k*sq:ci*colLen+(k+1)*sq])
+			}
+		}
+		if err := a.ReadV(raddrs, rviews); err != nil {
+			a.Arena().Free(colBuf)
+			return nil, err
+		}
+		waddrs := make([]pdm.BlockAddr, 0, cnt*l)
+		wviews := make([][]int64, 0, cnt*l)
+		for ci := 0; ci < cnt; ci++ {
+			col := colBuf[ci*colLen : (ci+1)*colLen]
+			memsort.Keys(col)
+			for j := 0; j < l; j++ {
+				waddrs = append(waddrs, bands[j].BlockAddr(c0+ci))
+				wviews = append(wviews, col[j*sq:(j+1)*sq])
+			}
+		}
+		if err := a.WriteV(waddrs, wviews); err != nil {
+			a.Arena().Free(colBuf)
+			return nil, err
+		}
+	}
+	a.Arena().Free(colBuf)
+
+	// Pass 3: rolling cleanup over bands in row-major order.  Band j holds
+	// exactly the mesh rows [j·√M, (j+1)·√M) as a set; the rolling pass
+	// re-sorts each chunk, so the within-band order is immaterial.
+	a.Arena().SetPhase("threepass1/cleanup")
+	var out *pdm.Stripe
+	if emit == nil {
+		out, err = a.NewStripe(n)
+		if err != nil {
+			return nil, err
+		}
+		emit = sequentialEmit(out)
+	}
+	readBand := func(t int, dst []int64) error {
+		return bands[t].ReadAt(0, dst)
+	}
+	if err := rollingPass(a, g.m, l, readBand, emit); err != nil {
+		if out != nil {
+			out.Free()
+		}
+		return nil, fmt.Errorf("core: ThreePass1 internal error: %w", err)
+	}
+	a.Arena().SetPhase("")
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+)
+
+// ThreePass2 sorts in with the paper's Section 4 algorithm — the LMM sort
+// specialized to B = √M, N ≤ M·√M (Lemma 4.1) — in exactly three passes:
+//
+//	pass 1: form l = N/M sorted runs of M keys, written unshuffled into
+//	        m = √M parts of √M keys each (steps 1–2 combined);
+//	pass 2: for each part index j, merge part j of every run in memory
+//	        (l·√M ≤ M records per merge, step 3);
+//	pass 3: shuffle the merged sequences and repair the ≤ l·m ≤ M dirtiness
+//	        with the rolling local sort (step 4).
+//
+// N must be a positive multiple of M with N/M ≤ √M.
+func ThreePass2(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
+	start := a.Stats()
+	out, err := threePass2Range(a, in, 0, in.Len(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return finish(a, out, in.Len(), start, false), nil
+}
+
+// threePass2Range runs ThreePass2 over in[off:off+n].  When emit is nil the
+// sorted output is written sequentially to a fresh stripe, which is
+// returned; otherwise every sorted M-chunk is handed to emit (SevenPass uses
+// this to combine its step 2 unshuffle with the final write) and the
+// returned stripe is nil.
+func threePass2Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*pdm.Stripe, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || n%g.m != 0 || n/g.m > g.sqM {
+		return nil, fmt.Errorf("core: ThreePass2 needs N a multiple of M with N/M <= sqrt(M); N = %d, M = %d", n, g.m)
+	}
+	a.Arena().SetPhase("threepass2/runs")
+	runs, err := formRunsUnshuffled(a, in, off, n, g.m, g.sqM) // pass 1
+	if err != nil {
+		return nil, err
+	}
+	a.Arena().SetPhase("threepass2/merge")
+	merged, backing, err := mergePartGroups(a, runs, g.sqM, g.sqM) // pass 2
+	freeAll(runs)
+	if err != nil {
+		freeAll(backing)
+		return nil, err
+	}
+	defer freeAll(backing)
+	var out *pdm.Stripe
+	if emit == nil {
+		out, err = a.NewStripe(n)
+		if err != nil {
+			return nil, err
+		}
+		emit = sequentialEmit(out)
+	}
+	a.Arena().SetPhase("threepass2/cleanup")
+	// Displacement after the shuffle is at most l·m = (N/M)·√M ≤ M, so the
+	// M-chunk rolling clean below never overflows; an overflow would be an
+	// implementation bug, not an input property.
+	if err := shuffleCleanup(a, merged, g.m, emit); err != nil { // pass 3
+		if out != nil {
+			out.Free()
+		}
+		return nil, fmt.Errorf("core: ThreePass2 internal error: %w", err)
+	}
+	a.Arena().SetPhase("")
+	return out, nil
+}

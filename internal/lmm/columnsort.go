@@ -1,0 +1,131 @@
+package lmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memsort"
+)
+
+// Columnsort state: an r×s matrix stored column-major (column c occupies
+// data[c*r : (c+1)*r]), the layout Leighton's algorithm and the
+// Chaudhry–Cormen PDM adaptation both use.
+
+// ColumnsortMatrix holds an r×s column-major matrix during columnsort.
+type ColumnsortMatrix struct {
+	R, S int
+	Data []int64 // column-major, len R*S
+}
+
+// NewColumnsortMatrix validates the geometry and wraps data.  Leighton's
+// correctness condition is r ≥ 2(s−1)²; callers wanting the probabilistic
+// variants may relax it via requireTall=false.
+func NewColumnsortMatrix(r, s int, data []int64, requireTall bool) (*ColumnsortMatrix, error) {
+	if r <= 0 || s <= 0 || len(data) != r*s {
+		return nil, fmt.Errorf("lmm: %d keys cannot form an %dx%d matrix", len(data), r, s)
+	}
+	if r%2 != 0 {
+		return nil, fmt.Errorf("lmm: columnsort needs even r, got %d", r)
+	}
+	if requireTall && r < 2*(s-1)*(s-1) {
+		return nil, fmt.Errorf("lmm: columnsort needs r >= 2(s-1)^2 = %d, got r = %d", 2*(s-1)*(s-1), r)
+	}
+	return &ColumnsortMatrix{R: r, S: s, Data: data}, nil
+}
+
+// Col returns column c as a slice view.
+func (m *ColumnsortMatrix) Col(c int) []int64 { return m.Data[c*m.R : (c+1)*m.R] }
+
+// SortColumns sorts every column (steps 1, 3, 5, 7 of columnsort).
+func (m *ColumnsortMatrix) SortColumns() {
+	for c := 0; c < m.S; c++ {
+		memsort.Keys(m.Col(c))
+	}
+}
+
+// Transpose performs step 2: pick the entries up in column-major order and
+// lay them down in row-major order of the same r×s shape.
+func (m *ColumnsortMatrix) Transpose() {
+	out := make([]int64, len(m.Data))
+	for p, v := range m.Data {
+		// p is the column-major linear index; destination is row-major
+		// position p, i.e. row p/s, column p%s, at column-major index
+		// (p%s)*r + p/s.
+		out[(p%m.S)*m.R+p/m.S] = v
+	}
+	copy(m.Data, out)
+}
+
+// Untranspose performs step 4, the inverse permutation of Transpose:
+// Transpose moves the entry at index q to index t(q) = (q mod s)·r + q÷s,
+// so Untranspose moves it back, i.e. destination q reads from t(q).
+func (m *ColumnsortMatrix) Untranspose() {
+	out := make([]int64, len(m.Data))
+	for p := range out {
+		out[p] = m.Data[(p%m.S)*m.R+p/m.S]
+	}
+	copy(m.Data, out)
+}
+
+// ShiftSort performs steps 6–8 as one operation: shift the column-major
+// order down by r/2 positions into an r×(s+1) matrix whose first half
+// column is −∞ and last half column is +∞, sort all columns, and unshift.
+func (m *ColumnsortMatrix) ShiftSort() {
+	r, s := m.R, m.S
+	h := r / 2
+	ext := make([]int64, r*(s+1))
+	for i := 0; i < h; i++ {
+		ext[i] = math.MinInt64
+	}
+	copy(ext[h:], m.Data)
+	for i := h + len(m.Data); i < len(ext); i++ {
+		ext[i] = math.MaxInt64
+	}
+	for c := 0; c <= s; c++ {
+		memsort.Keys(ext[c*r : (c+1)*r])
+	}
+	copy(m.Data, ext[h:h+len(m.Data)])
+}
+
+// Columnsort runs Leighton's eight-step columnsort on data interpreted as an
+// r×s column-major matrix with r ≥ 2(s−1)², leaving data sorted in
+// column-major order (Leighton [15]; the paper's baseline via Chaudhry–
+// Cormen [7,9]).
+func Columnsort(data []int64, r, s int) error {
+	m, err := NewColumnsortMatrix(r, s, data, true)
+	if err != nil {
+		return err
+	}
+	m.SortColumns() // step 1
+	m.Transpose()   // step 2
+	m.SortColumns() // step 3
+	m.Untranspose() // step 4
+	m.SortColumns() // step 5
+	m.ShiftSort()   // steps 6-8
+	return nil
+}
+
+// ModifiedColumnsort is the Observation 5.1 variant: skip steps 1–2 and run
+// steps 3–8 only.  For a random input permutation it sorts with high
+// probability when r exceeds the Lemma 4.2 displacement scale; on failure
+// (detected by a final sortedness check, the analogue of the paper's
+// largest-key tracking) it reports ErrNotSorted so the caller can fall back
+// to the full algorithm.
+func ModifiedColumnsort(data []int64, r, s int) error {
+	m, err := NewColumnsortMatrix(r, s, data, false)
+	if err != nil {
+		return err
+	}
+	m.SortColumns() // step 3
+	m.Untranspose() // step 4
+	m.SortColumns() // step 5
+	m.ShiftSort()   // steps 6-8
+	if !memsort.IsSorted(data) {
+		return ErrNotSorted
+	}
+	return nil
+}
+
+// ErrNotSorted reports that a probabilistic columnsort variant failed on
+// this input and the caller must fall back to a deterministic algorithm.
+var ErrNotSorted = fmt.Errorf("lmm: probabilistic columnsort variant did not sort this input")

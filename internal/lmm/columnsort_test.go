@@ -1,0 +1,216 @@
+package lmm
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/memsort"
+	"repro/internal/workload"
+)
+
+func TestColumnsortSortsRandom(t *testing.T) {
+	// r >= 2(s-1)^2.
+	for _, tc := range []struct{ r, s int }{{8, 3}, {32, 4}, {50, 6}, {128, 8}} {
+		n := tc.r * tc.s
+		data := workload.Perm(n, int64(n))
+		want := sortedCopy(data)
+		if err := Columnsort(data, tc.r, tc.s); err != nil {
+			t.Fatalf("r=%d s=%d: %v", tc.r, tc.s, err)
+		}
+		if !slices.Equal(data, want) {
+			t.Fatalf("r=%d s=%d: not sorted", tc.r, tc.s)
+		}
+	}
+}
+
+func TestColumnsortZeroOneSweep(t *testing.T) {
+	// 0-1 inputs at every zero count for one geometry; by the 0-1 principle
+	// this certifies the oblivious permutation steps.
+	r, s := 32, 4
+	n := r * s
+	for k := 0; k <= n; k += 7 {
+		for rep := 0; rep < 2; rep++ {
+			data := workload.ZeroOneK(n, k, int64(k*3+rep))
+			if err := Columnsort(data, r, s); err != nil {
+				t.Fatal(err)
+			}
+			if !memsort.IsSorted(data) {
+				t.Fatalf("k=%d rep=%d: unsorted", k, rep)
+			}
+		}
+	}
+}
+
+func TestColumnsortValidation(t *testing.T) {
+	if err := Columnsort(make([]int64, 12), 4, 3); err == nil {
+		t.Fatal("r < 2(s-1)^2 accepted")
+	}
+	if err := Columnsort(make([]int64, 10), 5, 2); err == nil {
+		t.Fatal("odd r accepted")
+	}
+	if err := Columnsort(make([]int64, 10), 4, 3); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := NewColumnsortMatrix(0, 3, nil, false); err == nil {
+		t.Fatal("zero r accepted")
+	}
+}
+
+func TestTransposeUntransposeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		r := 2 * (1 + rng.Intn(10))
+		s := 1 + rng.Intn(8)
+		data := workload.Perm(r*s, rng.Int63())
+		orig := append([]int64(nil), data...)
+		m, err := NewColumnsortMatrix(r, s, data, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Transpose()
+		m.Untranspose()
+		if !slices.Equal(data, orig) {
+			t.Fatalf("r=%d s=%d: untranspose(transpose) != id", r, s)
+		}
+	}
+}
+
+func TestTransposeSemantics(t *testing.T) {
+	// 2x2 column-major [a,b,c,d]: transpose lays a,b,c,d down row-major,
+	// giving column-major [a,c,b,d].
+	data := []int64{10, 20, 30, 40}
+	m, err := NewColumnsortMatrix(2, 2, data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Transpose()
+	if !slices.Equal(data, []int64{10, 30, 20, 40}) {
+		t.Fatalf("Transpose = %v", data)
+	}
+}
+
+func TestShiftSortCleansHalfColumnDirt(t *testing.T) {
+	// After steps 1-5 of columnsort every key is within r/2 of home in
+	// column-major order; ShiftSort must finish the job.
+	r, s := 16, 2
+	data := workload.NearlySorted(r*s, r/2, 3)
+	m, err := NewColumnsortMatrix(r, s, data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ShiftSort()
+	if !memsort.IsSorted(data) {
+		t.Fatal("ShiftSort failed on r/2-displaced input")
+	}
+}
+
+func TestModifiedColumnsortRandomMostlySorts(t *testing.T) {
+	// Observation 5.1: skipping steps 1-2 sorts random inputs w.h.p. when r
+	// is comfortably above the displacement scale.
+	r, s := 256, 4
+	fails := 0
+	for trial := 0; trial < 20; trial++ {
+		data := workload.Perm(r*s, int64(trial))
+		err := ModifiedColumnsort(data, r, s)
+		switch {
+		case err == nil:
+			if !memsort.IsSorted(data) {
+				t.Fatalf("trial %d: reported sorted but is not", trial)
+			}
+		case errors.Is(err, ErrNotSorted):
+			fails++
+		default:
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if fails > 2 {
+		t.Fatalf("%d/20 random inputs failed", fails)
+	}
+}
+
+func TestModifiedColumnsortAdversarialDetected(t *testing.T) {
+	// All small keys in one "column" of the transposed reading defeats the
+	// variant; it must report failure rather than emit unsorted output.
+	r, s := 64, 4
+	data := workload.ColumnLoaded(r*s, r) // huge displacement pattern
+	err := ModifiedColumnsort(data, r, s)
+	if err == nil && !memsort.IsSorted(data) {
+		t.Fatal("unsorted output reported as success")
+	}
+}
+
+func TestSubblockColumnsortSortsRandom(t *testing.T) {
+	// r >= 4 s^1.5: s=4 -> r >= 32; s=16 -> r >= 256.
+	for _, tc := range []struct{ r, s int }{{32, 4}, {64, 4}, {256, 16}} {
+		n := tc.r * tc.s
+		data := workload.Perm(n, int64(n))
+		want := sortedCopy(data)
+		if err := SubblockColumnsort(data, tc.r, tc.s); err != nil {
+			t.Fatalf("r=%d s=%d: %v", tc.r, tc.s, err)
+		}
+		if !slices.Equal(data, want) {
+			t.Fatalf("r=%d s=%d: not sorted", tc.r, tc.s)
+		}
+	}
+}
+
+func TestSubblockColumnsortZeroOneSweep(t *testing.T) {
+	r, s := 32, 4
+	n := r * s
+	for k := 0; k <= n; k += 5 {
+		data := workload.ZeroOneK(n, k, int64(k))
+		if err := SubblockColumnsort(data, r, s); err != nil {
+			t.Fatal(err)
+		}
+		if !memsort.IsSorted(data) {
+			t.Fatalf("k=%d: unsorted", k)
+		}
+	}
+}
+
+func TestSubblockColumnsortValidation(t *testing.T) {
+	if err := SubblockColumnsort(make([]int64, 96), 32, 3); err == nil {
+		t.Fatal("non-square s accepted")
+	}
+	if err := SubblockColumnsort(make([]int64, 64), 16, 4); err == nil {
+		t.Fatal("r < 4 s^1.5 accepted")
+	}
+}
+
+func TestSubblockDirtyRowsBound(t *testing.T) {
+	// The Observation 6.1 core claim: after steps 1-3 plus the subblock
+	// step, at most ~2√s dirty rows remain on 0-1 inputs.
+	r, s := 256, 16
+	sq := 4
+	n := r * s
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		data := workload.ZeroOneK(n, rng.Intn(n+1), rng.Int63())
+		m, err := NewColumnsortMatrix(r, s, data, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SortColumns()
+		m.Transpose()
+		m.SortColumns()
+		if err := m.SubblockPermute(); err != nil {
+			t.Fatal(err)
+		}
+		// Count dirty rows: row i is dirty if its s entries mix 0s and 1s.
+		dirty := 0
+		for i := 0; i < r; i++ {
+			first := m.Data[i] // column 0, row i
+			for c := 1; c < s; c++ {
+				if m.Data[c*r+i] != first {
+					dirty++
+					break
+				}
+			}
+		}
+		if dirty > 2*sq+2 {
+			t.Fatalf("trial %d: %d dirty rows after subblock step, want <= %d", trial, dirty, 2*sq+2)
+		}
+	}
+}

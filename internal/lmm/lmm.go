@@ -1,0 +1,147 @@
+// Package lmm implements Rajasekaran's (l,m)-merge sort framework (LMM sort,
+// reference [23] of the paper) in its in-memory reference form, together
+// with the Leighton columnsort family the paper compares against.  Batcher's
+// odd-even merge sort and Thompson–Kung's s²-way merge sort arise as the
+// special cases (l,m) = (2,2) and (s²,s).
+//
+// internal/core schedules the same dataflow as accounted PDM passes; the
+// test suite cross-checks the two implementations key for key.
+package lmm
+
+import (
+	"fmt"
+
+	"repro/internal/memsort"
+	"repro/internal/mesh"
+	"repro/internal/shuffle"
+)
+
+// Merge performs the (l,m)-merge of the given sorted sequences: unshuffle
+// each input into m parts, recursively merge the part groups, shuffle the
+// merged groups, and repair the bounded dirtiness with a rolling cleanup of
+// window l·m (each key is within l·m of its sorted position after the
+// shuffle — the bound the paper's Section 4 relies on).
+//
+// All sequences must have equal length divisible by m (or length < m, in
+// which case the merge is done directly).
+func Merge(seqs [][]int64, m int) ([]int64, error) {
+	l := len(seqs)
+	if l == 0 {
+		return nil, nil
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("lmm: m = %d, want >= 2", m)
+	}
+	n := len(seqs[0])
+	for i, s := range seqs {
+		if len(s) != n {
+			return nil, fmt.Errorf("lmm: sequence %d has %d keys, want %d", i, len(s), n)
+		}
+	}
+	total := l * n
+	if l == 1 {
+		return append([]int64(nil), seqs[0]...), nil
+	}
+	// Base case: sequences short enough to merge directly with a loser
+	// tree; this is where the PDM version's "only M records per merge"
+	// condition lands.
+	if n <= m {
+		out := make([]int64, total)
+		memsort.MultiMerge(out, seqs)
+		return out, nil
+	}
+	if n%m != 0 {
+		return nil, fmt.Errorf("lmm: sequence length %d not divisible by m = %d", n, m)
+	}
+	// Unshuffle each X_i into m parts; group j collects part j of every X_i.
+	groups := make([][][]int64, m)
+	for j := range groups {
+		groups[j] = make([][]int64, l)
+	}
+	for i, s := range seqs {
+		parts, err := shuffle.Unshuffle(s, m)
+		if err != nil {
+			return nil, err
+		}
+		for j, p := range parts {
+			groups[j][i] = p
+		}
+	}
+	// Recursively merge each group into L_j.
+	merged := make([][]int64, m)
+	for j := range groups {
+		lj, err := Merge(groups[j], m)
+		if err != nil {
+			return nil, err
+		}
+		merged[j] = lj
+	}
+	// Shuffle L_1..L_m and clean the bounded dirtiness.
+	z, err := shuffle.Shuffle(merged)
+	if err != nil {
+		return nil, err
+	}
+	if err := mesh.RollingClean(z, l*m); err != nil {
+		return nil, fmt.Errorf("lmm: cleanup after shuffle: %w", err)
+	}
+	return z, nil
+}
+
+// Sort runs LMM sort: split the input into l equal subsequences, sort them
+// recursively (directly below the base threshold), and (l,m)-merge the
+// sorted runs.  len(data) must be divisible by l.
+func Sort(data []int64, l, m, base int) error {
+	if l < 2 || m < 2 {
+		return fmt.Errorf("lmm: l = %d, m = %d, want >= 2", l, m)
+	}
+	if base < 1 {
+		return fmt.Errorf("lmm: base = %d, want >= 1", base)
+	}
+	var rec func(a []int64) error
+	rec = func(a []int64) error {
+		if len(a) <= base {
+			memsort.Keys(a)
+			return nil
+		}
+		if len(a)%l != 0 {
+			return fmt.Errorf("lmm: %d keys not divisible by l = %d", len(a), l)
+		}
+		run := len(a) / l
+		seqs := make([][]int64, l)
+		for i := range seqs {
+			seqs[i] = a[i*run : (i+1)*run]
+			if err := rec(seqs[i]); err != nil {
+				return err
+			}
+		}
+		out, err := Merge(seqs, m)
+		if err != nil {
+			return err
+		}
+		copy(a, out)
+		return nil
+	}
+	return rec(data)
+}
+
+// OddEvenMergeSort sorts data with LMM's (2,2) special case — Batcher's
+// odd-even merge sort.  len(data) must be a power of two.
+func OddEvenMergeSort(data []int64) error {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("lmm: odd-even merge sort needs a power of two, got %d", n)
+	}
+	return Sort(data, 2, 2, 1)
+}
+
+// SSquareWayMergeSort sorts data with LMM's (s², s) special case —
+// Thompson and Kung's s²-way merge sort.  len(data) must be a power of s².
+func SSquareWayMergeSort(data []int64, s int) error {
+	if s < 2 {
+		return fmt.Errorf("lmm: s = %d, want >= 2", s)
+	}
+	return Sort(data, s*s, s, s*s)
+}

@@ -1,0 +1,211 @@
+package lmm
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsort"
+	"repro/internal/workload"
+)
+
+func sortedCopy(a []int64) []int64 {
+	out := append([]int64(nil), a...)
+	memsort.Keys(out)
+	return out
+}
+
+func TestMergeTwoSequences(t *testing.T) {
+	x := []int64{1, 4, 9, 16, 25, 36, 49, 64}
+	y := []int64{2, 3, 5, 7, 11, 13, 17, 19}
+	out, err := Merge([][]int64{x, y}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedCopy(append(append([]int64{}, x...), y...))
+	if !slices.Equal(out, want) {
+		t.Fatalf("Merge = %v, want %v", out, want)
+	}
+}
+
+func TestMergeManySequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		l := 2 + rng.Intn(6)
+		seqLen := []int{4, 8, 16, 64}[rng.Intn(4)]
+		m := []int{2, 4}[rng.Intn(2)]
+		var all []int64
+		seqs := make([][]int64, l)
+		for i := range seqs {
+			s := make([]int64, seqLen)
+			for j := range s {
+				s[j] = rng.Int63n(1000)
+			}
+			memsort.Keys(s)
+			seqs[i] = s
+			all = append(all, s...)
+		}
+		out, err := Merge(seqs, m)
+		if err != nil {
+			t.Fatalf("trial %d (l=%d m=%d len=%d): %v", trial, l, m, seqLen, err)
+		}
+		if !slices.Equal(out, sortedCopy(all)) {
+			t.Fatalf("trial %d (l=%d m=%d len=%d): wrong merge", trial, l, m, seqLen)
+		}
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if out, err := Merge(nil, 2); err != nil || out != nil {
+		t.Fatalf("empty merge = %v, %v", out, err)
+	}
+	single := []int64{1, 2, 3}
+	out, err := Merge([][]int64{single}, 2)
+	if err != nil || !slices.Equal(out, single) {
+		t.Fatalf("single merge = %v, %v", out, err)
+	}
+	if _, err := Merge([][]int64{{1}, {2}}, 1); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	if _, err := Merge([][]int64{{1, 2}, {3}}, 2); err == nil {
+		t.Fatal("ragged sequences accepted")
+	}
+	if _, err := Merge([][]int64{{1, 2, 3}, {4, 5, 6}}, 2); err == nil {
+		t.Fatal("length not divisible by m accepted")
+	}
+}
+
+func TestSortVariousShapes(t *testing.T) {
+	cases := []struct{ n, l, m, base int }{
+		{64, 2, 2, 1},   // odd-even merge sort shape
+		{81, 9, 3, 9},   // s²-way merge sort shape, s=3
+		{256, 4, 4, 16}, // LMM with l=m=4
+		{1024, 16, 4, 64},
+	}
+	for _, tc := range cases {
+		data := workload.Perm(tc.n, int64(tc.n))
+		want := sortedCopy(data)
+		if err := Sort(data, tc.l, tc.m, tc.base); err != nil {
+			t.Fatalf("Sort(n=%d l=%d m=%d): %v", tc.n, tc.l, tc.m, err)
+		}
+		if !slices.Equal(data, want) {
+			t.Fatalf("Sort(n=%d l=%d m=%d): not sorted", tc.n, tc.l, tc.m)
+		}
+	}
+}
+
+func TestSortInputClasses(t *testing.T) {
+	const n = 256
+	inputs := map[string][]int64{
+		"sorted":   workload.Sorted(n),
+		"reversed": workload.ReverseSorted(n),
+		"organ":    workload.Organ(n),
+		"dups":     workload.FewDistinct(n, 4, 1),
+		"zeroone":  workload.ZeroOneK(n, 100, 2),
+	}
+	for name, data := range inputs {
+		t.Run(name, func(t *testing.T) {
+			want := sortedCopy(data)
+			if err := Sort(data, 4, 4, 16); err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(data, want) {
+				t.Fatal("not sorted")
+			}
+		})
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	if err := Sort(make([]int64, 10), 1, 2, 1); err == nil {
+		t.Fatal("l=1 accepted")
+	}
+	if err := Sort(make([]int64, 10), 2, 1, 1); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	if err := Sort(make([]int64, 10), 2, 2, 0); err == nil {
+		t.Fatal("base=0 accepted")
+	}
+	if err := Sort(make([]int64, 9), 2, 2, 1); err == nil {
+		t.Fatal("non-divisible length accepted")
+	}
+}
+
+func TestOddEvenMergeSortSpecialCase(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 32, 128} {
+		data := workload.Perm(n, int64(n))
+		want := sortedCopy(data)
+		if err := OddEvenMergeSort(data); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(data, want) {
+			t.Fatalf("n=%d not sorted", n)
+		}
+	}
+	if err := OddEvenMergeSort(make([]int64, 3)); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if err := OddEvenMergeSort(nil); err != nil {
+		t.Fatal("empty input rejected")
+	}
+}
+
+func TestSSquareWayMergeSortSpecialCase(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{{81, 3}, {256, 4}, {625, 5}} {
+		data := workload.Perm(tc.n, int64(tc.n))
+		want := sortedCopy(data)
+		if err := SSquareWayMergeSort(data, tc.s); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(data, want) {
+			t.Fatalf("n=%d s=%d not sorted", tc.n, tc.s)
+		}
+	}
+	if err := SSquareWayMergeSort(make([]int64, 4), 1); err == nil {
+		t.Fatal("s=1 accepted")
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 2 + rng.Intn(4)
+		k := 1 + rng.Intn(4)
+		n := l * l * k * 4
+		data := workload.Perm(n, seed)
+		want := sortedCopy(data)
+		if err := Sort(data, l, 2+rng.Intn(3), l*k); err != nil {
+			// Divisibility failures are acceptable rejections, not bugs.
+			return true
+		}
+		return slices.Equal(data, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeZeroOneExhaustiveSmall(t *testing.T) {
+	// 0-1 exhaustive check of the (l,m)-merge for a small geometry: l=2
+	// sequences of length 8, every sorted 0-1 input pair.
+	for z0 := 0; z0 <= 8; z0++ {
+		for z1 := 0; z1 <= 8; z1++ {
+			x := make([]int64, 8)
+			y := make([]int64, 8)
+			for i := z0; i < 8; i++ {
+				x[i] = 1
+			}
+			for i := z1; i < 8; i++ {
+				y[i] = 1
+			}
+			out, err := Merge([][]int64{x, y}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !memsort.IsSorted(out) {
+				t.Fatalf("z0=%d z1=%d: unsorted merge", z0, z1)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package lmm
+
+import (
+	"fmt"
+
+	"repro/internal/memsort"
+)
+
+// SubblockPermute is the new step of Chaudhry–Cormen–Hamon's subblock
+// columnsort (the paper's Observation 6.1), inserted between steps 3 and 4:
+// partition the r×s matrix into √s×√s subblocks and convert each subblock
+// into a "column" of the transposed regime the algorithm is in at that
+// point — in this matrix's own orientation, subblock q's s entries are
+// spread one per column along row q — then sort the columns.
+//
+// Why this works: after steps 1–3 the 0-1 boundary is a monotone staircase,
+// so at most ~2√s of the r subblocks are dirty.  A clean subblock becomes a
+// constant row, adding the same amount to every column's zero count; each
+// dirty subblock perturbs every column by at most one entry.  The column
+// sort therefore leaves at most ~2√s dirty rows, which is what lets
+// subblock columnsort run with r ≥ 4·s^{3/2} instead of r ≥ 2(s−1)².
+func (m *ColumnsortMatrix) SubblockPermute() error {
+	r, s := m.R, m.S
+	sq := memsort.Isqrt(s)
+	if sq*sq != s {
+		return fmt.Errorf("lmm: subblock columnsort needs square s, got %d", s)
+	}
+	if r%sq != 0 {
+		return fmt.Errorf("lmm: r = %d not divisible by sqrt(s) = %d", r, sq)
+	}
+	gridRows := r / sq // subblock rows per grid column
+	out := make([]int64, len(m.Data))
+	q := 0 // subblock counter, grid row-major
+	for gr := 0; gr < gridRows; gr++ {
+		for gc := 0; gc < sq; gc++ {
+			// Flatten the √s×√s subblock at (gr, gc) in column-major
+			// reading order and lay it across row q, one entry per column.
+			e := 0
+			for c := gc * sq; c < (gc+1)*sq; c++ {
+				for row := gr * sq; row < (gr+1)*sq; row++ {
+					out[e*r+q] = m.Data[c*r+row]
+					e++
+				}
+			}
+			q++
+		}
+	}
+	copy(m.Data, out)
+	m.SortColumns()
+	return nil
+}
+
+// SubblockColumnsort runs the four-pass variant of Observation 6.1 /
+// Chaudhry–Cormen–Hamon: columnsort steps 1–3, the subblock step, then
+// steps 4–8.  It requires r ≥ 4·s^{3/2} (and square s), sorting r·s =
+// up to M^{5/3}/4^{2/3} keys in the PDM setting.
+func SubblockColumnsort(data []int64, r, s int) error {
+	sq := memsort.Isqrt(s)
+	if sq*sq != s {
+		return fmt.Errorf("lmm: subblock columnsort needs square s, got %d", s)
+	}
+	if r < 4*s*sq {
+		return fmt.Errorf("lmm: subblock columnsort needs r >= 4*s^1.5 = %d, got r = %d", 4*s*sq, r)
+	}
+	m, err := NewColumnsortMatrix(r, s, data, false)
+	if err != nil {
+		return err
+	}
+	m.SortColumns()                             // step 1
+	m.Transpose()                               // step 2
+	m.SortColumns()                             // step 3
+	if err := m.SubblockPermute(); err != nil { // new step
+		return err
+	}
+	m.Untranspose() // step 4
+	m.SortColumns() // step 5
+	m.ShiftSort()   // steps 6-8
+	return nil
+}

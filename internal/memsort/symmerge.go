@@ -1,0 +1,104 @@
+package memsort
+
+// SymMerge merges the two sorted halves a[:m] and a[m:] in place using the
+// Kim–Kutzner symmetric merge (the algorithm behind Go's sort.Stable).
+// It needs O(1) extra space, which is what lets the PDM cleanup passes hold
+// exactly the two data chunks the paper's Section 5 describes — 2M keys —
+// with no third merge buffer.
+func SymMerge(a []int64, m int) {
+	symMerge(a, 0, m, len(a))
+}
+
+func symMerge(data []int64, a, m, b int) {
+	// Avoid unnecessary recursion on trivial halves.
+	if m-a == 1 {
+		// Insert data[a] into data[m:b]: find the lowest index i in [m,b)
+		// with data[i] >= data[a], then rotate data[a:i] left by one.
+		i, j := m, b
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if data[h] < data[a] {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		for k := a; k < i-1; k++ {
+			data[k], data[k+1] = data[k+1], data[k]
+		}
+		return
+	}
+	if b-m == 1 {
+		// Insert data[m] into data[a:m]: find the lowest index i in [a,m)
+		// with data[i] > data[m], then rotate data[i:m+1] right by one.
+		i, j := a, m
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if data[m] < data[h] {
+				j = h
+			} else {
+				i = h + 1
+			}
+		}
+		for k := m; k > i; k-- {
+			data[k], data[k-1] = data[k-1], data[k]
+		}
+		return
+	}
+	if m <= a || b <= m {
+		return
+	}
+
+	mid := int(uint(a+b) >> 1)
+	n := mid + m
+	var start, r int
+	if m > mid {
+		start = n - b
+		r = mid
+	} else {
+		start = a
+		r = m
+	}
+	p := n - 1
+	for start < r {
+		c := int(uint(start+r) >> 1)
+		if data[p-c] < data[c] {
+			r = c
+		} else {
+			start = c + 1
+		}
+	}
+	end := n - start
+	if start < m && m < end {
+		rotate(data, start, m, end)
+	}
+	if a < start && start < mid {
+		symMerge(data, a, start, mid)
+	}
+	if mid < end && end < b {
+		symMerge(data, mid, end, b)
+	}
+}
+
+// rotate exchanges the adjacent blocks data[a:m] and data[m:b] using the
+// juggling-free block-swap algorithm.
+func rotate(data []int64, a, m, b int) {
+	i := m - a
+	j := b - m
+	for i != j {
+		if i > j {
+			swapRange(data, m-i, m, j)
+			i -= j
+		} else {
+			swapRange(data, m-i, m+j-i, i)
+			j -= i
+		}
+	}
+	swapRange(data, m-i, m, i)
+}
+
+func swapRange(data []int64, a, b, n int) {
+	for i := 0; i < n; i++ {
+		data[a+i], data[b+i] = data[b+i], data[a+i]
+	}
+}

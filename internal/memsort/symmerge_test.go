@@ -1,0 +1,72 @@
+package memsort
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymMergeBasic(t *testing.T) {
+	cases := []struct {
+		a []int64
+		m int
+	}{
+		{[]int64{1, 3, 5, 2, 4, 6}, 3},
+		{[]int64{2, 4, 6, 1, 3, 5}, 3},
+		{[]int64{1, 2, 3}, 3},
+		{[]int64{1, 2, 3}, 0},
+		{[]int64{2, 1}, 1},
+		{[]int64{1}, 0},
+		{[]int64{}, 0},
+		{[]int64{5, 1, 2, 3, 4}, 1},
+		{[]int64{1, 2, 3, 4, 0}, 4},
+		{[]int64{1, 1, 1, 1, 1, 1}, 3},
+	}
+	for _, tc := range cases {
+		got := append([]int64(nil), tc.a...)
+		want := append([]int64(nil), tc.a...)
+		SymMerge(got, tc.m)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("SymMerge(%v, %d) = %v, want %v", tc.a, tc.m, got, want)
+		}
+	}
+}
+
+func TestSymMergeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		la := rng.Intn(200)
+		lb := rng.Intn(200)
+		a := make([]int64, la+lb)
+		for i := range a {
+			a[i] = rng.Int63n(50)
+		}
+		slices.Sort(a[:la])
+		slices.Sort(a[la:])
+		want := append([]int64(nil), a...)
+		slices.Sort(want)
+		SymMerge(a, la)
+		if !slices.Equal(a, want) {
+			t.Fatalf("trial %d (la=%d lb=%d): mismatch", trial, la, lb)
+		}
+	}
+}
+
+func TestSymMergeMatchesMergeBinary(t *testing.T) {
+	f := func(x, y []int64) bool {
+		a := append([]int64(nil), x...)
+		b := append([]int64(nil), y...)
+		slices.Sort(a)
+		slices.Sort(b)
+		joint := append(append([]int64(nil), a...), b...)
+		SymMerge(joint, len(a))
+		want := make([]int64, len(a)+len(b))
+		MergeBinary(want, a, b)
+		return slices.Equal(joint, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

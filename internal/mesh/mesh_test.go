@@ -1,0 +1,159 @@
+package mesh
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 3, make([]int64, 5)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := New(0, 3, nil); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	m, err := New(2, 3, []int64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %d, want 6", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestSortRowsSnake(t *testing.T) {
+	m, _ := New(2, 3, []int64{3, 1, 2, 4, 6, 5})
+	m.SortRowsSnake()
+	if !slices.Equal(m.Row(0), []int64{1, 2, 3}) {
+		t.Fatalf("row 0 = %v", m.Row(0))
+	}
+	if !slices.Equal(m.Row(1), []int64{6, 5, 4}) {
+		t.Fatalf("row 1 = %v (want descending)", m.Row(1))
+	}
+}
+
+func TestSortColumns(t *testing.T) {
+	m, _ := New(3, 2, []int64{5, 0, 3, 2, 1, 4})
+	m.SortColumns()
+	want := []int64{1, 0, 3, 2, 5, 4}
+	if !slices.Equal(m.Data, want) {
+		t.Fatalf("Data = %v, want %v", m.Data, want)
+	}
+}
+
+func TestShearsortSortsRandom(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {8, 8}, {16, 4}, {7, 5}, {1, 8}, {8, 1}} {
+		rows, cols := dims[0], dims[1]
+		data := workload.Perm(rows*cols, int64(rows*100+cols))
+		m, err := New(rows, cols, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Shearsort()
+		if !m.IsSnakeSorted() {
+			t.Fatalf("%dx%d mesh not snake-sorted", rows, cols)
+		}
+	}
+}
+
+func TestShearsortQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		m, err := New(rows, cols, workload.Perm(rows*cols, seed))
+		if err != nil {
+			return false
+		}
+		m.Shearsort()
+		return m.IsSnakeSorted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnakeIndex(t *testing.T) {
+	m, _ := New(2, 3, []int64{0, 1, 2, 5, 4, 3})
+	// Snake order of row-major indices: 0,1,2 then 5,4,3.
+	want := []int{0, 1, 2, 5, 4, 3}
+	for i, w := range want {
+		if got := m.SnakeIndex(i); got != w {
+			t.Fatalf("SnakeIndex(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if !m.IsSnakeSorted() {
+		t.Fatal("snake-sorted mesh rejected")
+	}
+	if m.IsRowMajorSorted() {
+		t.Fatal("non-row-major mesh accepted")
+	}
+}
+
+func TestSubmeshPassSnakeDirtyRows(t *testing.T) {
+	// Theorem 3.1's combinatorial core: on 0-1 inputs, after Step 1 each
+	// band has at most 1 dirty row, and after Step 2 at most √M/2 dirty
+	// rows remain.
+	const mem = 256 // √M = 16
+	cols := 16
+	rows := mem
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		data := workload.ZeroOneK(rows*cols, rng.Intn(rows*cols+1), rng.Int63())
+		m, err := New(rows, cols, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SubmeshPassSnake(cols); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < rows/cols; k++ {
+			band := &Mesh{Rows: cols, Cols: cols, Data: m.Data[k*cols*cols : (k+1)*cols*cols]}
+			if d := band.DirtyRows(); d > 1 {
+				t.Fatalf("trial %d: band %d has %d dirty rows after Step 1", trial, k, d)
+			}
+		}
+		m.SortColumns()
+		if d := m.DirtyRows(); d > cols/2 {
+			t.Fatalf("trial %d: %d dirty rows after Step 2, want <= %d", trial, d, cols/2)
+		}
+		lo, hi := m.DirtySpan()
+		if hi-lo > cols/2 {
+			t.Fatalf("trial %d: dirty span %d rows, want <= %d", trial, hi-lo, cols/2)
+		}
+	}
+}
+
+func TestSubmeshPassSnakeBadBand(t *testing.T) {
+	m, _ := New(6, 3, make([]int64, 18))
+	if err := m.SubmeshPassSnake(4); err == nil {
+		t.Fatal("non-dividing band height accepted")
+	}
+}
+
+func TestDirtyRowsAndSpan(t *testing.T) {
+	m, _ := New(3, 2, []int64{0, 0, 0, 1, 1, 1})
+	if got := m.DirtyRows(); got != 1 {
+		t.Fatalf("DirtyRows = %d, want 1", got)
+	}
+	lo, hi := m.DirtySpan()
+	if lo != 1 || hi != 2 {
+		t.Fatalf("DirtySpan = (%d,%d), want (1,2)", lo, hi)
+	}
+	clean, _ := New(2, 2, []int64{0, 0, 1, 1})
+	if got := clean.DirtyRows(); got != 0 {
+		t.Fatalf("clean DirtyRows = %d", got)
+	}
+	lo, hi = clean.DirtySpan()
+	if lo != 0 || hi != 0 {
+		t.Fatalf("clean DirtySpan = (%d,%d)", lo, hi)
+	}
+}

@@ -1,0 +1,130 @@
+package pdm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Arena meters the internal memory used by an algorithm.  Every in-core
+// buffer a PDM algorithm holds must be obtained from the array's arena, so
+// the peak usage recorded here is the algorithm's true internal-memory
+// footprint in keys, checked against the model's M (times the configured
+// slack) in tests.
+type Arena struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	peak     int
+	phases   map[string]int
+	phase    string
+}
+
+// NewArena returns an arena with the given capacity in keys.
+func NewArena(capacity int) *Arena {
+	return &Arena{capacity: capacity, phases: make(map[string]int)}
+}
+
+// Alloc reserves and returns a zeroed buffer of n keys, or
+// ErrMemoryExceeded if the reservation would exceed the arena capacity.
+func (ar *Arena) Alloc(n int) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pdm: Alloc(%d): negative size", n)
+	}
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	if ar.used+n > ar.capacity {
+		return nil, fmt.Errorf("%w: in use %d + request %d > capacity %d",
+			ErrMemoryExceeded, ar.used, n, ar.capacity)
+	}
+	ar.used += n
+	if ar.used > ar.peak {
+		ar.peak = ar.used
+	}
+	if ar.phase != "" && ar.used > ar.phases[ar.phase] {
+		ar.phases[ar.phase] = ar.used
+	}
+	return make([]int64, n), nil
+}
+
+// MustAlloc is Alloc for callers (tests, examples) that treat exhaustion as
+// a fatal bug.
+func (ar *Arena) MustAlloc(n int) []int64 {
+	buf, err := ar.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// Free releases a buffer previously returned by Alloc.  Only the length
+// matters; the arena does not track identity.
+func (ar *Arena) Free(buf []int64) {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	ar.used -= len(buf)
+	if ar.used < 0 {
+		// Freeing more than was allocated is a caller bug severe enough to
+		// surface loudly: it would silently defeat the memory model.
+		panic(fmt.Sprintf("pdm: arena underflow: freed %d with only %d in use", len(buf), ar.used+len(buf)))
+	}
+}
+
+// SetPhase labels subsequent allocations so that per-phase peaks can be
+// reported (e.g. "run formation" vs "cleanup").  An empty name disables
+// labeling.
+func (ar *Arena) SetPhase(name string) {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	ar.phase = name
+	if name != "" && ar.phases[name] < ar.used {
+		ar.phases[name] = ar.used
+	}
+}
+
+// InUse returns the number of keys currently allocated.
+func (ar *Arena) InUse() int {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	return ar.used
+}
+
+// Peak returns the maximum number of keys ever simultaneously allocated.
+func (ar *Arena) Peak() int {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	return ar.peak
+}
+
+// Capacity returns the arena capacity in keys.
+func (ar *Arena) Capacity() int {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	return ar.capacity
+}
+
+// ResetPeak zeroes the recorded peaks (global and per phase) without touching
+// live allocations, so a harness can meter phases independently.
+func (ar *Arena) ResetPeak() {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	ar.peak = ar.used
+	ar.phases = make(map[string]int)
+}
+
+// PhasePeaks returns the recorded per-phase peaks as "name=peak" lines,
+// sorted by name, for reports.
+func (ar *Arena) PhasePeaks() []string {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	names := make([]string, 0, len(ar.phases))
+	for name := range ar.phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, name := range names {
+		out[i] = fmt.Sprintf("%s=%d", name, ar.phases[name])
+	}
+	return out
+}

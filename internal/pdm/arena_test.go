@@ -1,0 +1,100 @@
+package pdm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArenaAllocFree(t *testing.T) {
+	ar := NewArena(100)
+	b1, err := ar.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.InUse() != 60 {
+		t.Fatalf("InUse = %d, want 60", ar.InUse())
+	}
+	if _, err := ar.Alloc(50); !errors.Is(err, ErrMemoryExceeded) {
+		t.Fatalf("over-alloc: err = %v, want ErrMemoryExceeded", err)
+	}
+	b2, err := ar.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Peak() != 100 {
+		t.Fatalf("Peak = %d, want 100", ar.Peak())
+	}
+	ar.Free(b1)
+	ar.Free(b2)
+	if ar.InUse() != 0 {
+		t.Fatalf("InUse after frees = %d, want 0", ar.InUse())
+	}
+	if ar.Peak() != 100 {
+		t.Fatalf("Peak after frees = %d, want 100", ar.Peak())
+	}
+	if ar.Capacity() != 100 {
+		t.Fatalf("Capacity = %d, want 100", ar.Capacity())
+	}
+}
+
+func TestArenaNegativeAlloc(t *testing.T) {
+	ar := NewArena(10)
+	if _, err := ar.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestArenaUnderflowPanics(t *testing.T) {
+	ar := NewArena(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	ar.Free(make([]int64, 5))
+}
+
+func TestArenaPhases(t *testing.T) {
+	ar := NewArena(100)
+	ar.SetPhase("runs")
+	b1 := ar.MustAlloc(30)
+	ar.Free(b1)
+	ar.SetPhase("cleanup")
+	b2 := ar.MustAlloc(70)
+	ar.Free(b2)
+	ar.SetPhase("")
+	peaks := ar.PhasePeaks()
+	if len(peaks) != 2 {
+		t.Fatalf("PhasePeaks = %v, want 2 entries", peaks)
+	}
+	if peaks[0] != "cleanup=70" || peaks[1] != "runs=30" {
+		t.Fatalf("PhasePeaks = %v", peaks)
+	}
+	ar.ResetPeak()
+	if ar.Peak() != 0 {
+		t.Fatalf("Peak after reset = %d, want 0", ar.Peak())
+	}
+	if len(ar.PhasePeaks()) != 0 {
+		t.Fatalf("phases survived reset: %v", ar.PhasePeaks())
+	}
+}
+
+func TestArenaMustAllocPanics(t *testing.T) {
+	ar := NewArena(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlloc over capacity did not panic")
+		}
+	}()
+	ar.MustAlloc(2)
+}
+
+func TestArenaZeroed(t *testing.T) {
+	ar := NewArena(10)
+	buf := ar.MustAlloc(10)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("buf[%d] = %d, want 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package pdm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Disk is one disk of a PDM array.  Offsets are in blocks; every transfer
+// moves exactly one block of B keys.  Implementations must be safe for
+// concurrent use by the array's per-disk I/O goroutines (the array never
+// issues two concurrent operations to the same disk, but different disks run
+// concurrently and may share underlying state in tests).
+type Disk interface {
+	// ReadBlock copies block off into dst (len(dst) == B).
+	ReadBlock(off int, dst []int64) error
+	// WriteBlock stores src (len(src) == B) as block off, extending the disk
+	// if off is the first unused offset or beyond.
+	WriteBlock(off int, src []int64) error
+	// Blocks returns the number of blocks currently stored.
+	Blocks() int
+	// Close releases any resources held by the disk.
+	Close() error
+}
+
+// MemDisk is an in-memory Disk: a growable store of B-key blocks.  It is the
+// default backend for tests and benchmarks — exact, deterministic, and fast.
+type MemDisk struct {
+	mu     sync.Mutex
+	b      int
+	blocks [][]int64
+}
+
+// NewMemDisk returns an empty in-memory disk with block size b.
+func NewMemDisk(b int) *MemDisk {
+	return &MemDisk{b: b}
+}
+
+// ReadBlock implements Disk.
+func (d *MemDisk) ReadBlock(off int, dst []int64) error {
+	if len(dst) != d.b {
+		return ErrBadBlock
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off >= len(d.blocks) || d.blocks[off] == nil {
+		return fmt.Errorf("%w: read of block %d (disk holds %d)", ErrOutOfRange, off, len(d.blocks))
+	}
+	copy(dst, d.blocks[off])
+	return nil
+}
+
+// WriteBlock implements Disk.
+func (d *MemDisk) WriteBlock(off int, src []int64) error {
+	if len(src) != d.b {
+		return ErrBadBlock
+	}
+	if off < 0 {
+		return fmt.Errorf("%w: write of block %d", ErrOutOfRange, off)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for off >= len(d.blocks) {
+		d.blocks = append(d.blocks, nil)
+	}
+	if d.blocks[off] == nil {
+		d.blocks[off] = make([]int64, d.b)
+	}
+	copy(d.blocks[off], src)
+	return nil
+}
+
+// Blocks implements Disk.
+func (d *MemDisk) Blocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.blocks)
+}
+
+// Close implements Disk.  It frees the block store.
+func (d *MemDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks = nil
+	return nil
+}

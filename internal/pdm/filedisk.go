@@ -1,0 +1,111 @@
+package pdm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileDisk is a Disk backed by a single ordinary file, with blocks stored as
+// little-endian int64s at offset off·B·8.  An Array built from D FileDisks
+// performs genuinely concurrent I/O: each parallel step issues its per-disk
+// operations from separate goroutines, so on a machine where the files live
+// on independent devices the transfer really is overlapped.
+type FileDisk struct {
+	mu     sync.Mutex
+	f      *os.File
+	b      int
+	blocks int
+	buf    []byte
+}
+
+// NewFileDisk creates (truncating) a file-backed disk at path with block
+// size b keys.
+func NewFileDisk(path string, b int) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pdm: creating file disk: %w", err)
+	}
+	return &FileDisk{f: f, b: b, buf: make([]byte, 8*b)}, nil
+}
+
+// NewFileArray creates a PDM array of cfg.D file disks named disk0000.bin …
+// inside dir.
+func NewFileArray(cfg Config, dir string) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	disks := make([]Disk, cfg.D)
+	for i := range disks {
+		fd, err := NewFileDisk(filepath.Join(dir, fmt.Sprintf("disk%04d.bin", i)), cfg.B)
+		if err != nil {
+			for _, d := range disks[:i] {
+				d.Close() //nolint:errcheck // best-effort cleanup
+			}
+			return nil, err
+		}
+		disks[i] = fd
+	}
+	return NewWithDisks(cfg, disks)
+}
+
+// ReadBlock implements Disk.
+func (d *FileDisk) ReadBlock(off int, dst []int64) error {
+	if len(dst) != d.b {
+		return ErrBadBlock
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off >= d.blocks {
+		return fmt.Errorf("%w: read of block %d (disk holds %d)", ErrOutOfRange, off, d.blocks)
+	}
+	if _, err := d.f.ReadAt(d.buf, int64(off)*int64(d.b)*8); err != nil {
+		return fmt.Errorf("pdm: file disk read: %w", err)
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(d.buf[8*i:]))
+	}
+	return nil
+}
+
+// WriteBlock implements Disk.
+func (d *FileDisk) WriteBlock(off int, src []int64) error {
+	if len(src) != d.b {
+		return ErrBadBlock
+	}
+	if off < 0 {
+		return fmt.Errorf("%w: write of block %d", ErrOutOfRange, off)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(d.buf[8*i:], uint64(v))
+	}
+	if _, err := d.f.WriteAt(d.buf, int64(off)*int64(d.b)*8); err != nil {
+		return fmt.Errorf("pdm: file disk write: %w", err)
+	}
+	if off >= d.blocks {
+		d.blocks = off + 1
+	}
+	return nil
+}
+
+// Blocks implements Disk.
+func (d *FileDisk) Blocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocks
+}
+
+// Close implements Disk, closing and removing nothing: the file is left on
+// disk so callers can inspect the sorted output.
+func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}
+
+// Path returns the backing file's name.
+func (d *FileDisk) Path() string { return d.f.Name() }

@@ -1,0 +1,73 @@
+package pdm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewFileDisk(dir+"/d0.bin", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	src := []int64{-1, 0, 1, 1 << 40}
+	if err := d.WriteBlock(2, src); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Blocks(); got != 3 {
+		t.Fatalf("Blocks = %d, want 3", got)
+	}
+	dst := make([]int64, 4)
+	if err := d.ReadBlock(2, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("key %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+	if err := d.ReadBlock(5, dst); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read past end: err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadBlock(0, make([]int64, 1)); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("bad buffer: err = %v, want ErrBadBlock", err)
+	}
+	if d.Path() == "" {
+		t.Fatal("Path is empty")
+	}
+}
+
+func TestFileArrayEndToEnd(t *testing.T) {
+	cfg := Config{D: 3, B: 4, Mem: 48}
+	a, err := NewFileArray(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	n := a.StripeWidth() * 2
+	s, err := a.NewStripe(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i * 3)
+	}
+	if err := s.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, n)
+	if err := s.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("key %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+	if st := a.Stats(); st.WriteSteps != 2 || st.ReadSteps != 2 {
+		t.Fatalf("stats = %+v, want 2 read and 2 write steps", st)
+	}
+}

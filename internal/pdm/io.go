@@ -1,0 +1,108 @@
+package pdm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ioOp pairs a block address with the buffer it reads into or writes from.
+type ioOp struct {
+	addr BlockAddr
+	buf  []int64
+}
+
+// ReadV reads addrs[i] into bufs[i] for all i.  The request is charged
+// max_d(#blocks on disk d) parallel I/O steps — the PDM cost of a vectored
+// transfer — and the per-disk operations execute concurrently, one goroutine
+// per participating disk.  Buffers must each have length B.
+func (a *Array) ReadV(addrs []BlockAddr, bufs [][]int64) error {
+	return a.execV(addrs, bufs, false)
+}
+
+// WriteV writes bufs[i] to addrs[i] for all i, with the same cost accounting
+// and concurrency as ReadV.
+func (a *Array) WriteV(addrs []BlockAddr, bufs [][]int64) error {
+	return a.execV(addrs, bufs, true)
+}
+
+func (a *Array) execV(addrs []BlockAddr, bufs [][]int64, write bool) error {
+	if len(addrs) != len(bufs) {
+		return fmt.Errorf("pdm: %d addrs but %d buffers", len(addrs), len(bufs))
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	perDisk := make([][]ioOp, a.cfg.D)
+	for i, ad := range addrs {
+		if ad.Disk < 0 || ad.Disk >= a.cfg.D {
+			return fmt.Errorf("%w: disk %d of %d", ErrOutOfRange, ad.Disk, a.cfg.D)
+		}
+		if len(bufs[i]) != a.cfg.B {
+			return ErrBadBlock
+		}
+		perDisk[ad.Disk] = append(perDisk[ad.Disk], ioOp{ad, bufs[i]})
+	}
+
+	steps := 0
+	for _, ops := range perDisk {
+		if len(ops) > steps {
+			steps = len(ops)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, a.cfg.D)
+	for d, ops := range perDisk {
+		if len(ops) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(d int, ops []ioOp) {
+			defer wg.Done()
+			disk := a.disks[d]
+			for _, op := range ops {
+				var err error
+				if write {
+					err = disk.WriteBlock(op.addr.Off, op.buf)
+				} else {
+					err = disk.ReadBlock(op.addr.Off, op.buf)
+				}
+				if err != nil {
+					errs[d] = err
+					return
+				}
+			}
+		}(d, ops)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	a.account(len(addrs), steps, write)
+	a.recordTrace(addrs, write)
+	return nil
+}
+
+func (a *Array) account(blocks, steps int, write bool) {
+	if write {
+		a.stats.BlocksWritten += int64(blocks)
+		a.stats.WriteSteps += int64(steps)
+	} else {
+		a.stats.BlocksRead += int64(blocks)
+		a.stats.ReadSteps += int64(steps)
+	}
+	a.stats.SimTime += float64(steps) * (a.cfg.SeekTime + float64(a.cfg.B)*a.cfg.TransferPerKey)
+}
+
+// splitBlocks carves flat (len a multiple of B) into B-key block views.
+func (a *Array) splitBlocks(flat []int64) [][]int64 {
+	nb := len(flat) / a.cfg.B
+	bufs := make([][]int64, nb)
+	for i := range bufs {
+		bufs[i] = flat[i*a.cfg.B : (i+1)*a.cfg.B]
+	}
+	return bufs
+}

@@ -1,0 +1,171 @@
+// Package pdm implements the Parallel Disk Model (PDM) of Vitter and Shriver
+// as used by Rajasekaran and Sen (IPPS 2005): a machine with D independent
+// disks, block size B, and internal memory of M keys.  In one parallel I/O
+// step the machine may transfer at most one block per disk.  A "pass" over N
+// keys is N/(DB) parallel read steps plus the same number of write steps.
+//
+// The package provides two disk backends — an in-memory block store
+// (MemDisk), which is exact and deterministic, and a real-file backend
+// (FileDisk) driven by one goroutine per disk — plus the machinery every PDM
+// algorithm in this repository is written against: vectored block I/O with
+// step accounting (Array.ReadV / Array.WriteV), striped logical arrays
+// (Stripe), sequential striped streams (Reader, Writer), and a metered
+// internal-memory arena (Arena).
+//
+// The unit of data is the key, an int64.  Records are keys, as in the paper.
+package pdm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors returned by the simulator.
+var (
+	// ErrMemoryExceeded is returned by Arena.Alloc when an allocation would
+	// push the total in-use memory past the configured capacity.
+	ErrMemoryExceeded = errors.New("pdm: internal memory capacity exceeded")
+
+	// ErrBadBlock is returned when a buffer passed to block I/O does not have
+	// length exactly B.
+	ErrBadBlock = errors.New("pdm: buffer length is not the block size")
+
+	// ErrOutOfRange is returned for block offsets or key ranges outside the
+	// allocated region.
+	ErrOutOfRange = errors.New("pdm: address out of range")
+
+	// ErrUnaligned is returned when a key range is not block aligned.
+	ErrUnaligned = errors.New("pdm: key range not block aligned")
+)
+
+// Config describes a PDM instance.
+type Config struct {
+	// D is the number of independent disks.
+	D int
+	// B is the block size in keys.  One parallel I/O step moves at most one
+	// block per disk.
+	B int
+	// Mem is the internal memory size M in keys.  The paper assumes
+	// M = C·D·B for a small constant C.
+	Mem int
+	// MemSlack scales the arena capacity: capacity = MemSlack·M + D·B.
+	// The paper's cleanup phases hold two length-M chunks simultaneously
+	// (Section 5, step 2), i.e. the paper implicitly allows a small
+	// constant multiple of M during local sorting; the D·B term is one
+	// stripe of I/O staging for scatter/gather writes.  Zero means the
+	// default of 2.
+	MemSlack float64
+
+	// SeekTime and TransferPerKey parameterize the optional simulated-time
+	// model: each parallel I/O step costs SeekTime + B·TransferPerKey time
+	// units.  Zero values disable the respective component.
+	SeekTime       float64
+	TransferPerKey float64
+}
+
+// C returns the memory-to-stripe ratio M/(D·B), the constant the paper
+// calls C.
+func (c Config) C() float64 { return float64(c.Mem) / float64(c.D*c.B) }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.D < 1:
+		return fmt.Errorf("pdm: D = %d, want >= 1", c.D)
+	case c.B < 1:
+		return fmt.Errorf("pdm: B = %d, want >= 1", c.B)
+	case c.Mem < c.D*c.B:
+		return fmt.Errorf("pdm: M = %d smaller than one stripe D*B = %d", c.Mem, c.D*c.B)
+	case c.MemSlack < 0:
+		return fmt.Errorf("pdm: MemSlack = %v, want >= 0", c.MemSlack)
+	}
+	return nil
+}
+
+// BlockAddr names one physical block: block Off on disk Disk.
+type BlockAddr struct {
+	Disk int
+	Off  int
+}
+
+// Array is a PDM disk array: D disks plus the accounting state shared by all
+// algorithms running against it (I/O statistics, memory arena, and the block
+// allocator used by Stripe).
+type Array struct {
+	cfg   Config
+	disks []Disk
+	stats Stats
+	arena *Arena
+	alloc rowAllocator
+	trace []TraceOp
+}
+
+// New creates an Array backed by fresh in-memory disks.
+func New(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	disks := make([]Disk, cfg.D)
+	for i := range disks {
+		disks[i] = NewMemDisk(cfg.B)
+	}
+	return NewWithDisks(cfg, disks)
+}
+
+// NewWithDisks creates an Array from caller-provided disks (for example
+// FileDisk instances).  len(disks) must equal cfg.D.
+func NewWithDisks(cfg Config, disks []Disk) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(disks) != cfg.D {
+		return nil, fmt.Errorf("pdm: got %d disks, config says D = %d", len(disks), cfg.D)
+	}
+	slack := cfg.MemSlack
+	if slack == 0 {
+		slack = 2
+	}
+	capacity := int(float64(cfg.Mem)*slack) + cfg.D*cfg.B
+	return &Array{
+		cfg:   cfg,
+		disks: disks,
+		arena: NewArena(capacity),
+	}, nil
+}
+
+// Config returns the array's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// D returns the number of disks.
+func (a *Array) D() int { return a.cfg.D }
+
+// B returns the block size in keys.
+func (a *Array) B() int { return a.cfg.B }
+
+// Mem returns the nominal internal memory size M in keys.
+func (a *Array) Mem() int { return a.cfg.Mem }
+
+// StripeWidth returns D·B, the number of keys moved by one fully parallel
+// I/O step.
+func (a *Array) StripeWidth() int { return a.cfg.D * a.cfg.B }
+
+// Arena returns the internal-memory arena shared by algorithms on this array.
+func (a *Array) Arena() *Arena { return a.arena }
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (a *Array) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the I/O statistics (the arena and disk contents are
+// untouched).
+func (a *Array) ResetStats() { a.stats = Stats{} }
+
+// Close closes all disks, returning the first error encountered.
+func (a *Array) Close() error {
+	var first error
+	for _, d := range a.disks {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,116 @@
+package pdm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStripeSkewRotation(t *testing.T) {
+	a, err := New(testConfig()) // D = 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skew := range []int{0, 1, 3, 4, 7, -1} {
+		s, err := a.NewStripeSkew(a.B()*8, skew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ((skew % 4) + 4) % 4
+		if s.Skew() != want {
+			t.Fatalf("skew %d normalized to %d, want %d", skew, s.Skew(), want)
+		}
+		if got := s.BlockAddr(0).Disk; got != want {
+			t.Fatalf("skew %d: block 0 on disk %d, want %d", skew, got, want)
+		}
+		// Each row's D blocks must still map bijectively onto the disks.
+		seen := map[int]bool{}
+		for j := 0; j < a.D(); j++ {
+			ad := s.BlockAddr(j)
+			if seen[ad.Disk] {
+				t.Fatalf("skew %d: disk %d used twice in one row", skew, ad.Disk)
+			}
+			seen[ad.Disk] = true
+		}
+	}
+}
+
+func TestSkewedStripesDoNotCollide(t *testing.T) {
+	// Two stripes with different skews must occupy disjoint physical
+	// blocks; writing one must not disturb the other.
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := a.NewStripeSkew(a.StripeWidth(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.NewStripeSkew(a.StripeWidth(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := make([]int64, s1.Len())
+	d2 := make([]int64, s2.Len())
+	for i := range d1 {
+		d1[i] = int64(i)
+		d2[i] = int64(-i)
+	}
+	if err := s1.WriteAt(0, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteAt(0, d2); err != nil {
+		t.Fatal(err)
+	}
+	got1 := make([]int64, s1.Len())
+	if err := s1.ReadAt(0, got1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if got1[i] != d1[i] {
+			t.Fatalf("stripe 1 corrupted at %d", i)
+		}
+	}
+}
+
+func TestSkewQuickBijection(t *testing.T) {
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(skewRaw uint8, rowRaw uint8) bool {
+		s, err := a.NewStripeSkew(a.StripeWidth()*4, int(skewRaw))
+		if err != nil {
+			return false
+		}
+		defer s.Free()
+		row := int(rowRaw) % 4
+		seen := map[BlockAddr]bool{}
+		for j := row * a.D(); j < (row+1)*a.D(); j++ {
+			ad := s.BlockAddr(j)
+			if seen[ad] {
+				return false
+			}
+			seen[ad] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteVPartialDiskParticipation(t *testing.T) {
+	// A request touching a strict subset of disks is charged by its most
+	// loaded disk only.
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := [][]int64{make([]int64, a.B()), make([]int64, a.B())}
+	if err := a.WriteV([]BlockAddr{{1, 0}, {2, 0}}, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if s := a.Stats(); s.WriteSteps != 1 {
+		t.Fatalf("two blocks on two disks cost %d steps, want 1", s.WriteSteps)
+	}
+}

@@ -1,0 +1,94 @@
+package pdm
+
+import "fmt"
+
+// Stats accumulates the I/O accounting of an Array.  All counters are in the
+// PDM's native units: blocks and parallel I/O steps.
+type Stats struct {
+	// BlocksRead and BlocksWritten count individual block transfers.
+	BlocksRead    int64
+	BlocksWritten int64
+	// ReadSteps and WriteSteps count parallel I/O steps.  A vectored request
+	// touching k_d blocks on disk d costs max_d k_d steps.
+	ReadSteps  int64
+	WriteSteps int64
+	// SimTime is the simulated elapsed time under the configured cost model
+	// (zero if the cost model is disabled).
+	SimTime float64
+}
+
+// Add returns the componentwise sum of s and t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		BlocksRead:    s.BlocksRead + t.BlocksRead,
+		BlocksWritten: s.BlocksWritten + t.BlocksWritten,
+		ReadSteps:     s.ReadSteps + t.ReadSteps,
+		WriteSteps:    s.WriteSteps + t.WriteSteps,
+		SimTime:       s.SimTime + t.SimTime,
+	}
+}
+
+// Sub returns the componentwise difference s − t, for measuring a phase
+// between two snapshots.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		BlocksRead:    s.BlocksRead - t.BlocksRead,
+		BlocksWritten: s.BlocksWritten - t.BlocksWritten,
+		ReadSteps:     s.ReadSteps - t.ReadSteps,
+		WriteSteps:    s.WriteSteps - t.WriteSteps,
+		SimTime:       s.SimTime - t.SimTime,
+	}
+}
+
+// ReadPasses converts read steps into passes over n keys on a machine with
+// stripe width dTimesB = D·B: one pass is n/(D·B) parallel read steps.
+func (s Stats) ReadPasses(n, dTimesB int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.ReadSteps) * float64(dTimesB) / float64(n)
+}
+
+// WritePasses is the write-side analogue of ReadPasses.
+func (s Stats) WritePasses(n, dTimesB int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.WriteSteps) * float64(dTimesB) / float64(n)
+}
+
+// Passes reports the number of passes over n keys, defined (as in the paper)
+// by the read side: a pass is N/(DB) read I/O operations and the same number
+// of writes.  Algorithms that read and write asymmetrically show the
+// difference in ReadPasses/WritePasses.
+func (s Stats) Passes(n, dTimesB int) float64 {
+	r, w := s.ReadPasses(n, dTimesB), s.WritePasses(n, dTimesB)
+	if w > r {
+		return w
+	}
+	return r
+}
+
+// ReadEfficiency reports the fraction of full parallelism achieved by reads:
+// blocks transferred divided by D·steps.  1.0 means every read step moved a
+// block on every disk.
+func (s Stats) ReadEfficiency(d int) float64 {
+	if s.ReadSteps == 0 {
+		return 1
+	}
+	return float64(s.BlocksRead) / float64(int64(d)*s.ReadSteps)
+}
+
+// WriteEfficiency is the write-side analogue of ReadEfficiency.
+func (s Stats) WriteEfficiency(d int) float64 {
+	if s.WriteSteps == 0 {
+		return 1
+	}
+	return float64(s.BlocksWritten) / float64(int64(d)*s.WriteSteps)
+}
+
+// String renders the statistics compactly for logs and reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d blocks/%d steps, writes=%d blocks/%d steps, simTime=%.3f",
+		s.BlocksRead, s.ReadSteps, s.BlocksWritten, s.WriteSteps, s.SimTime)
+}

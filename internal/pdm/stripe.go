@@ -1,0 +1,245 @@
+package pdm
+
+import (
+	"fmt"
+)
+
+// extent is a run of free rows in the row allocator.
+type extent struct{ start, n int }
+
+// rowAllocator hands out "rows" of disk space.  A row is one block at the
+// same offset on every disk, i.e. D·B keys of capacity.  Stripes occupy whole
+// rows so that consecutive logical blocks land on consecutive disks —
+// the round-robin striping all of the paper's layouts build on.
+type rowAllocator struct {
+	next int
+	free []extent
+}
+
+func (ra *rowAllocator) alloc(n int) int {
+	for i, e := range ra.free {
+		if e.n >= n {
+			start := e.start
+			if e.n == n {
+				ra.free = append(ra.free[:i], ra.free[i+1:]...)
+			} else {
+				ra.free[i] = extent{e.start + n, e.n - n}
+			}
+			return start
+		}
+	}
+	start := ra.next
+	ra.next += n
+	return start
+}
+
+func (ra *rowAllocator) release(start, n int) {
+	if n <= 0 {
+		return
+	}
+	// Coalescing keeps the free list small across the many alloc/free cycles
+	// of multi-phase algorithms.
+	merged := extent{start, n}
+	out := ra.free[:0]
+	for _, e := range ra.free {
+		switch {
+		case e.start+e.n == merged.start:
+			merged = extent{e.start, e.n + merged.n}
+		case merged.start+merged.n == e.start:
+			merged = extent{merged.start, merged.n + e.n}
+		default:
+			out = append(out, e)
+		}
+	}
+	ra.free = append(out, merged)
+}
+
+// Stripe is a logical array of keys striped round-robin across all D disks:
+// logical block j lives on disk (j+skew) mod D at row row0 + j/D.  Reading
+// any D consecutive blocks therefore touches every disk exactly once — a
+// fully parallel I/O step.
+//
+// The skew implements the rotated ("diagonal") striping of Rajasekaran's LMM
+// sort: when an algorithm keeps one stripe per run and gives run i skew i,
+// reading block j of every run in one request spreads the blocks across the
+// disks, and so does writing block j of run i for all j.  Both access
+// directions of the paper's unshuffle/merge/shuffle phases achieve full
+// parallelism this way.
+type Stripe struct {
+	a    *Array
+	row0 int
+	skew int
+	n    int // keys
+	nb   int // blocks
+	rows int
+}
+
+// NewStripe allocates disk space for nKeys keys (which must be a multiple of
+// the block size B) striped across all disks.
+func (a *Array) NewStripe(nKeys int) (*Stripe, error) {
+	return a.NewStripeSkew(nKeys, 0)
+}
+
+// NewStripeSkew is NewStripe with the disk assignment of every block rotated
+// by skew.
+func (a *Array) NewStripeSkew(nKeys, skew int) (*Stripe, error) {
+	if nKeys <= 0 || nKeys%a.cfg.B != 0 {
+		return nil, fmt.Errorf("%w: stripe of %d keys with B = %d", ErrUnaligned, nKeys, a.cfg.B)
+	}
+	nb := nKeys / a.cfg.B
+	rows := (nb + a.cfg.D - 1) / a.cfg.D
+	skew %= a.cfg.D
+	if skew < 0 {
+		skew += a.cfg.D
+	}
+	return &Stripe{a: a, row0: a.alloc.alloc(rows), skew: skew, n: nKeys, nb: nb, rows: rows}, nil
+}
+
+// Len returns the stripe's length in keys.
+func (s *Stripe) Len() int { return s.n }
+
+// Blocks returns the stripe's length in blocks.
+func (s *Stripe) Blocks() int { return s.nb }
+
+// Array returns the array the stripe lives on.
+func (s *Stripe) Array() *Array { return s.a }
+
+// Free returns the stripe's rows to the allocator.  The stripe must not be
+// used afterwards.
+func (s *Stripe) Free() {
+	s.a.alloc.release(s.row0, s.rows)
+	s.rows = 0
+}
+
+// BlockAddr maps logical block j of the stripe to its physical address.
+// Blocks of one row (j in [rD, (r+1)D)) map bijectively onto the disks, so
+// stripes never collide regardless of skew.
+func (s *Stripe) BlockAddr(j int) BlockAddr {
+	return BlockAddr{Disk: (j + s.skew) % s.a.cfg.D, Off: s.row0 + j/s.a.cfg.D}
+}
+
+// Skew returns the stripe's disk-rotation offset.
+func (s *Stripe) Skew() int { return s.skew }
+
+// addrRange returns the addresses of the blocks covering keys
+// [keyOff, keyOff+nKeys).
+func (s *Stripe) addrRange(keyOff, nKeys int) ([]BlockAddr, error) {
+	b := s.a.cfg.B
+	if keyOff%b != 0 || nKeys%b != 0 {
+		return nil, fmt.Errorf("%w: range [%d, %d) with B = %d", ErrUnaligned, keyOff, keyOff+nKeys, b)
+	}
+	if keyOff < 0 || keyOff+nKeys > s.n {
+		return nil, fmt.Errorf("%w: range [%d, %d) of stripe with %d keys", ErrOutOfRange, keyOff, keyOff+nKeys, s.n)
+	}
+	first := keyOff / b
+	addrs := make([]BlockAddr, nKeys/b)
+	for i := range addrs {
+		addrs[i] = s.BlockAddr(first + i)
+	}
+	return addrs, nil
+}
+
+// ReadAt reads keys [keyOff, keyOff+len(dst)) into dst.  Both keyOff and
+// len(dst) must be multiples of B.  D consecutive blocks cost one parallel
+// step.
+func (s *Stripe) ReadAt(keyOff int, dst []int64) error {
+	addrs, err := s.addrRange(keyOff, len(dst))
+	if err != nil {
+		return err
+	}
+	return s.a.ReadV(addrs, s.a.splitBlocks(dst))
+}
+
+// WriteAt writes src to keys [keyOff, keyOff+len(src)), with the same
+// alignment rules as ReadAt.
+func (s *Stripe) WriteAt(keyOff int, src []int64) error {
+	addrs, err := s.addrRange(keyOff, len(src))
+	if err != nil {
+		return err
+	}
+	return s.a.WriteV(addrs, s.a.splitBlocks(src))
+}
+
+// Load writes data into the stripe without touching the I/O statistics.
+// It models the input already residing on the disks, which is the starting
+// state of every PDM algorithm; use it only from harnesses.
+func (s *Stripe) Load(data []int64) error {
+	if len(data) != s.n {
+		return fmt.Errorf("pdm: Load of %d keys into stripe of %d", len(data), s.n)
+	}
+	saved := s.a.stats
+	savedTrace := s.a.trace
+	s.a.trace = nil
+	err := s.WriteAt(0, data)
+	s.a.stats = saved
+	s.a.trace = savedTrace
+	return err
+}
+
+// Unload reads the whole stripe without touching the I/O statistics, for
+// verification in harnesses.
+func (s *Stripe) Unload() ([]int64, error) {
+	out := make([]int64, s.n)
+	saved := s.a.stats
+	savedTrace := s.a.trace
+	s.a.trace = nil
+	err := s.ReadAt(0, out)
+	s.a.stats = saved
+	s.a.trace = savedTrace
+	return out, err
+}
+
+// Reader streams a stripe (or a sub-range of one) sequentially.
+type Reader struct {
+	s   *Stripe
+	pos int
+	end int
+}
+
+// NewReader returns a Reader over keys [start, start+n) of the stripe.
+func (s *Stripe) NewReader(start, n int) *Reader {
+	return &Reader{s: s, pos: start, end: start + n}
+}
+
+// Remaining returns the number of keys not yet read.
+func (r *Reader) Remaining() int { return r.end - r.pos }
+
+// Next fills dst (len a multiple of B) with the next keys and returns the
+// number read, which is less than len(dst) only at the end of the range.
+func (r *Reader) Next(dst []int64) (int, error) {
+	n := len(dst)
+	if rem := r.end - r.pos; n > rem {
+		n = rem
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if err := r.s.ReadAt(r.pos, dst[:n]); err != nil {
+		return 0, err
+	}
+	r.pos += n
+	return n, nil
+}
+
+// Writer streams keys into a stripe sequentially.
+type Writer struct {
+	s   *Stripe
+	pos int
+}
+
+// NewWriter returns a Writer appending from key offset start.
+func (s *Stripe) NewWriter(start int) *Writer {
+	return &Writer{s: s, pos: start}
+}
+
+// Write appends src (len a multiple of B) to the stripe.
+func (w *Writer) Write(src []int64) error {
+	if err := w.s.WriteAt(w.pos, src); err != nil {
+		return err
+	}
+	w.pos += len(src)
+	return nil
+}
+
+// Pos returns the key offset the next Write will land at.
+func (w *Writer) Pos() int { return w.pos }

@@ -1,0 +1,56 @@
+package pdm
+
+// TraceOp records one vectored I/O request: its direction and the exact
+// block addresses touched, in request order.
+type TraceOp struct {
+	Write bool
+	Addrs []BlockAddr
+}
+
+// EnableTrace starts recording every subsequent I/O request.  The paper
+// emphasizes that all of its comparison-based algorithms are *oblivious*:
+// the sequence of I/O requests depends only on N and the machine geometry,
+// never on the key values.  Recording the trace lets tests assert exactly
+// that, by comparing traces across different inputs of the same size.
+func (a *Array) EnableTrace() {
+	a.trace = []TraceOp{}
+}
+
+// DisableTrace stops recording and drops the trace.
+func (a *Array) DisableTrace() {
+	a.trace = nil
+}
+
+// Trace returns the recorded requests since EnableTrace.
+func (a *Array) Trace() []TraceOp {
+	return a.trace
+}
+
+// recordTrace appends one request if tracing is enabled.
+func (a *Array) recordTrace(addrs []BlockAddr, write bool) {
+	if a.trace == nil {
+		return
+	}
+	cp := make([]BlockAddr, len(addrs))
+	copy(cp, addrs)
+	a.trace = append(a.trace, TraceOp{Write: write, Addrs: cp})
+}
+
+// TracesEqual reports whether two traces are identical request for request
+// and address for address.
+func TracesEqual(x, y []TraceOp) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i].Write != y[i].Write || len(x[i].Addrs) != len(y[i].Addrs) {
+			return false
+		}
+		for j := range x[i].Addrs {
+			if x[i].Addrs[j] != y[i].Addrs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

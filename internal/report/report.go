@@ -1,0 +1,126 @@
+// Package report renders the plain-text tables produced by the experiment
+// harness (cmd/experiments) and the benchmark suite.  Every experiment in
+// EXPERIMENTS.md is a Table; keeping the rendering in one place guarantees
+// the harness and the docs stay in the same format.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title string
+	Note  string
+	cols  []string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, cols: cols}
+}
+
+// AddRow appends a row; cells are rendered with %v, with floats formatted to
+// four significant digits.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell renders a single value the way AddRow does.
+func Cell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		return formatFloat(v)
+	case float32:
+		return formatFloat(float64(v))
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v != 0 && (v < 1e-3 || v >= 1e7):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table with aligned columns, a title rule, and the
+// optional note.
+func (t *Table) String() string {
+	widths := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.cols)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		sb.WriteString("note: ")
+		sb.WriteString(t.Note)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fixed renders v with exactly prec decimals — for pass counts where "3.000"
+// is the point.
+func Fixed(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Ratio renders a/b as a fixed-precision quotient, or "inf" when b is zero.
+func Ratio(a, b float64, prec int) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.*fx", prec, a/b)
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E00: demo", "alg", "passes", "keys")
+	tb.AddRow("ThreePass1", 3.0, 32768)
+	tb.AddRow("ExpectedTwoPass", 2.0001, 1024)
+	tb.Note = "measured at M=1024"
+	out := tb.String()
+	for _, want := range []string{"E00: demo", "ThreePass1", "2", "32768", "note: measured"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", tb.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "longheader")
+	tb.AddRow("x", "y")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (header, rule, row)", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing rule line: %q", lines[1])
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{3.0, "3"},
+		{float32(2), "2"},
+		{0.5, "0.5"},
+		{1.0 / 3.0, "0.3333"},
+		{1e-9, "1.000e-09"},
+		{12345678.9, "1.235e+07"},
+		{"s", "s"},
+		{42, "42"},
+		{0.0, "0"},
+	}
+	for _, tc := range cases {
+		if got := Cell(tc.in); got != tc.want {
+			t.Errorf("Cell(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFixedAndRatio(t *testing.T) {
+	if got := Fixed(3.14159, 2); got != "3.14" {
+		t.Fatalf("Fixed = %q", got)
+	}
+	if got := Ratio(3, 2, 1); got != "1.5x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0, 1); got != "inf" {
+		t.Fatalf("Ratio by zero = %q", got)
+	}
+}

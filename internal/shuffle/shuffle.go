@@ -1,0 +1,154 @@
+// Package shuffle implements the unshuffle/shuffle permutations at the heart
+// of the (l,m)-merge and the paper's shuffling lemma (Lemma 4.2): partition a
+// random permutation into m equal parts, sort each part, shuffle the sorted
+// parts, and every key lands within (n/√q)·√((α+2)·ln n + 1) + n/q of its
+// final position with probability ≥ 1 − n^(−α).
+//
+// The displacement bound is what lets the expected-pass algorithms finish
+// with a single bounded cleanup; internal/core consumes these permutations
+// streamily, and this package provides the reference forms plus the bound
+// calculator the experiments compare against.
+package shuffle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memsort"
+)
+
+// Unshuffle splits x into m parts by residue: part p receives x[p], x[p+m],
+// x[p+2m], …  len(x) must be divisible by m.
+func Unshuffle(x []int64, m int) ([][]int64, error) {
+	if m <= 0 || len(x)%m != 0 {
+		return nil, fmt.Errorf("shuffle: cannot unshuffle %d keys into %d parts", len(x), m)
+	}
+	q := len(x) / m
+	parts := make([][]int64, m)
+	for p := range parts {
+		part := make([]int64, q)
+		for i := range part {
+			part[i] = x[p+i*m]
+		}
+		parts[p] = part
+	}
+	return parts, nil
+}
+
+// Shuffle interleaves equal-length parts: the result Z has
+// Z[k·m + p] = parts[p][k].  This is the inverse of Unshuffle.
+func Shuffle(parts [][]int64) ([]int64, error) {
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	q := len(parts[0])
+	for p, part := range parts {
+		if len(part) != q {
+			return nil, fmt.Errorf("shuffle: part %d has %d keys, want %d", p, len(part), q)
+		}
+	}
+	m := len(parts)
+	z := make([]int64, m*q)
+	for k := 0; k < q; k++ {
+		for p := 0; p < m; p++ {
+			z[k*m+p] = parts[p][k]
+		}
+	}
+	return z, nil
+}
+
+// PartitionSortShuffle performs the Lemma 4.2 experiment on x: cut x into m
+// consecutive equal parts (the "random partition" when x is a random
+// permutation), sort each part, and shuffle the sorted parts into Z.
+func PartitionSortShuffle(x []int64, m int) ([]int64, error) {
+	if m <= 0 || len(x)%m != 0 {
+		return nil, fmt.Errorf("shuffle: cannot partition %d keys into %d parts", len(x), m)
+	}
+	q := len(x) / m
+	parts := make([][]int64, m)
+	for p := range parts {
+		part := append([]int64(nil), x[p*q:(p+1)*q]...)
+		memsort.Keys(part)
+		parts[p] = part
+	}
+	return Shuffle(parts)
+}
+
+// DisplacementBound returns Lemma 4.2's high-probability bound on the
+// distance of any key of Z from its sorted position:
+// (n/√q)·√((α+2)·ln n + 1) + n/q, where q = n/m is the part length.
+func DisplacementBound(n, q int, alpha float64) float64 {
+	if n <= 1 || q <= 0 {
+		return 0
+	}
+	fn, fq := float64(n), float64(q)
+	return fn/math.Sqrt(fq)*math.Sqrt((alpha+2)*math.Log(fn)+1) + fn/fq
+}
+
+// MaxDisplacement returns the largest distance between a key's position in z
+// and its position in the stable sort of z.
+func MaxDisplacement(z []int64) int {
+	type pair struct {
+		v int64
+		i int32
+	}
+	tagged := make([]pair, len(z))
+	for i, v := range z {
+		tagged[i] = pair{v, int32(i)}
+	}
+	// Stable by construction: sort packed (v, i) pairs via a merge sort on
+	// the pair slice.
+	tmp := make([]pair, len(tagged))
+	var ms func(lo, hi int)
+	ms = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		ms(lo, mid)
+		ms(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if tagged[j].v < tagged[i].v {
+				tmp[k] = tagged[j]
+				j++
+			} else {
+				tmp[k] = tagged[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			tmp[k] = tagged[i]
+			i++
+			k++
+		}
+		for j < hi {
+			tmp[k] = tagged[j]
+			j++
+			k++
+		}
+		copy(tagged[lo:hi], tmp[lo:hi])
+	}
+	ms(0, len(tagged))
+	maxD := 0
+	for sortedPos, p := range tagged {
+		d := sortedPos - int(p.i)
+		if d < 0 {
+			d = -d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// RankInterval is the Lemma 4.2 interval for the rank k of the element of
+// global rank r within its part: [rq/n − s, rq/n + s] with
+// s = √((α+2)·q·ln n) + 1.
+func RankInterval(r, n, q int, alpha float64) (lo, hi float64) {
+	center := float64(r) * float64(q) / float64(n)
+	s := math.Sqrt((alpha+2)*float64(q)*math.Log(float64(n))) + 1
+	return center - s, center + s
+}

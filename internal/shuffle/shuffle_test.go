@@ -1,0 +1,194 @@
+package shuffle
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsort"
+	"repro/internal/workload"
+)
+
+func TestUnshuffleShuffleInverse(t *testing.T) {
+	x := workload.Perm(60, 1)
+	for _, m := range []int{1, 2, 3, 5, 6, 10, 60} {
+		parts, err := Unshuffle(x, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != m {
+			t.Fatalf("m=%d: got %d parts", m, len(parts))
+		}
+		z, err := Shuffle(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(z, x) {
+			t.Fatalf("m=%d: shuffle(unshuffle(x)) != x", m)
+		}
+	}
+}
+
+func TestUnshuffleSemantics(t *testing.T) {
+	x := []int64{0, 1, 2, 3, 4, 5}
+	parts, err := Unshuffle(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(parts[0], []int64{0, 2, 4}) || !slices.Equal(parts[1], []int64{1, 3, 5}) {
+		t.Fatalf("parts = %v", parts)
+	}
+}
+
+func TestShuffleSemantics(t *testing.T) {
+	z, err := Shuffle([][]int64{{1, 3}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(z, []int64{1, 2, 3, 4}) {
+		t.Fatalf("z = %v", z)
+	}
+	if z, err := Shuffle(nil); err != nil || z != nil {
+		t.Fatalf("empty shuffle = %v, %v", z, err)
+	}
+}
+
+func TestShuffleErrors(t *testing.T) {
+	if _, err := Unshuffle(make([]int64, 5), 2); err == nil {
+		t.Fatal("non-dividing unshuffle accepted")
+	}
+	if _, err := Unshuffle(nil, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := Shuffle([][]int64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged parts accepted")
+	}
+	if _, err := PartitionSortShuffle(make([]int64, 5), 2); err == nil {
+		t.Fatal("non-dividing partition accepted")
+	}
+}
+
+func TestPartitionSortShuffleIsPermutation(t *testing.T) {
+	x := workload.Perm(120, 3)
+	z, err := PartitionSortShuffle(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedZ := append([]int64(nil), z...)
+	memsort.Keys(sortedZ)
+	if !slices.Equal(sortedZ, workload.Sorted(120)) {
+		t.Fatal("output is not a permutation of the input")
+	}
+}
+
+func TestLemma42BoundHoldsOnRandomInputs(t *testing.T) {
+	// The heart of Lemma 4.2: for random permutations the empirical max
+	// displacement stays below the analytical bound.  With α=1 the failure
+	// probability is ≤ 1/n per trial; over 50 trials at n=4096 a single
+	// failure would be a ~1% event, so assert zero failures of 2x the
+	// bound and allow none above the bound itself.
+	const n, m, alpha = 4096, 16, 1.0
+	q := n / m
+	bound := DisplacementBound(n, q, alpha)
+	for trial := 0; trial < 50; trial++ {
+		x := workload.Perm(n, int64(trial))
+		z, err := PartitionSortShuffle(x, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxDisplacement(z); float64(d) > bound {
+			t.Fatalf("trial %d: displacement %d exceeds Lemma 4.2 bound %.1f", trial, d, bound)
+		}
+	}
+}
+
+func TestMaxDisplacement(t *testing.T) {
+	if d := MaxDisplacement([]int64{1, 2, 3}); d != 0 {
+		t.Fatalf("sorted: %d", d)
+	}
+	if d := MaxDisplacement([]int64{3, 1, 2}); d != 2 {
+		t.Fatalf("rotated: %d", d)
+	}
+	if d := MaxDisplacement([]int64{7, 7, 7}); d != 0 {
+		t.Fatalf("constant: %d", d)
+	}
+	if d := MaxDisplacement(nil); d != 0 {
+		t.Fatalf("empty: %d", d)
+	}
+	if d := MaxDisplacement(workload.ReverseSorted(10)); d != 9 {
+		t.Fatalf("reversed: %d", d)
+	}
+}
+
+func TestDisplacementBoundShape(t *testing.T) {
+	// Bound grows with n, shrinks with q.
+	if DisplacementBound(1024, 64, 1) <= DisplacementBound(1024, 256, 1) {
+		t.Fatal("bound should shrink as q grows")
+	}
+	if DisplacementBound(4096, 64, 1) <= DisplacementBound(1024, 64, 1) {
+		t.Fatal("bound should grow with n")
+	}
+	if DisplacementBound(1, 1, 1) != 0 || DisplacementBound(10, 0, 1) != 0 {
+		t.Fatal("degenerate bounds should be 0")
+	}
+}
+
+func TestRankInterval(t *testing.T) {
+	lo, hi := RankInterval(500, 1000, 100, 1)
+	if lo >= hi {
+		t.Fatalf("empty interval [%v,%v]", lo, hi)
+	}
+	center := 500.0 * 100.0 / 1000.0
+	if lo > center || hi < center {
+		t.Fatalf("interval [%v,%v] misses center %v", lo, hi, center)
+	}
+}
+
+func TestRankIntervalCoversEmpirically(t *testing.T) {
+	// For a random permutation, the rank of element r inside its part must
+	// fall inside the Lemma 4.2 interval (w.h.p.); check a few elements.
+	const n, m = 2048, 8
+	q := n / m
+	x := workload.Perm(n, 9)
+	for _, r := range []int{1, n / 4, n / 2, 3 * n / 4, n} {
+		// Find the part containing the element of rank r (value r-1).
+		var k int
+		for p := 0; p < m; p++ {
+			part := x[p*q : (p+1)*q]
+			found := false
+			rank := 1
+			for _, v := range part {
+				if v == int64(r-1) {
+					found = true
+				}
+				if v < int64(r-1) {
+					rank++
+				}
+			}
+			if found {
+				k = rank
+				break
+			}
+		}
+		lo, hi := RankInterval(r, n, q, 1)
+		if float64(k) < lo || float64(k) > hi {
+			t.Fatalf("rank %d of element %d outside [%v,%v]", k, r, lo, hi)
+		}
+	}
+}
+
+func TestUnshuffleShuffleQuickProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := 1 + int(mRaw)%8
+		x := workload.Perm(m*16, seed)
+		parts, err := Unshuffle(x, m)
+		if err != nil {
+			return false
+		}
+		z, err := Shuffle(parts)
+		return err == nil && slices.Equal(z, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package workload generates the input distributions used by the test suite
+// and the experiment harness: random permutations (the paper's probabilistic
+// claims are over the space of input permutations), 0-1 k-strings (for the
+// generalized zero-one principle), bounded integers (for IntegerSort and
+// RadixSort), and structured adversarial inputs that force the expected-pass
+// algorithms into their fallback paths.
+//
+// Every generator is a pure function of its parameters and seed, so every
+// experiment in EXPERIMENTS.md is exactly reproducible.
+package workload
+
+import (
+	"math/rand"
+)
+
+// Perm returns a uniformly random permutation of 0..n-1 as int64 keys.
+func Perm(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		a[i], a[j] = a[j], a[i]
+	}
+	return a
+}
+
+// Uniform returns n keys drawn uniformly from [lo, hi].
+func Uniform(n int, lo, hi int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	span := hi - lo + 1
+	for i := range a {
+		a[i] = lo + rng.Int63n(span)
+	}
+	return a
+}
+
+// ZeroOneK returns a uniformly random binary string (as 0/1 keys) of length
+// n with exactly k zeros — a uniform member of the paper's k-set S_k.
+func ZeroOneK(n, k int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = 1
+	}
+	// Reservoir-style selection of k positions for zeros.
+	chosen := 0
+	for i := 0; i < n && chosen < k; i++ {
+		if rng.Intn(n-i) < k-chosen {
+			a[i] = 0
+			chosen++
+		}
+	}
+	return a
+}
+
+// ZeroOne returns a binary string of length n with each position 0 with
+// probability p.
+func ZeroOne(n int, p float64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		if rng.Float64() >= p {
+			a[i] = 1
+		}
+	}
+	return a
+}
+
+// Sorted returns 0..n-1 in order.
+func Sorted(n int) []int64 {
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i)
+	}
+	return a
+}
+
+// ReverseSorted returns n-1..0.
+func ReverseSorted(n int) []int64 {
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(n - 1 - i)
+	}
+	return a
+}
+
+// NearlySorted returns a permutation of 0..n-1 in which every key is at most
+// d positions from its sorted place: the sorted sequence is cut into windows
+// of d keys and each window is shuffled.
+func NearlySorted(n, d int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := Sorted(n)
+	if d < 2 {
+		return a
+	}
+	for w := 0; w < n; w += d {
+		end := w + d
+		if end > n {
+			end = n
+		}
+		win := a[w:end]
+		for i := len(win) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			win[i], win[j] = win[j], win[i]
+		}
+	}
+	return a
+}
+
+// FewDistinct returns n keys drawn from only v distinct values, the
+// duplicate-heavy regime that stresses tie handling.
+func FewDistinct(n, v int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(rng.Intn(v))
+	}
+	return a
+}
+
+// Zipf returns n keys from a Zipf(s, 1, imax) distribution — the skewed
+// bucket population that stresses IntegerSort's write-step bound.
+func Zipf(n int, s float64, imax uint64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, imax)
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(z.Uint64())
+	}
+	return a
+}
+
+// SegmentReversed returns the permutation of 0..n-1 whose runLen-key
+// segments appear in reverse order (segment contents sorted).  After
+// one-pass run formation the runs are maximally misaligned: the keys of the
+// last segment belong at the front of the output, so the shuffle-based
+// expected-pass algorithms exceed any sublinear displacement bound and must
+// detect failure and fall back.
+func SegmentReversed(n, runLen int) []int64 {
+	a := make([]int64, 0, n)
+	segs := (n + runLen - 1) / runLen
+	for s := segs - 1; s >= 0; s-- {
+		lo := s * runLen
+		hi := lo + runLen
+		if hi > n {
+			hi = n
+		}
+		for v := lo; v < hi; v++ {
+			a = append(a, int64(v))
+		}
+	}
+	return a
+}
+
+// ColumnLoaded returns a permutation of 0..n-1 that defeats the skip-Step-1
+// mesh algorithm (ExpTwoPassMesh): the n/cols smallest keys all sit at
+// positions ≡ 0 (mod cols), i.e. in a single column of the row-major mesh.
+// After the column sort those keys remain interleaved one-per-row, so the
+// k-th smallest key is ~k·(cols−1) positions from home and any sublinear
+// cleanup window overflows.  cols must divide n.
+func ColumnLoaded(n, cols int) []int64 {
+	a := make([]int64, n)
+	small, rest := int64(0), int64(n/cols)
+	for p := 0; p < n; p++ {
+		if p%cols == 0 {
+			a[p] = small
+			small++
+		} else {
+			a[p] = rest
+			rest++
+		}
+	}
+	return a
+}
+
+// Organ returns the organ-pipe permutation 0,2,4,…,5,3,1 — ascending evens
+// followed by descending odds — a classical hard case for merge-based
+// cleanup phases.
+func Organ(n int) []int64 {
+	a := make([]int64, 0, n)
+	for v := 0; v < n; v += 2 {
+		a = append(a, int64(v))
+	}
+	start := n - 1
+	if start%2 == 0 {
+		start--
+	}
+	for v := start; v >= 1; v -= 2 {
+		a = append(a, int64(v))
+	}
+	return a
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func isPermutationOfRange(a []int64) bool {
+	seen := make([]bool, len(a))
+	for _, v := range a {
+		if v < 0 || v >= int64(len(a)) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 1000} {
+		a := Perm(n, 42)
+		if len(a) != n || !isPermutationOfRange(a) {
+			t.Fatalf("Perm(%d) is not a permutation of 0..%d", n, n-1)
+		}
+	}
+}
+
+func TestPermDeterministic(t *testing.T) {
+	a := Perm(500, 7)
+	b := Perm(500, 7)
+	c := Perm(500, 8)
+	if !slices.Equal(a, b) {
+		t.Fatal("same seed produced different permutations")
+	}
+	if slices.Equal(a, c) {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	a := Uniform(1000, 5, 10, 3)
+	for _, v := range a {
+		if v < 5 || v > 10 {
+			t.Fatalf("key %d outside [5,10]", v)
+		}
+	}
+}
+
+func TestZeroOneKExactCount(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 10}, {10, 5}, {100, 37}, {1, 1}} {
+		a := ZeroOneK(tc.n, tc.k, 9)
+		zeros := 0
+		for _, v := range a {
+			switch v {
+			case 0:
+				zeros++
+			case 1:
+			default:
+				t.Fatalf("non-binary key %d", v)
+			}
+		}
+		if zeros != tc.k {
+			t.Fatalf("ZeroOneK(%d,%d): %d zeros", tc.n, tc.k, zeros)
+		}
+	}
+}
+
+func TestZeroOneBinary(t *testing.T) {
+	a := ZeroOne(1000, 0.5, 1)
+	for _, v := range a {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary key %d", v)
+		}
+	}
+	if z := ZeroOne(100, 0, 1); slices.Max(z) != 1 || slices.Min(z) != 1 {
+		t.Fatal("p=0 should give all ones")
+	}
+	if z := ZeroOne(100, 1, 1); slices.Max(z) != 0 {
+		t.Fatal("p=1 should give all zeros")
+	}
+}
+
+func TestSortedAndReverse(t *testing.T) {
+	if !slices.IsSorted(Sorted(100)) {
+		t.Fatal("Sorted is unsorted")
+	}
+	r := ReverseSorted(100)
+	for i := 1; i < len(r); i++ {
+		if r[i] >= r[i-1] {
+			t.Fatal("ReverseSorted is not strictly decreasing")
+		}
+	}
+}
+
+func TestNearlySortedDisplacement(t *testing.T) {
+	const n, d = 1000, 16
+	a := NearlySorted(n, d, 5)
+	if !isPermutationOfRange(a) {
+		t.Fatal("NearlySorted not a permutation")
+	}
+	for i, v := range a {
+		if diff := int(v) - i; diff > d || diff < -d {
+			t.Fatalf("key %d displaced by %d > %d", v, diff, d)
+		}
+	}
+	if !slices.IsSorted(NearlySorted(50, 1, 5)) {
+		t.Fatal("d<2 should be sorted")
+	}
+}
+
+func TestFewDistinct(t *testing.T) {
+	a := FewDistinct(1000, 4, 2)
+	for _, v := range a {
+		if v < 0 || v >= 4 {
+			t.Fatalf("key %d outside [0,4)", v)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	a := Zipf(1000, 1.5, 63, 4)
+	for _, v := range a {
+		if v < 0 || v > 63 {
+			t.Fatalf("key %d outside [0,63]", v)
+		}
+	}
+}
+
+func TestSegmentReversed(t *testing.T) {
+	a := SegmentReversed(12, 4)
+	want := []int64{8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3}
+	if !slices.Equal(a, want) {
+		t.Fatalf("SegmentReversed = %v, want %v", a, want)
+	}
+	if !isPermutationOfRange(SegmentReversed(10, 4)) {
+		t.Fatal("ragged SegmentReversed not a permutation")
+	}
+}
+
+func TestOrgan(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 10, 101} {
+		a := Organ(n)
+		if len(a) != n || !isPermutationOfRange(a) {
+			t.Fatalf("Organ(%d) = %v not a permutation", n, a)
+		}
+	}
+	if got := Organ(6); !slices.Equal(got, []int64{0, 2, 4, 5, 3, 1}) {
+		t.Fatalf("Organ(6) = %v", got)
+	}
+}
+
+func TestGeneratorsQuickPermutationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		return isPermutationOfRange(Perm(n, seed)) &&
+			isPermutationOfRange(NearlySorted(n, 8, seed)) &&
+			isPermutationOfRange(SegmentReversed(n, 7)) &&
+			isPermutationOfRange(Organ(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

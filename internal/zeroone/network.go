@@ -1,0 +1,173 @@
+// Package zeroone implements the sorting-network machinery behind the
+// paper's generalized zero-one principle (Theorem 3.3, Appendix A): oblivious
+// comparator networks, exhaustive and sampled evaluation over the k-sets S_k
+// of binary strings, monotone mappings between permutations and k-strings,
+// and the empirical verification that a network sorting an α fraction of
+// every S_k sorts at least 1 − (1−α)(n+1) of all permutations.
+package zeroone
+
+import (
+	"fmt"
+
+	"repro/internal/memsort"
+)
+
+// Comparator routes the smaller of two keys to line I and the larger to
+// line J.  I and J are arbitrary distinct lines; a gate with I > J is a
+// "descending" comparator (used by snake-order meshes).  All gates are
+// monotone, so the zero-one principle applies.
+type Comparator struct {
+	I, J int
+}
+
+// Network is an oblivious sorting circuit: a fixed sequence of comparators
+// applied to n lines.  A correct network leaves every input ascending in
+// line order.
+type Network struct {
+	N     int
+	Gates []Comparator
+}
+
+// Apply runs the network over a in place.
+func (w *Network) Apply(a []int64) {
+	for _, g := range w.Gates {
+		if a[g.J] < a[g.I] {
+			a[g.I], a[g.J] = a[g.J], a[g.I]
+		}
+	}
+}
+
+// Sorts reports whether the network sorts a copy of a into ascending line
+// order.
+func (w *Network) Sorts(a []int64) bool {
+	buf := append([]int64(nil), a...)
+	w.Apply(buf)
+	return memsort.IsSorted(buf)
+}
+
+// Validate checks gate indices against the line count.
+func (w *Network) Validate() error {
+	for i, g := range w.Gates {
+		if g.I < 0 || g.I >= w.N || g.J < 0 || g.J >= w.N || g.I == g.J {
+			return fmt.Errorf("zeroone: gate %d = (%d,%d) invalid for %d lines", i, g.I, g.J, w.N)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of comparators.
+func (w *Network) Size() int { return len(w.Gates) }
+
+// Truncate returns a copy of the network with the last k gates removed —
+// the standard way to manufacture circuits that sort *most* inputs, the
+// regime the generalized principle is about.
+func (w *Network) Truncate(k int) *Network {
+	if k > len(w.Gates) {
+		k = len(w.Gates)
+	}
+	return &Network{N: w.N, Gates: append([]Comparator(nil), w.Gates[:len(w.Gates)-k]...)}
+}
+
+// Bubble returns the n-line bubble-sort network (n(n−1)/2 gates), a correct
+// sorter for every n.
+func Bubble(n int) *Network {
+	w := &Network{N: n}
+	for pass := 0; pass < n-1; pass++ {
+		for i := 0; i < n-1-pass; i++ {
+			w.Gates = append(w.Gates, Comparator{i, i + 1})
+		}
+	}
+	return w
+}
+
+// OddEvenTransposition returns the n-line odd-even transposition network
+// with r rounds (r = n makes it a correct sorter; fewer rounds sorts only
+// "most" inputs — a natural test subject for Theorem 3.3).
+func OddEvenTransposition(n, r int) *Network {
+	w := &Network{N: n}
+	for round := 0; round < r; round++ {
+		for i := round % 2; i+1 < n; i += 2 {
+			w.Gates = append(w.Gates, Comparator{i, i + 1})
+		}
+	}
+	return w
+}
+
+// OddEvenMergeSort returns Batcher's odd-even merge sorting network, one of
+// the special cases of LMM sort the paper cites.  n must be a power of two.
+func OddEvenMergeSort(n int) (*Network, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("zeroone: OddEvenMergeSort needs a power of two, got %d", n)
+	}
+	w := &Network{N: n}
+	var sortRange func(lo, m int)
+	var merge func(lo, m, step int)
+	merge = func(lo, m, step int) {
+		next := step * 2
+		if next < m {
+			merge(lo, m, next)
+			merge(lo+step, m, next)
+			for i := lo + step; i+step < lo+m; i += next {
+				w.Gates = append(w.Gates, Comparator{i, i + step})
+			}
+		} else {
+			w.Gates = append(w.Gates, Comparator{lo, lo + step})
+		}
+	}
+	sortRange = func(lo, m int) {
+		if m > 1 {
+			half := m / 2
+			sortRange(lo, half)
+			sortRange(lo+half, half)
+			merge(lo, m, 1)
+		}
+	}
+	sortRange(0, n)
+	return w, nil
+}
+
+// bubbleOver appends a bubble network over the given line sequence: after
+// the gates run, the keys on idx are ascending along idx.
+func (w *Network) bubbleOver(idx []int) {
+	for pass := 0; pass < len(idx)-1; pass++ {
+		for i := 0; i < len(idx)-1-pass; i++ {
+			w.Gates = append(w.Gates, Comparator{idx[i], idx[i+1]})
+		}
+	}
+}
+
+// Shearsort returns the oblivious Shearsort circuit for a rows×cols mesh on
+// row-major lines: `phases` pairs of snake-row and column phases followed by
+// a final ascending row phase, so a fully sorted mesh ends ascending in
+// row-major line order.  ⌈log₂ rows⌉+1 phases sort every input; fewer
+// phases sort only most inputs — the regime of Theorem 3.3.
+func Shearsort(rows, cols, phases int) *Network {
+	w := &Network{N: rows * cols}
+	rowIdx := func(r int, reversed bool) []int {
+		idx := make([]int, cols)
+		for c := 0; c < cols; c++ {
+			if reversed {
+				idx[c] = r*cols + cols - 1 - c
+			} else {
+				idx[c] = r*cols + c
+			}
+		}
+		return idx
+	}
+	for p := 0; p < phases; p++ {
+		for r := 0; r < rows; r++ {
+			w.bubbleOver(rowIdx(r, r%2 == 1))
+		}
+		for c := 0; c < cols; c++ {
+			idx := make([]int, rows)
+			for r := 0; r < rows; r++ {
+				idx[r] = r*cols + c
+			}
+			w.bubbleOver(idx)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		w.bubbleOver(rowIdx(r, false))
+	}
+	return w
+}

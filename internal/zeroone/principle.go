@@ -1,0 +1,220 @@
+package zeroone
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// MonotoneFk applies the paper's monotone map f_k to a permutation of
+// 1..n: f_k(j) = 0 for j ≤ k and 1 otherwise (Appendix A).  It is the only
+// monotone function from I_n onto the k-set S_k.
+func MonotoneFk(perm []int64, k int) []int64 {
+	out := make([]int64, len(perm))
+	for i, v := range perm {
+		if v > int64(k) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// KStrings calls fn for every binary string of length n with exactly k
+// zeros, reusing one buffer (fn must not retain it).  The number of calls is
+// C(n,k); n is expected to be small (≤ ~20).
+func KStrings(n, k int, fn func([]int64)) {
+	buf := make([]int64, n)
+	pos := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			for i := range buf {
+				buf[i] = 1
+			}
+			for _, p := range pos {
+				buf[p] = 0
+			}
+			fn(buf)
+			return
+		}
+		for p := start; p <= n-(k-depth); p++ {
+			pos[depth] = p
+			rec(p+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// Binomial returns C(n,k) as a float64 (exact for the small n used here).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// KSetFractionExhaustive returns the fraction of S_k the network sorts,
+// checking every k-string.
+func KSetFractionExhaustive(w *Network, k int) float64 {
+	total, sorted := 0, 0
+	KStrings(w.N, k, func(s []int64) {
+		total++
+		if w.Sorts(s) {
+			sorted++
+		}
+	})
+	if total == 0 {
+		return 1
+	}
+	return float64(sorted) / float64(total)
+}
+
+// MinAlphaExhaustive returns α = min over k of the sorted fraction of S_k,
+// the quantity Theorem 3.3 is stated in, along with the per-k fractions.
+func MinAlphaExhaustive(w *Network) (alpha float64, perK []float64) {
+	perK = make([]float64, w.N+1)
+	alpha = 1
+	for k := 0; k <= w.N; k++ {
+		perK[k] = KSetFractionExhaustive(w, k)
+		if perK[k] < alpha {
+			alpha = perK[k]
+		}
+	}
+	return alpha, perK
+}
+
+// PermFractionExhaustive returns the fraction of all n! permutations the
+// network sorts, enumerating them with Heap's algorithm.  n must be ≤ 10.
+func PermFractionExhaustive(w *Network) (float64, error) {
+	n := w.N
+	if n > 10 {
+		return 0, fmt.Errorf("zeroone: exhaustive permutation check infeasible for n = %d", n)
+	}
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i + 1)
+	}
+	total, sorted := 0, 0
+	visit := func() {
+		total++
+		if w.Sorts(perm) {
+			sorted++
+		}
+	}
+	c := make([]int, n)
+	visit()
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			visit()
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return float64(sorted) / float64(total), nil
+}
+
+// PermFractionSampled estimates the sorted fraction of permutations from
+// `trials` uniform samples.
+func PermFractionSampled(w *Network, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sorted := 0
+	for t := 0; t < trials; t++ {
+		p := workload.Perm(w.N, rng.Int63())
+		for i := range p {
+			p[i]++ // permutations of 1..n, as in the paper
+		}
+		if w.Sorts(p) {
+			sorted++
+		}
+	}
+	return float64(sorted) / float64(trials)
+}
+
+// GeneralizedBound is the guarantee of Theorem 3.3: a network sorting at
+// least an α fraction of every S_k sorts at least 1 − (1−α)(n+1) of all
+// permutations (clamped to [0,1]; the bound is vacuous for small α).
+func GeneralizedBound(alpha float64, n int) float64 {
+	b := 1 - (1-alpha)*float64(n+1)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// CheckResult is the outcome of verifying Theorem 3.3 on one network.
+type CheckResult struct {
+	N            int
+	Alpha        float64   // min over k of sorted fraction of S_k
+	PerK         []float64 // sorted fraction of each S_k
+	PermFraction float64   // exact fraction of permutations sorted
+	Bound        float64   // 1 − (1−α)(n+1), clamped at 0
+	Holds        bool      // PermFraction ≥ Bound
+}
+
+// CheckGeneralizedPrinciple exhaustively measures a network against
+// Theorem 3.3.  The network must have at most 10 lines.
+func CheckGeneralizedPrinciple(w *Network) (CheckResult, error) {
+	alpha, perK := MinAlphaExhaustive(w)
+	pf, err := PermFractionExhaustive(w)
+	if err != nil {
+		return CheckResult{}, err
+	}
+	bound := GeneralizedBound(alpha, w.N)
+	return CheckResult{
+		N:            w.N,
+		Alpha:        alpha,
+		PerK:         perK,
+		PermFraction: pf,
+		Bound:        bound,
+		Holds:        pf >= bound-1e-12,
+	}, nil
+}
+
+// SortsAllZeroOne reports whether the network sorts every binary input —
+// the hypothesis of the classical zero-one principle.
+func SortsAllZeroOne(w *Network) bool {
+	for k := 0; k <= w.N; k++ {
+		ok := true
+		KStrings(w.N, k, func(s []int64) {
+			if ok && !w.Sorts(s) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstUnsortedKString returns a k-string the network fails to sort and its
+// k, or nil if none exists.  Combined with MonotoneFk it realizes the
+// constructive direction of Lemma A.1: from an unsorted permutation to an
+// unsorted k-string and back.
+func FirstUnsortedKString(w *Network) ([]int64, int) {
+	var bad []int64
+	badK := -1
+	for k := 0; k <= w.N && bad == nil; k++ {
+		KStrings(w.N, k, func(s []int64) {
+			if bad == nil && !w.Sorts(s) {
+				bad = append([]int64(nil), s...)
+				badK = k
+			}
+		})
+	}
+	return bad, badK
+}

@@ -1,0 +1,346 @@
+package zeroone
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsort"
+	"repro/internal/workload"
+)
+
+func TestBubbleSortsEverything(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		w := Bubble(n)
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			a := workload.Perm(n, int64(trial))
+			if !w.Sorts(a) {
+				t.Fatalf("Bubble(%d) failed on %v", n, a)
+			}
+		}
+	}
+}
+
+func TestOddEvenMergeSortCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		w, err := OddEvenMergeSort(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			a := workload.Uniform(n, 0, 9, int64(trial))
+			if !w.Sorts(a) {
+				t.Fatalf("OddEvenMergeSort(%d) failed on %v", n, a)
+			}
+		}
+		// Batcher gate count: n/4·log n·(log n − 1) + n − 1 gates for n≥2.
+		if n >= 2 && len(w.Gates) == 0 {
+			t.Fatal("no gates")
+		}
+	}
+	if _, err := OddEvenMergeSort(3); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := OddEvenMergeSort(0); err == nil {
+		t.Fatal("zero accepted")
+	}
+}
+
+func TestOddEvenMergeSortZeroOneExhaustive(t *testing.T) {
+	// The classical 0-1 principle route: check all 2^n binary inputs for
+	// n=8; by Knuth's theorem this certifies the network for all inputs.
+	w, err := OddEvenMergeSort(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SortsAllZeroOne(w) {
+		t.Fatal("Batcher network failed a binary input")
+	}
+}
+
+func TestOddEvenTransposition(t *testing.T) {
+	// n rounds sort everything; n-2 rounds must fail some input.
+	n := 8
+	full := OddEvenTransposition(n, n)
+	if !SortsAllZeroOne(full) {
+		t.Fatal("full odd-even transposition failed a binary input")
+	}
+	short := OddEvenTransposition(n, n-2)
+	if SortsAllZeroOne(short) {
+		t.Fatal("truncated odd-even transposition claims to sort all binary inputs")
+	}
+}
+
+func TestApplyDescendingGate(t *testing.T) {
+	// A gate (1,0) routes the max to line 0.
+	w := &Network{N: 2, Gates: []Comparator{{1, 0}}}
+	a := []int64{1, 2}
+	w.Apply(a)
+	if a[0] != 2 || a[1] != 1 {
+		t.Fatalf("descending gate gave %v", a)
+	}
+}
+
+func TestValidateRejectsBadGates(t *testing.T) {
+	for _, w := range []*Network{
+		{N: 2, Gates: []Comparator{{0, 2}}},
+		{N: 2, Gates: []Comparator{{-1, 0}}},
+		{N: 2, Gates: []Comparator{{1, 1}}},
+	} {
+		if err := w.Validate(); err == nil {
+			t.Fatalf("bad network %v validated", w.Gates)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	w := Bubble(4)
+	tr := w.Truncate(2)
+	if tr.Size() != w.Size()-2 {
+		t.Fatalf("Truncate size = %d", tr.Size())
+	}
+	if w.Truncate(1000).Size() != 0 {
+		t.Fatal("over-truncate not empty")
+	}
+}
+
+func TestShearsortNetworkSorts(t *testing.T) {
+	// 4x4 with ceil(log2 4)=2 phase pairs + final row phase sorts fully.
+	w := Shearsort(4, 4, 2)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		a := workload.Perm(16, int64(trial))
+		if !w.Sorts(a) {
+			t.Fatalf("Shearsort(4,4,2) failed on trial %d", trial)
+		}
+	}
+	if !SortsAllZeroOne(Shearsort(4, 2, 2)) {
+		t.Fatal("Shearsort(4,2,2) failed a binary input")
+	}
+}
+
+func TestShearsortTooFewPhasesFailsSomeInput(t *testing.T) {
+	w := Shearsort(8, 8, 1)
+	if SortsAllZeroOne(w) {
+		t.Fatal("one-phase Shearsort claims to sort all binary inputs")
+	}
+}
+
+func TestMonotoneFk(t *testing.T) {
+	perm := []int64{3, 1, 4, 2}
+	got := MonotoneFk(perm, 2)
+	want := []int64{1, 0, 1, 0}
+	if !slices.Equal(got, want) {
+		t.Fatalf("MonotoneFk = %v, want %v", got, want)
+	}
+	if got := MonotoneFk(perm, 0); !slices.Equal(got, []int64{1, 1, 1, 1}) {
+		t.Fatalf("f_0 = %v", got)
+	}
+	if got := MonotoneFk(perm, 4); !slices.Equal(got, []int64{0, 0, 0, 0}) {
+		t.Fatalf("f_4 = %v", got)
+	}
+}
+
+func TestLemmaA1Direction(t *testing.T) {
+	// If the circuit sorts f_k(σ) for all k, it sorts σ — check on a
+	// deliberately broken network by finding a permutation it fails and
+	// confirming some f_k image also fails.
+	w := Bubble(6).Truncate(3)
+	var badPerm []int64
+	perm := workload.Perm(6, 1)
+	for i := range perm {
+		perm[i]++
+	}
+	for trial := int64(0); trial < 2000 && badPerm == nil; trial++ {
+		p := workload.Perm(6, trial)
+		for i := range p {
+			p[i]++
+		}
+		if !w.Sorts(p) {
+			badPerm = p
+		}
+	}
+	if badPerm == nil {
+		t.Skip("truncated network sorted every sampled permutation")
+	}
+	foundBadImage := false
+	for k := 0; k <= 6; k++ {
+		if !w.Sorts(MonotoneFk(badPerm, k)) {
+			foundBadImage = true
+			break
+		}
+	}
+	if !foundBadImage {
+		t.Fatalf("network fails %v but sorts all its monotone images, contradicting Lemma A.1", badPerm)
+	}
+}
+
+func TestKStringsEnumeration(t *testing.T) {
+	count := 0
+	KStrings(5, 2, func(s []int64) {
+		count++
+		zeros := 0
+		for _, v := range s {
+			if v == 0 {
+				zeros++
+			}
+		}
+		if zeros != 2 || len(s) != 5 {
+			t.Fatalf("bad k-string %v", s)
+		}
+	})
+	if count != 10 {
+		t.Fatalf("enumerated %d 2-strings of length 5, want C(5,2)=10", count)
+	}
+	// Edge cases: k=0 and k=n yield exactly one string each.
+	for _, k := range []int{0, 5} {
+		c := 0
+		KStrings(5, k, func([]int64) { c++ })
+		if c != 1 {
+			t.Fatalf("KStrings(5,%d) enumerated %d", k, c)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20}, {5, 6, 0}, {5, -1, 0}}
+	for _, tc := range cases {
+		if got := Binomial(tc.n, tc.k); got != tc.want {
+			t.Fatalf("Binomial(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestGeneralizedBound(t *testing.T) {
+	if got := GeneralizedBound(1, 8); got != 1 {
+		t.Fatalf("bound at alpha=1: %v", got)
+	}
+	if got := GeneralizedBound(0.5, 8); got != 0 {
+		t.Fatalf("vacuous bound should clamp to 0: %v", got)
+	}
+	want := 1 - 0.1*9
+	if got := GeneralizedBound(0.9, 8); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestCheckGeneralizedPrincipleOnCorrectNetwork(t *testing.T) {
+	w := Bubble(6)
+	res, err := CheckGeneralizedPrinciple(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha != 1 || res.PermFraction != 1 || !res.Holds {
+		t.Fatalf("correct network: %+v", res)
+	}
+}
+
+func TestCheckGeneralizedPrincipleOnTruncatedNetworks(t *testing.T) {
+	// Theorem 3.3 must hold for every circuit; probe a family of broken
+	// ones.
+	for _, drop := range []int{1, 2, 3, 5, 8} {
+		w := Bubble(6).Truncate(drop)
+		res, err := CheckGeneralizedPrinciple(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Holds {
+			t.Fatalf("drop=%d: perm fraction %.6f below bound %.6f",
+				drop, res.PermFraction, res.Bound)
+		}
+	}
+}
+
+func TestCheckGeneralizedPrincipleQuick(t *testing.T) {
+	// Property: for random small networks, the Theorem 3.3 inequality holds.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		gates := rng.Intn(12)
+		w := &Network{N: n}
+		for g := 0; g < gates; g++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n)
+			if i == j {
+				j = (j + 1) % n
+			}
+			w.Gates = append(w.Gates, Comparator{i, j})
+		}
+		res, err := CheckGeneralizedPrinciple(w)
+		return err == nil && res.Holds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermFractionExhaustiveRejectsBigN(t *testing.T) {
+	if _, err := PermFractionExhaustive(Bubble(11)); err == nil {
+		t.Fatal("n=11 accepted")
+	}
+}
+
+func TestPermFractionSampled(t *testing.T) {
+	w := Bubble(8)
+	if got := PermFractionSampled(w, 100, 1); got != 1 {
+		t.Fatalf("sampled fraction on correct network = %v", got)
+	}
+	broken := &Network{N: 8}
+	if got := PermFractionSampled(broken, 200, 1); got > 0.05 {
+		t.Fatalf("empty network sorts %v of samples", got)
+	}
+}
+
+func TestCorollaryEmptyKSet(t *testing.T) {
+	// Corollary in Appendix A: if the circuit sorts NO string of some S_k,
+	// it sorts no permutation at all.  The empty network on unsorted lines
+	// demonstrates the contrapositive cheaply: it sorts the two trivial
+	// k-sets (k=0, k=n) and nothing needing movement.
+	w := &Network{N: 4} // no gates
+	bad, k := FirstUnsortedKString(w)
+	if bad == nil {
+		t.Fatal("empty network claims to sort all k-strings")
+	}
+	if k <= 0 || k >= 4 {
+		t.Fatalf("first unsorted k-string at k=%d", k)
+	}
+	// And indeed its monotone preimages are unsorted permutations.
+	if w.Sorts(bad) {
+		t.Fatal("inconsistent")
+	}
+}
+
+func TestFirstUnsortedKStringOnCorrectNetwork(t *testing.T) {
+	if bad, k := FirstUnsortedKString(Bubble(5)); bad != nil {
+		t.Fatalf("correct network has unsorted k-string %v (k=%d)", bad, k)
+	}
+}
+
+func TestNetworkAgainstMemsort(t *testing.T) {
+	// Networks and the comparison sort agree on arbitrary data.
+	w, err := OddEvenMergeSort(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		a := workload.Uniform(16, -50, 50, int64(trial))
+		b := append([]int64(nil), a...)
+		w.Apply(a)
+		memsort.Keys(b)
+		if !slices.Equal(a, b) {
+			t.Fatalf("trial %d: network %v vs sort %v", trial, a, b)
+		}
+	}
+}

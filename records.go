@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"fmt"
+)
+
+// pairKeyBits is the key width supported by SortPairs; keys and indices are
+// packed into one int64 word, matching the paper's Section 7 observation
+// that practical keys ("weather data, market data", social-security
+// numbers) are at most 32 bits while records carry a payload.
+const pairKeyBits = 32
+
+// SortPairs sorts records (keys[i], payloads[i]) by key, in place and
+// stably, using the same PDM machinery as Sort: each record is packed into
+// one key word (key in the high bits, original index in the low bits), so
+// one pass of the chosen algorithm moves whole records, exactly as the
+// paper's model assumes ("we assume that each key fits in one word").
+//
+// Keys must lie in [0, 2^32); len(keys) must equal len(payloads) and be at
+// most 2^30 records.
+func (m *Machine) SortPairs(keys, payloads []int64, alg Algorithm) (*Report, error) {
+	if len(keys) != len(payloads) {
+		return nil, fmt.Errorf("repro: %d keys but %d payloads", len(keys), len(payloads))
+	}
+	if len(keys) >= 1<<30 {
+		return nil, fmt.Errorf("repro: %d records exceed the 2^30 packing limit", len(keys))
+	}
+	for i, k := range keys {
+		if k < 0 || k >= 1<<pairKeyBits {
+			return nil, fmt.Errorf("repro: key %d at index %d outside [0, 2^%d)", k, i, pairKeyBits)
+		}
+	}
+	packed := make([]int64, len(keys))
+	for i, k := range keys {
+		packed[i] = k<<30 | int64(i)
+	}
+	rep, err := m.Sort(packed, alg)
+	if err != nil {
+		return nil, err
+	}
+	// Unpack: apply the permutation to the payloads via a scratch copy.
+	oldPayloads := append([]int64(nil), payloads...)
+	for i, p := range packed {
+		keys[i] = p >> 30
+		payloads[i] = oldPayloads[p&(1<<30-1)]
+	}
+	return rep, nil
+}

@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"slices"
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSortPairs(t *testing.T) {
+	m := newTestMachine(t, 256)
+	n := 3000
+	keys := workload.Uniform(n, 0, 99, 4) // many duplicates: stability matters
+	payloads := make([]int64, n)
+	for i := range payloads {
+		payloads[i] = int64(i) * 10
+	}
+	type rec struct{ k, p int64 }
+	want := make([]rec, n)
+	for i := range want {
+		want[i] = rec{keys[i], payloads[i]}
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].k < want[j].k })
+
+	rep, err := m.SortPairs(keys, payloads, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != n {
+		t.Fatalf("report N = %d", rep.N)
+	}
+	for i := range want {
+		if keys[i] != want[i].k || payloads[i] != want[i].p {
+			t.Fatalf("record %d = (%d, %d), want (%d, %d) — stability or pairing broken",
+				i, keys[i], payloads[i], want[i].k, want[i].p)
+		}
+	}
+}
+
+func TestSortPairsValidation(t *testing.T) {
+	m := newTestMachine(t, 256)
+	if _, err := m.SortPairs([]int64{1}, []int64{1, 2}, Auto); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := m.SortPairs([]int64{-1}, []int64{0}, Auto); err == nil {
+		t.Fatal("negative key accepted")
+	}
+	if _, err := m.SortPairs([]int64{1 << 32}, []int64{0}, Auto); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestSortPairsAllAlgorithms(t *testing.T) {
+	m := newTestMachine(t, 256)
+	n := 1024
+	for _, alg := range []Algorithm{ThreePassMesh, ThreePassLMM, SevenPass, SevenPassMesh} {
+		keys := workload.Uniform(n, 0, 9, int64(alg))
+		payloads := workload.Perm(n, int64(alg)+100)
+		pairSum := int64(0)
+		for i := range keys {
+			pairSum += keys[i] ^ payloads[i]
+		}
+		if _, err := m.SortPairs(keys, payloads, alg); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !slices.IsSorted(keys) {
+			t.Fatalf("%v: keys not sorted", alg)
+		}
+		// The key-payload pairing must survive (checksum of XOR pairs).
+		gotSum := int64(0)
+		for i := range keys {
+			gotSum += keys[i] ^ payloads[i]
+		}
+		if gotSum != pairSum {
+			t.Fatalf("%v: records torn apart", alg)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package repro is a from-scratch reproduction of "PDM Sorting Algorithms
+// That Take A Small Number Of Passes" (Rajasekaran & Sen, IPPS 2005): a
+// Parallel Disk Model simulator plus every sorting algorithm the paper
+// introduces or compares against, with I/O accounted in the paper's
+// currency — passes over the data.
+//
+// The facade in this package is what a downstream user imports:
+//
+//	m, _ := repro.NewMachine(repro.MachineConfig{Memory: 1 << 20, Disks: 64})
+//	report, _ := m.Sort(keys, repro.Auto)
+//	fmt.Printf("sorted %d keys in %.2f passes with %s\n",
+//		report.N, report.Passes, report.Algorithm)
+//
+// The underlying pieces (the pdm simulator, the individual algorithms, the
+// baselines, the zero-one principle machinery) live in internal/ packages
+// and are exercised by the experiment harness (cmd/experiments) that
+// regenerates every empirical claim in EXPERIMENTS.md.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+)
+
+// Algorithm selects which of the paper's sorting algorithms to run.
+type Algorithm int
+
+const (
+	// Auto picks the cheapest algorithm whose capacity covers the input:
+	// in-memory sort, ExpectedTwoPass, ThreePass2, ExpectedThreePass,
+	// ExpectedSixPass, or SevenPass.
+	Auto Algorithm = iota
+	// ThreePassMesh is the Section 3.1 mesh algorithm (3 passes, ≤ M·√M).
+	ThreePassMesh
+	// TwoPassMeshExpected is the Section 3.2 variant (2 passes w.h.p.).
+	TwoPassMeshExpected
+	// ThreePassLMM is the Section 4 LMM algorithm (3 passes, ≤ M·√M).
+	ThreePassLMM
+	// TwoPassExpected is the Section 5 algorithm (2 passes w.h.p.).
+	TwoPassExpected
+	// ThreePassExpected is the Section 6 algorithm (3 passes w.h.p.,
+	// ~M^1.75 keys).
+	ThreePassExpected
+	// SevenPass is the Section 6.1 algorithm (7 passes, ≤ M² keys).
+	SevenPass
+	// SixPassExpected is the Section 6.2 algorithm (6 passes w.h.p.).
+	SixPassExpected
+	// SevenPassMesh is the mesh-based seven-pass variant realizing the
+	// paper's Section 6.2 Remark (mesh superruns under the LMM outer
+	// merge; 7 passes, ≤ M² keys).
+	SevenPassMesh
+)
+
+// String names the algorithm as in the paper.
+func (alg Algorithm) String() string {
+	switch alg {
+	case Auto:
+		return "Auto"
+	case ThreePassMesh:
+		return "ThreePass1"
+	case TwoPassMeshExpected:
+		return "ExpThreePass1 (2-pass mesh)"
+	case ThreePassLMM:
+		return "ThreePass2"
+	case TwoPassExpected:
+		return "ExpectedTwoPass"
+	case ThreePassExpected:
+		return "ExpectedThreePass"
+	case SevenPass:
+		return "SevenPass"
+	case SixPassExpected:
+		return "ExpectedSixPass"
+	case SevenPassMesh:
+		return "SevenPassMesh (Remark 6.2)"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(alg))
+	}
+}
+
+// MachineConfig describes the simulated PDM.
+type MachineConfig struct {
+	// Memory is the internal memory M in keys; it must be a perfect square
+	// (the paper's algorithms use block size B = √M).
+	Memory int
+	// Disks is D; it must divide √M (so M = C·D·B with integer C).
+	// Zero selects √M/4, the paper's running example C = 4.
+	Disks int
+	// Alpha is the confidence parameter of the probabilistic algorithms
+	// (failure probability ≤ M^−α).  Zero means 1.
+	Alpha float64
+	// Dir, when non-empty, backs each disk with a real file in that
+	// directory (one goroutine per disk performs the parallel I/O);
+	// otherwise disks are simulated in memory.
+	Dir string
+}
+
+// Machine is a PDM plus the paper's algorithm suite.
+type Machine struct {
+	a     *pdm.Array
+	alpha float64
+}
+
+// ErrKeyRange is returned when input keys collide with the reserved
+// sentinel (MaxInt64, used for padding partial blocks).
+var ErrKeyRange = errors.New("repro: keys must be smaller than MaxInt64")
+
+// NewMachine builds a Machine from cfg.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	b := memsort.Isqrt(cfg.Memory)
+	if b*b != cfg.Memory {
+		return nil, fmt.Errorf("repro: Memory = %d is not a perfect square", cfg.Memory)
+	}
+	d := cfg.Disks
+	if d == 0 {
+		d = b / 4
+		if d == 0 {
+			d = 1
+		}
+	}
+	if b%d != 0 {
+		return nil, fmt.Errorf("repro: Disks = %d does not divide sqrt(Memory) = %d", d, b)
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	pcfg := pdm.Config{D: d, B: b, Mem: cfg.Memory}
+	var (
+		a   *pdm.Array
+		err error
+	)
+	if cfg.Dir != "" {
+		a, err = pdm.NewFileArray(pcfg, cfg.Dir)
+	} else {
+		a, err = pdm.New(pcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{a: a, alpha: alpha}, nil
+}
+
+// Array exposes the underlying PDM array for harnesses that need direct
+// access (statistics, stripes).
+func (m *Machine) Array() *pdm.Array { return m.a }
+
+// Close releases the disks (removing nothing; file-backed disks stay on
+// disk for inspection).
+func (m *Machine) Close() error { return m.a.Close() }
+
+// Report describes one sorting run.
+type Report struct {
+	// Algorithm is the algorithm that produced the result (the concrete
+	// choice when Auto was requested).
+	Algorithm Algorithm
+	// N is the number of user keys sorted (before padding).
+	N int
+	// Passes, ReadPasses and WritePasses are measured in the paper's
+	// currency over the padded length.
+	Passes      float64
+	ReadPasses  float64
+	WritePasses float64
+	// FellBack reports that a probabilistic algorithm detected a cleanup
+	// overflow and re-sorted with its deterministic fallback.
+	FellBack bool
+	// IO is the raw I/O accounting.
+	IO pdm.Stats
+	// PaddedN is the on-disk length after padding to the algorithm's
+	// geometry (sentinel keys are stripped from the returned data).
+	PaddedN int
+}
+
+// Capacity returns the largest number of keys the given algorithm sorts on
+// this machine within its advertised pass count (for the probabilistic
+// algorithms, the largest size whose Lemma 4.2 window still fits, i.e. the
+// reliable regime at the machine's α).
+func (m *Machine) Capacity(alg Algorithm) int {
+	mem := m.a.Mem()
+	sq := memsort.Isqrt(mem)
+	switch alg {
+	case ThreePassMesh, ThreePassLMM:
+		return mem * sq
+	case TwoPassExpected, TwoPassMeshExpected:
+		return core.ExpectedTwoPassRuns(mem, m.alpha) * mem
+	case ThreePassExpected:
+		l := largestGoodL(mem, sq, func(l int) bool {
+			return l*l*mem <= core.ExpectedThreePassCapacity(mem, m.alpha)
+		})
+		return l * l * mem
+	case SixPassExpected:
+		n1 := core.ExpectedTwoPassRuns(mem, m.alpha)
+		l := largestGoodL(mem, sq, func(l int) bool { return l <= n1 })
+		return l * l * mem
+	case SevenPass, SevenPassMesh, Auto:
+		return mem * mem
+	default:
+		return 0
+	}
+}
+
+func largestGoodL(mem, sq int, ok func(int) bool) int {
+	best := 1
+	for l := 1; l <= sq; l++ {
+		if sq%l == 0 && ok(l) {
+			best = l
+		}
+	}
+	return best
+}
+
+// Plan returns the algorithm Auto would choose for n keys.
+func (m *Machine) Plan(n int) Algorithm {
+	switch {
+	case n <= m.a.Mem():
+		return ThreePassLMM // one run; degenerates to a single load-sort-store
+	case n <= m.Capacity(TwoPassExpected):
+		return TwoPassExpected
+	case n <= m.Capacity(ThreePassLMM):
+		return ThreePassLMM
+	case n <= m.Capacity(ThreePassExpected):
+		return ThreePassExpected
+	case n <= m.Capacity(SixPassExpected):
+		return SixPassExpected
+	default:
+		return SevenPass
+	}
+}
+
+// Sort sorts keys in place using the selected algorithm, returning the I/O
+// report.  The input is padded on disk to the algorithm's geometry with
+// MaxInt64 sentinels (hence ErrKeyRange if any key equals MaxInt64) and the
+// padding is stripped before returning.
+func (m *Machine) Sort(keys []int64, alg Algorithm) (*Report, error) {
+	for _, k := range keys {
+		if k == math.MaxInt64 {
+			return nil, ErrKeyRange
+		}
+	}
+	if alg == Auto {
+		alg = m.Plan(len(keys))
+	}
+	padded, err := m.padFor(alg, len(keys))
+	if err != nil {
+		return nil, err
+	}
+	if padded > m.a.Mem()*m.a.Mem() {
+		return nil, fmt.Errorf("repro: %d keys exceed the machine's M^2 = %d capacity", len(keys), m.a.Mem()*m.a.Mem())
+	}
+	data := make([]int64, padded)
+	copy(data, keys)
+	for i := len(keys); i < padded; i++ {
+		data[i] = math.MaxInt64
+	}
+	in, err := m.a.NewStripe(padded)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Free()
+	if err := in.Load(data); err != nil {
+		return nil, err
+	}
+	var res *core.Result
+	switch alg {
+	case ThreePassMesh:
+		res, err = core.ThreePass1(m.a, in)
+	case TwoPassMeshExpected:
+		res, err = core.ExpTwoPassMesh(m.a, in)
+	case ThreePassLMM:
+		res, err = core.ThreePass2(m.a, in)
+	case TwoPassExpected:
+		res, err = core.ExpectedTwoPass(m.a, in)
+	case ThreePassExpected:
+		res, err = core.ExpectedThreePass(m.a, in)
+	case SevenPass:
+		res, err = core.SevenPass(m.a, in)
+	case SixPassExpected:
+		res, err = core.ExpectedSixPass(m.a, in)
+	case SevenPassMesh:
+		res, err = core.SevenPassMesh(m.a, in)
+	default:
+		return nil, fmt.Errorf("repro: unknown algorithm %v", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer res.Out.Free()
+	out, err := res.Out.Unload()
+	if err != nil {
+		return nil, err
+	}
+	copy(keys, out[:len(keys)])
+	return &Report{
+		Algorithm:   alg,
+		N:           len(keys),
+		Passes:      res.Passes,
+		ReadPasses:  res.ReadPasses,
+		WritePasses: res.WritePasses,
+		FellBack:    res.FellBack,
+		IO:          res.IO,
+		PaddedN:     padded,
+	}, nil
+}
+
+// SortInts sorts nonnegative integer keys below universe with the paper's
+// Section 7 RadixSort (O(1) passes for any input size).
+func (m *Machine) SortInts(keys []int64, universe int64) (*Report, error) {
+	for _, k := range keys {
+		if k < 0 || k >= universe {
+			return nil, fmt.Errorf("repro: key %d outside [0, %d)", k, universe)
+		}
+	}
+	// Pad with universe-1 sentinels (largest value) to a stripe multiple.
+	b := m.a.B()
+	padded := memsort.CeilDiv(len(keys), b) * b
+	data := make([]int64, padded)
+	copy(data, keys)
+	for i := len(keys); i < padded; i++ {
+		data[i] = universe - 1
+	}
+	in, err := m.a.NewStripe(padded)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Free()
+	if err := in.Load(data); err != nil {
+		return nil, err
+	}
+	res, err := core.RadixSort(m.a, in, universe)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Out.Free()
+	out, err := res.Out.Unload()
+	if err != nil {
+		return nil, err
+	}
+	copy(keys, out[:len(keys)])
+	return &Report{
+		Algorithm:   Auto,
+		N:           len(keys),
+		Passes:      res.Passes,
+		ReadPasses:  res.ReadPasses,
+		WritePasses: res.WritePasses,
+		IO:          res.IO,
+		PaddedN:     padded,
+	}, nil
+}
+
+// padFor returns the smallest on-disk length ≥ n satisfying the
+// algorithm's geometry.
+func (m *Machine) padFor(alg Algorithm, n int) (int, error) {
+	mem := m.a.Mem()
+	sq := memsort.Isqrt(mem)
+	switch alg {
+	case ThreePassMesh, ThreePassLMM, TwoPassExpected, TwoPassMeshExpected:
+		// N = l·M, and for the expected algorithms l must divide √M.
+		l := memsort.CeilDiv(n, mem)
+		if alg == TwoPassExpected || alg == TwoPassMeshExpected {
+			for l <= sq && sq%l != 0 {
+				l++
+			}
+		}
+		if l > sq {
+			return 0, fmt.Errorf("repro: %d keys exceed the %v capacity %d", n, alg, mem*sq)
+		}
+		return l * mem, nil
+	case ThreePassExpected, SevenPass, SixPassExpected, SevenPassMesh:
+		// N = l²·M with l dividing √M.
+		l := 1
+		for l*l*mem < n {
+			l++
+		}
+		for l <= sq && sq%l != 0 {
+			l++
+		}
+		if l > sq {
+			return 0, fmt.Errorf("repro: %d keys exceed the %v capacity %d", n, alg, mem*mem)
+		}
+		return l * l * mem, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown algorithm %v", alg)
+	}
+}
