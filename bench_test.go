@@ -11,6 +11,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/memsort"
 	"repro/internal/pdm"
 	"repro/internal/report"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -222,6 +224,159 @@ func BenchmarkSortColumnsortBaseline(b *testing.B) {
 		}
 		res.Out.Free()
 	}
+}
+
+// --- streaming pipeline benchmarks ---
+//
+// One read-sort-write pass over N keys, as a synchronous ReadAt/WriteAt
+// loop versus stream.Pipe, across disk backends.  The pass accounting is
+// identical by construction; the wall-clock difference is the overlap win.
+//
+// "mem" and "file" are CPU-speed backends (MemDisk memcpy, page-cached
+// files): they check that the pipeline costs ~nothing when there is no
+// latency to hide — on a single-CPU host there is nothing to overlap with.
+// "slowfile" adds a modeled 50µs per-block device latency to the file
+// disks (pdm.LatencyDisk); that wait parks goroutines, so prefetch and
+// write-behind hide it just as on real hardware, and Pipe pulls ahead.
+
+func benchPassArray(b *testing.B, backend string, pipelined bool) *pdm.Array {
+	b.Helper()
+	const m = 4096 // B = 64, D = 16
+	cfg := pdm.Config{D: 16, B: 64, Mem: m}
+	if pipelined {
+		cfg.Pipeline = pdm.PipelineConfig{Prefetch: 16, WriteBehind: 8}
+	}
+	var (
+		a   *pdm.Array
+		err error
+	)
+	switch backend {
+	case "mem":
+		a, err = pdm.New(cfg)
+	case "file":
+		a, err = pdm.NewFileArray(cfg, b.TempDir())
+	case "slowfile":
+		dir := b.TempDir()
+		disks := make([]pdm.Disk, cfg.D)
+		for i := range disks {
+			fd, ferr := pdm.NewFileDisk(fmt.Sprintf("%s/disk%04d.bin", dir, i), cfg.B)
+			if ferr != nil {
+				b.Fatal(ferr)
+			}
+			disks[i] = pdm.LatencyDisk{Disk: fd, PerBlock: 50 * time.Microsecond}
+		}
+		a, err = pdm.NewWithDisks(cfg, disks)
+	default:
+		b.Fatalf("unknown backend %q", backend)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func benchPass(b *testing.B, backend string, pipelined bool) {
+	b.Helper()
+	const (
+		m = 4096
+		n = 64 * m
+	)
+	a := benchPassArray(b, backend, pipelined)
+	defer a.Close()
+	src, err := a.NewStripe(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := src.Load(workload.Perm(n, 11)); err != nil {
+		b.Fatal(err)
+	}
+	dst, err := a.NewStripe(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := a.Arena().MustAlloc(m)
+	defer a.Arena().Free(buf)
+	sortChunk := func(off int, chunk []int64) error {
+		memsort.Keys(chunk)
+		return nil
+	}
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pipelined {
+			if err := stream.Pipe(src, dst, buf, sortChunk); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for off := 0; off < n; off += m {
+				if err := src.ReadAt(off, buf); err != nil {
+					b.Fatal(err)
+				}
+				memsort.Keys(buf)
+				if err := dst.WriteAt(off, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	if st := a.Stats(); pipelined {
+		b.ReportMetric(st.Overlap(), "overlap")
+	}
+}
+
+func BenchmarkPassMemDiskSyncLoop(b *testing.B)  { benchPass(b, "mem", false) }
+func BenchmarkPassMemDiskPipe(b *testing.B)      { benchPass(b, "mem", true) }
+func BenchmarkPassFileDiskSyncLoop(b *testing.B) { benchPass(b, "file", false) }
+func BenchmarkPassFileDiskPipe(b *testing.B)     { benchPass(b, "file", true) }
+func BenchmarkPassSlowDiskSyncLoop(b *testing.B) { benchPass(b, "slowfile", false) }
+func BenchmarkPassSlowDiskPipe(b *testing.B)     { benchPass(b, "slowfile", true) }
+
+// The same comparison at the whole-algorithm level: ThreePass2 on file
+// disks with modeled device latency, synchronous versus pipelined.
+func benchThreePass2File(b *testing.B, pipe pdm.PipelineConfig) {
+	b.Helper()
+	const m = 1024
+	cfg := pdm.Config{D: 8, B: 32, Mem: m, Pipeline: pipe}
+	dir := b.TempDir()
+	disks := make([]pdm.Disk, cfg.D)
+	for i := range disks {
+		fd, ferr := pdm.NewFileDisk(fmt.Sprintf("%s/disk%04d.bin", dir, i), cfg.B)
+		if ferr != nil {
+			b.Fatal(ferr)
+		}
+		disks[i] = pdm.LatencyDisk{Disk: fd, PerBlock: 50 * time.Microsecond}
+	}
+	a, err := pdm.NewWithDisks(cfg, disks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	n := m * 32
+	in, err := a.NewStripe(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := in.Load(workload.Perm(n, 13)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.ThreePass2(a, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Out.Free()
+	}
+}
+
+func BenchmarkSortThreePass2SlowDiskSync(b *testing.B) {
+	benchThreePass2File(b, pdm.PipelineConfig{})
+}
+
+func BenchmarkSortThreePass2SlowDiskPipelined(b *testing.B) {
+	benchThreePass2File(b, pdm.PipelineConfig{Prefetch: 8, WriteBehind: 8})
 }
 
 // --- kernel micro-benchmarks ---

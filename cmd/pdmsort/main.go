@@ -7,7 +7,8 @@
 //
 //	pdmsort -in keys.bin -out sorted.bin [-mem 65536] [-disks 0] \
 //	        [-alg auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|radix] \
-//	        [-universe 4294967296] [-scratch DIR] [-gen N] [-seed 1]
+//	        [-universe 4294967296] [-scratch DIR] [-gen N] [-seed 1] \
+//	        [-prefetch 2] [-writebehind 2]
 //
 // With -gen N (and no -in), pdmsort first generates N random keys.
 // The exit report prints the measured pass counts — the paper's currency.
@@ -33,15 +34,18 @@ func main() {
 	scratch := flag.String("scratch", "", "directory for the disk files (default: temp dir)")
 	gen := flag.Int("gen", 0, "generate this many random keys instead of reading -in")
 	seed := flag.Int64("seed", 1, "seed for -gen")
+	prefetch := flag.Int("prefetch", 2, "prefetch depth in stripes (0 = synchronous reads)")
+	writeBehind := flag.Int("writebehind", 2, "write-behind depth in stripes (0 = synchronous writes)")
 	flag.Parse()
 
-	if err := run(*in, *out, *mem, *disks, *algName, *universe, *scratch, *gen, *seed); err != nil {
+	pipe := repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind}
+	if err := run(*in, *out, *mem, *disks, *algName, *universe, *scratch, *gen, *seed, pipe); err != nil {
 		fmt.Fprintf(os.Stderr, "pdmsort: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, mem, disks int, algName string, universe int64, scratch string, gen int, seed int64) error {
+func run(in, out string, mem, disks int, algName string, universe int64, scratch string, gen int, seed int64, pipe repro.PipelineConfig) error {
 	var keys []int64
 	switch {
 	case gen > 0:
@@ -74,7 +78,7 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 		scratch = dir
 	}
 
-	m, err := repro.NewMachine(repro.MachineConfig{Memory: mem, Disks: disks, Dir: scratch})
+	m, err := repro.NewMachine(repro.MachineConfig{Memory: mem, Disks: disks, Dir: scratch, Pipeline: pipe})
 	if err != nil {
 		return err
 	}
@@ -102,6 +106,10 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 		fmt.Printf(" (fell back to the deterministic algorithm)")
 	}
 	fmt.Printf("\nI/O: %s\n", rep.IO)
+	if rep.PrefetchHits+rep.PrefetchStalls > 0 {
+		fmt.Printf("pipeline: %.0f%% of streamed reads overlapped (%d hits, %d stalls, %d write stalls)\n",
+			100*rep.Overlap, rep.PrefetchHits, rep.PrefetchStalls, rep.WriteStalls)
+	}
 	fmt.Printf("output: %s\n", out)
 	return nil
 }

@@ -277,6 +277,48 @@ func TestMultiwayMergeSort(t *testing.T) {
 	}
 }
 
+func TestMultiwayPipelinedMatchesSynchronous(t *testing.T) {
+	// The streamed merge (prefetched run formation, overlapped lane
+	// refills, write-behind output) must issue the identical request
+	// sequence: same steps, same blocks, same sorted output.
+	cfg := pdm.Config{D: 4, B: 16, Mem: 256}
+	pcfg := cfg
+	pcfg.Pipeline = pdm.PipelineConfig{Prefetch: 2, WriteBehind: 2}
+	for _, nM := range []int{4, 32} {
+		n := nM * 256
+		data := workload.Perm(n, int64(nM))
+
+		as, err := pdm.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins := loadInput(t, as, data)
+		ress, err := MultiwayMergeSort(as, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ap, err := pdm.New(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inp := loadInput(t, ap, data)
+		resp, err := MultiwayMergeSort(ap, inp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifySorted(t, resp, data)
+		if resp.ReadPasses != ress.ReadPasses || resp.WritePasses != ress.WritePasses {
+			t.Fatalf("N=%dM: pipelined passes %.3f/%.3f differ from synchronous %.3f/%.3f",
+				nM, resp.ReadPasses, resp.WritePasses, ress.ReadPasses, ress.WritePasses)
+		}
+		if resp.IO.BlocksRead != ress.IO.BlocksRead || resp.IO.BlocksWritten != ress.IO.BlocksWritten {
+			t.Fatalf("N=%dM: pipelined blocks %d/%d differ from synchronous %d/%d",
+				nM, resp.IO.BlocksRead, resp.IO.BlocksWritten, ress.IO.BlocksRead, ress.IO.BlocksWritten)
+		}
+	}
+}
+
 func TestMultiwayTakesMorePassesThanLMMAtMSquared(t *testing.T) {
 	// The paper's framing: at N = M², SevenPass does 7 passes while
 	// multiway merge needs 1 + ceil(log_{M/2B}(M)) rounds — compare the

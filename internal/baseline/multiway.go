@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // MultiwayMergeSort sorts in with the classical external merge sort the
@@ -33,7 +34,8 @@ func MultiwayMergeSort(a *pdm.Array, in *pdm.Stripe) (*core.Result, error) {
 	}
 	start := a.Stats()
 
-	// Run formation pass.
+	// Run formation pass: segment reads prefetched, run writes staged
+	// behind the in-memory sorts.
 	buf, err := a.Arena().Alloc(m)
 	if err != nil {
 		return nil, err
@@ -43,24 +45,45 @@ func MultiwayMergeSort(a *pdm.Array, in *pdm.Stripe) (*core.Result, error) {
 		len int
 	}
 	var runs []run
-	for off := 0; off < n; off += m {
-		if err := in.ReadAt(off, buf); err != nil {
-			a.Arena().Free(buf)
-			return nil, err
-		}
-		memsort.Keys(buf)
-		st, err := a.NewStripeSkew(m, len(runs))
+	form := func() error {
+		rd, err := stream.NewStripeReader(in, 0, n, m)
 		if err != nil {
-			a.Arena().Free(buf)
-			return nil, err
+			return err
 		}
-		if err := st.WriteAt(0, buf); err != nil {
-			a.Arena().Free(buf)
-			return nil, err
+		defer rd.Close()
+		w, err := stream.NewWriter(a)
+		if err != nil {
+			return err
 		}
-		runs = append(runs, run{st, m})
+		for off := 0; off < n; off += m {
+			if err := rd.FillFlat(buf); err != nil {
+				w.Close() //nolint:errcheck // the read error takes precedence
+				return err
+			}
+			memsort.Keys(buf)
+			st, err := a.NewStripeSkew(m, len(runs))
+			if err != nil {
+				w.Close() //nolint:errcheck // the alloc error takes precedence
+				return err
+			}
+			addrs, err := st.AddrRange(0, m)
+			if err != nil {
+				w.Close() //nolint:errcheck // the range error takes precedence
+				return err
+			}
+			if err := w.WriteFlat(addrs, buf); err != nil {
+				w.Close() //nolint:errcheck // the write error takes precedence
+				return err
+			}
+			runs = append(runs, run{st, m})
+		}
+		return w.Close()
 	}
+	err = form()
 	a.Arena().Free(buf)
+	if err != nil {
+		return nil, err
+	}
 
 	// Merge rounds.
 	for len(runs) > 1 {
@@ -126,10 +149,31 @@ func mergeRuns(a *pdm.Array, srcs []*pdm.Stripe, skew int) (*pdm.Stripe, error) 
 	for i, s := range srcs {
 		lanes[i] = lane{s: s, buf: laneBuf[i*2*b : (i+1)*2*b]}
 	}
-	// refill tops up every lane that can accept a block, in one request.
-	refill := func() error {
+
+	// Refills are overlapped with merging: each batched top-up request is
+	// issued at exactly the point the synchronous code called refill — so
+	// the request sequence, statistics, and steps are unchanged — but the
+	// transfer runs behind the loser-tree emission and is only joined
+	// ("applied") when a lane actually drains.  The in-flight region
+	// [end, newEnd) of a lane buffer is disjoint from the consumable window
+	// [pos, end), so merging continues safely while the refill lands.
+	type update struct{ lane, end int }
+	type refillState struct {
+		x    *stream.Async
+		ends []update
+	}
+	var pending *refillState
+	// Join any in-flight refill before the lane buffers go back to the
+	// arena (registered after the Free defers, so it runs first).
+	defer func() {
+		if pending != nil {
+			pending.x.Wait() //nolint:errcheck // shutdown path
+		}
+	}()
+	issueRefill := func() (*refillState, error) {
 		var addrs []pdm.BlockAddr
 		var views [][]int64
+		var ends []update
 		for i := range lanes {
 			ln := &lanes[i]
 			if ln.nextBlk >= ln.s.Blocks() {
@@ -141,23 +185,54 @@ func mergeRuns(a *pdm.Array, srcs []*pdm.Stripe, skew int) (*pdm.Stripe, error) 
 				ln.end -= ln.pos
 				ln.pos = 0
 			}
-			for ln.end+b <= len(ln.buf) && ln.nextBlk < ln.s.Blocks() {
+			end := ln.end
+			for end+b <= len(ln.buf) && ln.nextBlk < ln.s.Blocks() {
 				addrs = append(addrs, ln.s.BlockAddr(ln.nextBlk))
-				views = append(views, ln.buf[ln.end:ln.end+b])
+				views = append(views, ln.buf[end:end+b])
 				ln.nextBlk++
-				ln.end += b
+				end += b
+			}
+			if end != ln.end {
+				ends = append(ends, update{i, end})
 			}
 		}
 		if len(addrs) == 0 {
+			return nil, nil
+		}
+		x, err := stream.ReadAsync(a, addrs, views)
+		if err != nil {
+			return nil, err
+		}
+		return &refillState{x: x, ends: ends}, nil
+	}
+	apply := func(p *refillState) error {
+		if p == nil {
 			return nil
 		}
-		return a.ReadV(addrs, views)
+		if err := p.x.Wait(); err != nil {
+			return err
+		}
+		for _, u := range p.ends {
+			lanes[u.lane].end = u.end
+		}
+		return nil
 	}
-	if err := refill(); err != nil {
+	pending, err = issueRefill()
+	if err != nil {
 		out.Free()
 		return nil, err
 	}
 
+	w, err := stream.NewWriter(a)
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	fail := func(err error) (*pdm.Stripe, error) {
+		w.Close() //nolint:errcheck // the first error takes precedence
+		out.Free()
+		return nil, err
+	}
 	written := 0
 	outFill := 0
 	for written+outFill < total {
@@ -167,8 +242,10 @@ func mergeRuns(a *pdm.Array, srcs []*pdm.Stripe, skew int) (*pdm.Stripe, error) 
 		for i := range lanes {
 			ln := &lanes[i]
 			if ln.pos == ln.end {
-				if ln.nextBlk < ln.s.Blocks() {
-					best = -2 // needs refill before we can continue
+				// More of this run is on disk or possibly in flight: the
+				// merge cannot proceed past it until a refill lands.
+				if ln.nextBlk < ln.s.Blocks() || pending != nil {
+					best = -2
 					break
 				}
 				continue
@@ -179,9 +256,21 @@ func mergeRuns(a *pdm.Array, srcs []*pdm.Stripe, skew int) (*pdm.Stripe, error) 
 		}
 		switch {
 		case best == -2:
-			if err := refill(); err != nil {
-				out.Free()
-				return nil, err
+			// Join the in-flight refill; if the starving lane is still dry,
+			// this is a genuine refill point of the synchronous schedule.
+			if pending != nil {
+				if err := apply(pending); err != nil {
+					return fail(err)
+				}
+				pending = nil
+				continue
+			}
+			p, err := issueRefill()
+			if err != nil {
+				return fail(err)
+			}
+			if err := apply(p); err != nil {
+				return fail(err)
 			}
 		case best >= 0:
 			ln := &lanes[best]
@@ -189,26 +278,41 @@ func mergeRuns(a *pdm.Array, srcs []*pdm.Stripe, skew int) (*pdm.Stripe, error) 
 			ln.pos++
 			outFill++
 			if outFill == len(outBuf) {
-				if err := out.WriteAt(written, outBuf); err != nil {
-					out.Free()
-					return nil, err
+				waddrs, err := out.AddrRange(written, outFill)
+				if err != nil {
+					return fail(err)
+				}
+				if err := w.WriteFlat(waddrs, outBuf); err != nil {
+					return fail(err)
 				}
 				written += outFill
 				outFill = 0
-				if err := refill(); err != nil {
-					out.Free()
-					return nil, err
+				// The synchronous code refilled here; issue the same request
+				// and let it fly behind the next stretch of merging.
+				if err := apply(pending); err != nil {
+					return fail(err)
+				}
+				pending, err = issueRefill()
+				if err != nil {
+					return fail(err)
 				}
 			}
 		default:
-			return nil, fmt.Errorf("baseline: merge ran dry with %d of %d keys emitted", written+outFill, total)
+			return fail(fmt.Errorf("baseline: merge ran dry with %d of %d keys emitted", written+outFill, total))
 		}
 	}
 	if outFill > 0 {
-		if err := out.WriteAt(written, outBuf[:outFill]); err != nil {
-			out.Free()
-			return nil, err
+		waddrs, err := out.AddrRange(written, outFill)
+		if err != nil {
+			return fail(err)
 		}
+		if err := w.WriteFlat(waddrs, outBuf[:outFill]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		out.Free()
+		return nil, err
 	}
 	return out, nil
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // ErrCleanupOverflow reports that a probabilistic algorithm's shuffle left
@@ -114,9 +115,23 @@ func (v seqView) blockAddr(i int) pdm.BlockAddr {
 	return v.s.BlockAddr(v.startBlk + i*v.strideBlk)
 }
 
+// stripeAddrs returns the block addresses of keys [keyOff, keyOff+nKeys) of
+// s.  The ranges used by the algorithms are valid by construction, so a
+// failure is an internal bug.
+func stripeAddrs(s *pdm.Stripe, keyOff, nKeys int) []pdm.BlockAddr {
+	addrs, err := s.AddrRange(keyOff, nKeys)
+	if err != nil {
+		panic(err)
+	}
+	return addrs
+}
+
 // formRuns reads consecutive runLen-key segments of in[off:off+n], sorts
 // each in memory, and writes run i to its own stripe with skew i — one
-// pass.  runLen must be ≤ M and a multiple of B, and n a multiple of runLen.
+// pass.  The segment reads are prefetched and the run writes staged behind
+// the in-memory sort (stream.Reader/stream.Writer), so with pipelining
+// configured the pass overlaps I/O with sorting.  runLen must be ≤ M and a
+// multiple of B, and n a multiple of runLen.
 func formRuns(a *pdm.Array, in *pdm.Stripe, off, n, runLen int) ([]*pdm.Stripe, error) {
 	g, err := checkGeometry(a)
 	if err != nil {
@@ -130,6 +145,15 @@ func formRuns(a *pdm.Array, in *pdm.Stripe, off, n, runLen int) ([]*pdm.Stripe, 
 		return nil, err
 	}
 	defer a.Arena().Free(buf)
+	rd, err := stream.NewStripeReader(in, off, n, runLen)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	w, err := stream.NewWriter(a)
+	if err != nil {
+		return nil, err
+	}
 	numRuns := n / runLen
 	// A cleanup chunk reads h = √M/numRuns consecutive blocks from every
 	// run, so spacing the run skews by h tiles the disks exactly; unit
@@ -140,20 +164,23 @@ func formRuns(a *pdm.Array, in *pdm.Stripe, off, n, runLen int) ([]*pdm.Stripe, 
 	}
 	runs := make([]*pdm.Stripe, numRuns)
 	for i := range runs {
-		if err := in.ReadAt(off+i*runLen, buf); err != nil {
+		if err := rd.FillFlat(buf); err != nil {
+			w.Close() //nolint:errcheck // the read error takes precedence
 			return nil, err
 		}
 		memsort.Keys(buf)
 		s, err := a.NewStripeSkew(runLen, i*skewStep)
 		if err != nil {
+			w.Close() //nolint:errcheck // the alloc error takes precedence
 			return nil, err
 		}
-		if err := s.WriteAt(0, buf); err != nil {
+		if err := w.WriteFlat(stripeAddrs(s, 0, runLen), buf); err != nil {
+			w.Close() //nolint:errcheck // the write error takes precedence
 			return nil, err
 		}
 		runs[i] = s
 	}
-	return runs, nil
+	return runs, w.Close()
 }
 
 // formRunsUnshuffled is formRuns combined with the paper's first unshuffle
@@ -183,11 +210,21 @@ func formRunsUnshuffled(a *pdm.Array, in *pdm.Stripe, off, n, runLen, m int) ([]
 		return nil, err
 	}
 	defer a.Arena().Free(parts)
+	rd, err := stream.NewStripeReader(in, off, n, runLen)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	w, err := stream.NewWriter(a)
+	if err != nil {
+		return nil, err
+	}
 	numRuns := n / runLen
 	skewStep := mergeSkewStep(g, numRuns, partLen/g.b)
 	runs := make([]*pdm.Stripe, numRuns)
 	for i := range runs {
-		if err := in.ReadAt(off+i*runLen, buf); err != nil {
+		if err := rd.FillFlat(buf); err != nil {
+			w.Close() //nolint:errcheck // the read error takes precedence
 			return nil, err
 		}
 		memsort.Keys(buf)
@@ -200,14 +237,16 @@ func formRunsUnshuffled(a *pdm.Array, in *pdm.Stripe, off, n, runLen, m int) ([]
 		}
 		s, err := a.NewStripeSkew(runLen, i*skewStep)
 		if err != nil {
+			w.Close() //nolint:errcheck // the alloc error takes precedence
 			return nil, err
 		}
-		if err := s.WriteAt(0, parts); err != nil {
+		if err := w.WriteFlat(stripeAddrs(s, 0, runLen), parts); err != nil {
+			w.Close() //nolint:errcheck // the write error takes precedence
 			return nil, err
 		}
 		runs[i] = s
 	}
-	return runs, nil
+	return runs, w.Close()
 }
 
 // mergeSkewStep returns the skew spacing (in blocks) between the stripes of
@@ -264,28 +303,46 @@ func mergePartGroups(a *pdm.Array, runs []*pdm.Stripe, partLen, m int) ([]seqVie
 		return nil, nil, err
 	}
 	defer a.Arena().Free(out)
+	// The gather pattern of every batch is pure address arithmetic over the
+	// immutable run stripes, so the whole pass pre-plans for the prefetcher:
+	// batch bi+1 streams in while batch bi is being merged and its output
+	// staged behind the writer.
+	gcnt := batch
+	rd, err := stream.NewReader(a, m/batch, func(bi int) []pdm.BlockAddr {
+		j0 := bi * batch
+		addrs := make([]pdm.BlockAddr, 0, gcnt*l*partBlocks)
+		for gj := 0; gj < gcnt; gj++ {
+			j := j0 + gj
+			for _, r := range runs {
+				for bidx := 0; bidx < partBlocks; bidx++ {
+					addrs = append(addrs, r.BlockAddr(j*partBlocks+bidx))
+				}
+			}
+		}
+		return addrs
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rd.Close()
+	w, err := stream.NewWriter(a)
+	if err != nil {
+		return nil, nil, err
+	}
 	merged := make([]seqView, m)
 	var backing []*pdm.Stripe
 	lanes := make([][]int64, l)
 	groupBlocks := group / g.b
+	fail := func(err error) ([]seqView, []*pdm.Stripe, error) {
+		w.Close() //nolint:errcheck // the first error takes precedence
+		return nil, nil, err
+	}
 	for j0 := 0; j0 < m; j0 += batch {
-		gcnt := batch
 		bi := j0 / batch
-		// Gather: part j of run i lands at in[gj*group + i*partLen : ...].
-		addrs := make([]pdm.BlockAddr, 0, gcnt*l*partBlocks)
-		bufs := make([][]int64, 0, gcnt*l*partBlocks)
-		for gj := 0; gj < gcnt; gj++ {
-			j := j0 + gj
-			for i, r := range runs {
-				base := gj*group + i*partLen
-				for bidx := 0; bidx < partBlocks; bidx++ {
-					addrs = append(addrs, r.BlockAddr(j*partBlocks+bidx))
-					bufs = append(bufs, in[base+bidx*g.b:base+(bidx+1)*g.b])
-				}
-			}
-		}
-		if err := a.ReadV(addrs, bufs); err != nil {
-			return nil, nil, err
+		// Gather: part j of run i lands at in[gj*group + i*partLen : ...] —
+		// exactly the flat order of the pre-planned chunk.
+		if err := rd.FillFlat(in); err != nil {
+			return fail(err)
 		}
 		// Merge each group in the batch.
 		for gj := 0; gj < gcnt; gj++ {
@@ -298,7 +355,7 @@ func mergePartGroups(a *pdm.Array, runs []*pdm.Stripe, partLen, m int) ([]seqVie
 		// stripe block p holds block p/gcnt of group j0 + p%gcnt.
 		bs, err := a.NewStripeSkew(gcnt*group, bi*gcnt)
 		if err != nil {
-			return nil, nil, err
+			return fail(err)
 		}
 		backing = append(backing, bs)
 		waddrs := make([]pdm.BlockAddr, gcnt*groupBlocks)
@@ -309,12 +366,15 @@ func mergePartGroups(a *pdm.Array, runs []*pdm.Stripe, partLen, m int) ([]seqVie
 			waddrs[p] = bs.BlockAddr(p)
 			wbufs[p] = out[gj*group+blk*g.b : gj*group+(blk+1)*g.b]
 		}
-		if err := a.WriteV(waddrs, wbufs); err != nil {
-			return nil, nil, err
+		if err := w.Write(waddrs, wbufs); err != nil {
+			return fail(err)
 		}
 		for gj := 0; gj < gcnt; gj++ {
 			merged[j0+gj] = seqView{s: bs, startBlk: gj, strideBlk: gcnt, keys: group}
 		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, nil, err
 	}
 	return merged, backing, nil
 }
@@ -359,16 +419,26 @@ func shuffleCleanup(a *pdm.Array, seqs []seqView, chunk int, emit emitFunc) erro
 	}
 	chunks := seqLen / per
 	perBlocks := per / g.b
-	readChunk := func(t int, dst []int64) error {
+	// The t-th gather touches block t·perBlocks.. of every sequence — pure
+	// address arithmetic, so the shuffle reads are pre-planned and the
+	// prefetcher fetches chunk t+1 while chunk t is sorted and merged.
+	rd, err := stream.NewReader(a, chunks, func(t int) []pdm.BlockAddr {
 		addrs := make([]pdm.BlockAddr, 0, nseq*perBlocks)
-		bufs := make([][]int64, 0, nseq*perBlocks)
-		for i, s := range seqs {
+		for _, s := range seqs {
 			for bidx := 0; bidx < perBlocks; bidx++ {
 				addrs = append(addrs, s.blockAddr(t*perBlocks+bidx))
-				bufs = append(bufs, dst[i*per+bidx*g.b:i*per+(bidx+1)*g.b])
 			}
 		}
-		return a.ReadV(addrs, bufs)
+		return addrs
+	})
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	// The chunk layout — sequence i's share at dst[i·per:(i+1)·per] — is
+	// exactly the flat order of the planned gather.
+	readChunk := func(t int, dst []int64) error {
+		return rd.FillFlat(dst)
 	}
 	return rollingPass(a, chunk, chunks, readChunk, emit)
 }
@@ -418,6 +488,16 @@ func rollingPass(a *pdm.Array, chunk, chunks int, read func(t int, dst []int64) 
 func sequentialEmit(out *pdm.Stripe) emitFunc {
 	return func(t int, chunk []int64) error {
 		return out.WriteAt(t*len(chunk), chunk)
+	}
+}
+
+// streamEmit is sequentialEmit through the write-behind writer w: the
+// rolling pass hands over a chunk and continues sorting the next one while
+// the writer flushes.  The caller owns w and must Close it before reading
+// or freeing out.
+func streamEmit(w *stream.Writer, out *pdm.Stripe) emitFunc {
+	return func(t int, chunk []int64) error {
+		return w.WriteFlat(stripeAddrs(out, t*len(chunk), len(chunk)), chunk)
 	}
 }
 

@@ -12,7 +12,24 @@ import (
 )
 
 // newTestArray builds a PDM with the paper's geometry B = √M and M = C·D·B.
+// The whole suite runs with pipelining enabled (prefetch depth > 1): the
+// pass counts, traces, and sortedness assertions below therefore prove that
+// the streaming layer is invisible to the PDM cost model.
 func newTestArray(t *testing.T, m, d int) *pdm.Array {
+	t.Helper()
+	b := memsort.Isqrt(m)
+	a, err := pdm.New(pdm.Config{D: d, B: b, Mem: m,
+		Pipeline: pdm.PipelineConfig{Prefetch: 2, WriteBehind: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// newSyncArray builds the same PDM without pipelining, for assertions about
+// the paper's exact memory envelope (the streaming layer legitimately adds
+// its configured staging on top).
+func newSyncArray(t *testing.T, m, d int) *pdm.Array {
 	t.Helper()
 	b := memsort.Isqrt(m)
 	a, err := pdm.New(pdm.Config{D: d, B: b, Mem: m})
@@ -58,12 +75,14 @@ func verifySorted(t *testing.T, res *Result, input []int64) {
 	}
 }
 
-// assertMemoryEnvelope checks the arena peak stayed within 2M + DB.
+// assertMemoryEnvelope checks the arena peak stayed within the paper's
+// 2M + DB plus the configured pipeline staging (the streaming layer's
+// buffers come from the same arena, so its budget is part of the envelope).
 func assertMemoryEnvelope(t *testing.T, a *pdm.Array) {
 	t.Helper()
-	limit := 2*a.Mem() + a.StripeWidth()
+	limit := 2*a.Mem() + a.StripeWidth() + a.Config().PipelineStaging()
 	if peak := a.Arena().Peak(); peak > limit {
-		t.Fatalf("arena peak %d exceeds 2M+DB = %d (phases: %v)", peak, limit, a.Arena().PhasePeaks())
+		t.Fatalf("arena peak %d exceeds 2M+DB+staging = %d (phases: %v)", peak, limit, a.Arena().PhasePeaks())
 	}
 }
 
@@ -524,6 +543,11 @@ func TestIntegerSortRejectsOutOfRange(t *testing.T) {
 	in := loadInput(t, a, data)
 	if _, err := IntegerSort(a, in, 8, true); err == nil {
 		t.Fatal("out-of-range keys accepted")
+	}
+	// The error path must release every streaming buffer (leak regression:
+	// a writer left unclosed would pin its staging and flusher goroutine).
+	if got := a.Arena().InUse(); got != 0 {
+		t.Fatalf("arena holds %d keys after the error path, want 0", got)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // ExpectedTwoPassCapacity returns the number of keys Theorem 5.1 certifies
@@ -80,6 +81,7 @@ func expectedTwoPassRange(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFun
 		return nil, false, err
 	}
 	var out *pdm.Stripe
+	var w *stream.Writer
 	userEmit := emit != nil
 	if !userEmit {
 		out, err = a.NewStripe(n)
@@ -87,10 +89,21 @@ func expectedTwoPassRange(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFun
 			freeAll(runs)
 			return nil, false, err
 		}
-		emit = sequentialEmit(out)
+		w, err = stream.NewWriter(a)
+		if err != nil {
+			out.Free()
+			freeAll(runs)
+			return nil, false, err
+		}
+		emit = streamEmit(w, out)
 	}
 	a.Arena().SetPhase("expectedtwopass/cleanup")
 	err = shuffleCleanup(a, viewsOf(runs), g.m, emit) // pass 2
+	if w != nil {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
 	freeAll(runs)
 	a.Arena().SetPhase("")
 	if err == nil {

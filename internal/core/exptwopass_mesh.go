@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // ExpTwoPassMesh sorts in with the Section 3.2 variant of the mesh
@@ -59,33 +60,48 @@ func ExpTwoPassMesh(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 		return nil, err
 	}
 	segs := colLen / sq // band segments per column = l
-	for c0 := 0; c0 < sq; c0 += batch {
-		cnt := batch
-		if c0+cnt > sq {
-			cnt = sq - c0
+	pass1 := func() error {
+		rd, err := stream.NewStripeReader(in, 0, n, batch*colLen)
+		if err != nil {
+			return err
 		}
-		if err := in.ReadAt(c0*colLen, colBuf[:cnt*colLen]); err != nil {
-			a.Arena().Free(colBuf)
-			freeAll(bands)
-			return nil, err
+		defer rd.Close()
+		w, err := stream.NewWriter(a)
+		if err != nil {
+			return err
 		}
-		addrs := make([]pdm.BlockAddr, 0, cnt*segs)
-		views := make([][]int64, 0, cnt*segs)
-		for ci := 0; ci < cnt; ci++ {
-			col := colBuf[ci*colLen : (ci+1)*colLen]
-			memsort.Keys(col)
-			for j := 0; j < segs; j++ {
-				addrs = append(addrs, bands[j].BlockAddr(c0+ci))
-				views = append(views, col[j*sq:(j+1)*sq])
+		for c0 := 0; c0 < sq; c0 += batch {
+			cnt := batch
+			if c0+cnt > sq {
+				cnt = sq - c0
+			}
+			if err := rd.FillFlat(colBuf[:cnt*colLen]); err != nil {
+				w.Close() //nolint:errcheck // the read error takes precedence
+				return err
+			}
+			addrs := make([]pdm.BlockAddr, 0, cnt*segs)
+			views := make([][]int64, 0, cnt*segs)
+			for ci := 0; ci < cnt; ci++ {
+				col := colBuf[ci*colLen : (ci+1)*colLen]
+				memsort.Keys(col)
+				for j := 0; j < segs; j++ {
+					addrs = append(addrs, bands[j].BlockAddr(c0+ci))
+					views = append(views, col[j*sq:(j+1)*sq])
+				}
+			}
+			if err := w.Write(addrs, views); err != nil {
+				w.Close() //nolint:errcheck // the write error takes precedence
+				return err
 			}
 		}
-		if err := a.WriteV(addrs, views); err != nil {
-			a.Arena().Free(colBuf)
-			freeAll(bands)
-			return nil, err
-		}
+		return w.Close()
 	}
+	err = pass1()
 	a.Arena().Free(colBuf)
+	if err != nil {
+		freeAll(bands)
+		return nil, err
+	}
 
 	// Pass 2: rolling cleanup over the bands, with detection.
 	a.Arena().SetPhase("exptwopassmesh/cleanup")
@@ -94,10 +110,29 @@ func ExpTwoPassMesh(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 		freeAll(bands)
 		return nil, err
 	}
-	readBand := func(t int, dst []int64) error {
-		return bands[t].ReadAt(0, dst)
+	cleanup := func() error {
+		w, err := stream.NewWriter(a)
+		if err != nil {
+			return err
+		}
+		rd, err := stream.NewReader(a, l, func(t int) []pdm.BlockAddr {
+			return stripeAddrs(bands[t], 0, g.m)
+		})
+		if err != nil {
+			w.Close() //nolint:errcheck // the alloc error takes precedence
+			return err
+		}
+		defer rd.Close()
+		readBand := func(t int, dst []int64) error {
+			return rd.FillFlat(dst)
+		}
+		err = rollingPass(a, g.m, l, readBand, streamEmit(w, out))
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
-	err = rollingPass(a, g.m, l, readBand, sequentialEmit(out))
+	err = cleanup()
 	freeAll(bands)
 	a.Arena().SetPhase("")
 	if err == nil {

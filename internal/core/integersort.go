@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // blockSeq is a sequence of keys stored as addressed blocks with per-block
@@ -49,6 +50,34 @@ func (st *scatterState) freeStripes() {
 	st.stripes = nil
 }
 
+// planScatterReads replays scatterPass's accumulate loop against the source
+// metadata only (block counts, never key values), yielding the {first
+// block, block count} of every vectored read of the pass so the requests
+// can be pre-planned for the prefetcher.
+func planScatterReads(bufLen, b, m int, counts []int) [][2]int {
+	var plan [][2]int
+	for blk := 0; blk < len(counts); {
+		valid := 0
+		for blk < len(counts) {
+			aligned := memsort.CeilDiv(valid, b) * b
+			slots := (bufLen - aligned) / b
+			if slots == 0 || valid >= m {
+				break
+			}
+			batch := len(counts) - blk
+			if batch > slots {
+				batch = slots
+			}
+			plan = append(plan, [2]int{blk, batch})
+			for i := 0; i < batch; i++ {
+				valid += counts[blk+i]
+			}
+			blk += batch
+		}
+	}
+	return plan
+}
+
 // scatterPass streams src and distributes its keys into r bucket runs
 // according to bucketOf, which must be monotone nondecreasing in the key
 // (true for identity buckets and for any most-significant-digit extractor).
@@ -87,6 +116,21 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 			st.nextDisk[i] = i % g.d
 		}
 	}
+	// The read batching depends only on the source block counts, so the
+	// whole pass pre-plans and the prefetcher streams the next batch while
+	// this one is grouped and scattered.
+	plan := planScatterReads(len(buf), g.b, g.m, src.counts)
+	rd, err := stream.NewReader(a, len(plan), func(t int) []pdm.BlockAddr {
+		return src.addrs[plan[t][0] : plan[t][0]+plan[t][1]]
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	w, err := stream.NewWriter(a)
+	if err != nil {
+		return nil, err
+	}
 
 	// placeAndWrite assigns each pending block to its bucket's next
 	// rotation disk, backs them with a fresh stripe sized by the most
@@ -124,7 +168,7 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 			addrs[i] = ps.BlockAddr(usedRows[d]*g.d + d)
 			usedRows[d]++
 		}
-		if err := a.WriteV(addrs, wviews); err != nil {
+		if err := w.Write(addrs, wviews); err != nil {
 			return err
 		}
 		for i, m := range meta {
@@ -134,6 +178,10 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 			c.total += m.count
 		}
 		return nil
+	}
+	fail := func(err error) ([]blockSeq, error) {
+		w.Close() //nolint:errcheck // the first error takes precedence
+		return nil, err
 	}
 
 	for blk := 0; blk < len(src.addrs); {
@@ -150,12 +198,13 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 			if batch > slots {
 				batch = slots
 			}
+			// This is, by construction, the next pre-planned request.
 			views := make([][]int64, batch)
 			for i := range views {
 				views[i] = buf[aligned+i*g.b : aligned+(i+1)*g.b]
 			}
-			if err := a.ReadV(src.addrs[blk:blk+batch], views); err != nil {
-				return nil, err
+			if err := rd.Fill(views); err != nil {
+				return fail(err)
 			}
 			for i := 0; i < batch; i++ {
 				cnt := src.counts[blk+i]
@@ -184,7 +233,7 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 		for pos < valid {
 			bkt := bucketOf(buf[pos])
 			if bkt < 0 || bkt >= r {
-				return nil, fmt.Errorf("core: key %d maps to bucket %d outside [0,%d)", buf[pos], bkt, r)
+				return fail(fmt.Errorf("core: key %d maps to bucket %d outside [0,%d)", buf[pos], bkt, r))
 			}
 			end := pos
 			for end < valid && bucketOf(buf[end]) == bkt {
@@ -218,7 +267,7 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 			}
 		}
 		if err := placeAndWrite(wviews, meta); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		for _, tl := range tails {
 			seg := carry[tl.bucket*g.b : (tl.bucket+1)*g.b]
@@ -238,17 +287,19 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 		}
 	}
 	if err := placeAndWrite(wviews, meta); err != nil {
-		return nil, err
+		return fail(err)
 	}
-	return children, nil
+	return children, w.Close()
 }
 
-// appender streams compacted keys into a stripe.  It buffers internally and
-// writes only when its buffer fills, so callers may feed it arbitrarily
-// small pieces without degrading the parallel write efficiency: every
-// physical write moves ⌊cap/B⌋ blocks in one vectored request.
+// appender streams compacted keys into a stripe through a write-behind
+// writer.  It buffers internally and writes only when its buffer fills, so
+// callers may feed it arbitrarily small pieces without degrading the
+// parallel write efficiency: every submitted request moves ⌊cap/B⌋ blocks.
+// The owner of w must Close it after flush to join the in-flight writes.
 type appender struct {
 	out  *pdm.Stripe
+	w    *stream.Writer
 	buf  []int64 // buf[:fill] is pending output
 	fill int
 	pos  int
@@ -266,7 +317,7 @@ func (ap *appender) append(keys []int64) error {
 		keys = keys[n:]
 		if ap.fill == len(ap.buf) {
 			full := (ap.fill / ap.b) * ap.b
-			if err := ap.out.WriteAt(ap.pos, ap.buf[:full]); err != nil {
+			if err := ap.w.WriteFlat(stripeAddrs(ap.out, ap.pos, full), ap.buf[:full]); err != nil {
 				return err
 			}
 			ap.pos += full
@@ -284,7 +335,7 @@ func (ap *appender) flush() error {
 	if ap.fill%ap.b != 0 {
 		return fmt.Errorf("core: appender flush with %d keys not block aligned", ap.fill)
 	}
-	err := ap.out.WriteAt(ap.pos, ap.buf[:ap.fill])
+	err := ap.w.WriteFlat(stripeAddrs(ap.out, ap.pos, ap.fill), ap.buf[:ap.fill])
 	ap.pos += ap.fill
 	ap.fill = 0
 	return err
@@ -310,20 +361,29 @@ func streamBlockSeqs(a *pdm.Array, g geometry, runs []blockSeq, raw []int64, sin
 			owner = append(owner, ri)
 		}
 	}
-	views := make([][]int64, batchBlocks)
+	chunks := memsort.CeilDiv(len(addrs), batchBlocks)
+	rd, err := stream.NewReader(a, chunks, func(t int) []pdm.BlockAddr {
+		lo := t * batchBlocks
+		hi := lo + batchBlocks
+		if hi > len(addrs) {
+			hi = len(addrs)
+		}
+		return addrs[lo:hi]
+	})
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
 	for pos := 0; pos < len(addrs); {
 		batch := len(addrs) - pos
 		if batch > batchBlocks {
 			batch = batchBlocks
 		}
-		for i := 0; i < batch; i++ {
-			views[i] = raw[i*g.b : (i+1)*g.b]
-		}
-		if err := a.ReadV(addrs[pos:pos+batch], views[:batch]); err != nil {
+		if err := rd.FillFlat(raw[:batch*g.b]); err != nil {
 			return err
 		}
 		for i := 0; i < batch; i++ {
-			if err := sink(owner[pos+i], views[i][:counts[pos+i]]); err != nil {
+			if err := sink(owner[pos+i], raw[i*g.b:i*g.b+counts[pos+i]]); err != nil {
 				return err
 			}
 		}
@@ -356,15 +416,22 @@ func rearrangePass(a *pdm.Array, runs []blockSeq, n int) (*pdm.Stripe, error) {
 		return nil, err
 	}
 	defer a.Arena().Free(apBuf)
-	ap := &appender{out: out, buf: apBuf, b: g.b}
-	err = streamBlockSeqs(a, g, runs, raw, func(_ int, keys []int64) error {
-		return ap.append(keys)
-	})
+	w, err := stream.NewWriter(a)
 	if err != nil {
 		out.Free()
 		return nil, err
 	}
-	if err := ap.flush(); err != nil {
+	ap := &appender{out: out, w: w, buf: apBuf, b: g.b}
+	err = streamBlockSeqs(a, g, runs, raw, func(_ int, keys []int64) error {
+		return ap.append(keys)
+	})
+	if err == nil {
+		err = ap.flush()
+	}
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		out.Free()
 		return nil, err
 	}

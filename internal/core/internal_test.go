@@ -176,9 +176,10 @@ func TestRadixSortValidation(t *testing.T) {
 
 func TestArenaPhasePeaksAfterRun(t *testing.T) {
 	// The per-phase peaks must reflect the paper's envelope: run formation
-	// within M + DB-ish, cleanup at 2M.
+	// within M + DB-ish, cleanup at 2M.  A synchronous array keeps the
+	// figures exact (pipelining would add its staging on top).
 	const m = 256
-	a := newTestArray(t, m, 4)
+	a := newSyncArray(t, m, 4)
 	data := workload.Perm(m*4, 1)
 	in := loadInput(t, a, data)
 	a.Arena().ResetPeak()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // radixNode is one bucket of the forward (most-significant-digit-first)
@@ -106,7 +107,15 @@ func RadixSort(a *pdm.Array, in *pdm.Stripe, universe int64) (*Result, error) {
 		out.Free()
 		return nil, err
 	}
-	ap := &appender{out: out, buf: apBuf, b: g.b}
+	sw, err := stream.NewWriter(a)
+	if err != nil {
+		a.Arena().Free(raw)
+		a.Arena().Free(acc)
+		a.Arena().Free(apBuf)
+		out.Free()
+		return nil, err
+	}
+	ap := &appender{out: out, w: sw, buf: apBuf, b: g.b}
 	remaining := make([]int, len(leaves))
 	for i, lf := range leaves {
 		remaining[i] = lf.total
@@ -130,14 +139,16 @@ func RadixSort(a *pdm.Array, in *pdm.Stripe, universe int64) (*Result, error) {
 		}
 		return nil
 	})
+	if err == nil {
+		err = ap.flush()
+	}
+	if cerr := sw.Close(); err == nil {
+		err = cerr
+	}
 	a.Arena().Free(raw)
 	a.Arena().Free(acc)
 	a.Arena().Free(apBuf)
 	if err != nil {
-		out.Free()
-		return nil, err
-	}
-	if err := ap.flush(); err != nil {
 		out.Free()
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // SevenPass sorts in with the paper's Section 6.1 algorithm in exactly
@@ -90,7 +91,11 @@ func makeSubseqStripes(a *pdm.Array, l int) ([][]*pdm.Stripe, error) {
 // the √M subsequence stripes: chunk element u belongs to subsequence
 // u mod √M, and the t-th chunk supplies block t of every subsequence.
 // Writes go out D blocks at a time through the provided D·B staging buffer,
-// so each emit costs the optimal √M/D parallel write steps.
+// so each emit costs the optimal √M/D parallel write steps.  The emitter
+// stays synchronous on purpose: it runs nested inside ThreePass2's cleanup,
+// whose rolling window plus the streaming reader already fill the arena —
+// a write-behind writer here would need a second staging budget beyond the
+// memory model's envelope.
 func unshuffleEmit(a *pdm.Array, subseqs []*pdm.Stripe, staging []int64) emitFunc {
 	sq := len(subseqs)
 	b := a.B()
@@ -157,30 +162,47 @@ func outerMerge(a *pdm.Array, subseqs [][]*pdm.Stripe, l, n int) (*pdm.Stripe, e
 		freeAll2(parts)
 		return nil, err
 	}
-	for i := range subseqs {
-		for j := range subseqs[i] {
-			if err := subseqs[i][j].ReadAt(0, buf); err != nil {
-				a.Arena().Free(buf)
-				a.Arena().Free(scatter)
-				freeAll2(parts)
-				return nil, err
-			}
-			for p := 0; p < l; p++ {
-				dst := scatter[p*g.b : (p+1)*g.b]
-				for k := range dst {
-					dst[k] = buf[p+k*l]
+	pass4 := func() error {
+		// Subsequences are consumed whole in (i, j) order: pre-plan the
+		// sequence so the next one streams in during the in-memory scatter.
+		rd, err := stream.NewReader(a, len(subseqs)*sq, func(t int) []pdm.BlockAddr {
+			return stripeAddrs(subseqs[t/sq][t%sq], 0, subLen)
+		})
+		if err != nil {
+			return err
+		}
+		defer rd.Close()
+		w, err := stream.NewWriter(a)
+		if err != nil {
+			return err
+		}
+		for i := range subseqs {
+			for j := range subseqs[i] {
+				if err := rd.FillFlat(buf); err != nil {
+					w.Close() //nolint:errcheck // the read error takes precedence
+					return err
+				}
+				for p := 0; p < l; p++ {
+					dst := scatter[p*g.b : (p+1)*g.b]
+					for k := range dst {
+						dst[k] = buf[p+k*l]
+					}
+				}
+				if err := w.WriteFlat(stripeAddrs(parts[i][j], 0, subLen), scatter); err != nil {
+					w.Close() //nolint:errcheck // the write error takes precedence
+					return err
 				}
 			}
-			if err := parts[i][j].WriteAt(0, scatter); err != nil {
-				a.Arena().Free(buf)
-				a.Arena().Free(scatter)
-				freeAll2(parts)
-				return nil, err
-			}
 		}
+		return w.Close()
 	}
+	err = pass4()
 	a.Arena().Free(buf)
 	a.Arena().Free(scatter)
+	if err != nil {
+		freeAll2(parts)
+		return nil, err
+	}
 
 	// Pass 5: inner group merges.  For each (j, p): merge part p of
 	// subsequence j across the l superruns — l lanes of √M keys = l·√M ≤ M
@@ -201,66 +223,90 @@ func outerMerge(a *pdm.Array, subseqs [][]*pdm.Stripe, l, n int) (*pdm.Stripe, e
 		freeAll2(parts)
 		return nil, err
 	}
-	lanes := make([][]int64, l)
-	for j := 0; j < sq; j++ {
-		for p := 0; p < l; p++ {
+	pass5 := func() error {
+		// One group gather per (j, p): block p of part j from every
+		// superrun — pre-planned for the prefetcher like pass 4.
+		rd, err := stream.NewReader(a, sq*l, func(t int) []pdm.BlockAddr {
+			j, p := t/l, t%l
 			addrs := make([]pdm.BlockAddr, l)
-			views := make([][]int64, l)
 			for i := 0; i < l; i++ {
 				addrs[i] = parts[i][j].BlockAddr(p)
-				views[i] = inBuf[i*g.b : (i+1)*g.b]
-				lanes[i] = views[i]
 			}
-			if err := a.ReadV(addrs, views); err != nil {
-				a.Arena().Free(inBuf)
-				a.Arena().Free(outBuf)
-				freeAll2(parts)
-				freeAll2(l2)
-				return nil, err
-			}
-			memsort.MultiMerge(outBuf, lanes)
-			s, err := a.NewStripeSkew(subLen, j+p)
-			if err != nil {
-				a.Arena().Free(inBuf)
-				a.Arena().Free(outBuf)
-				freeAll2(parts)
-				freeAll2(l2)
-				return nil, err
-			}
-			if err := s.WriteAt(0, outBuf); err != nil {
-				a.Arena().Free(inBuf)
-				a.Arena().Free(outBuf)
-				freeAll2(parts)
-				freeAll2(l2)
-				return nil, err
-			}
-			l2[j][p] = s
+			return addrs
+		})
+		if err != nil {
+			return err
 		}
+		defer rd.Close()
+		w, err := stream.NewWriter(a)
+		if err != nil {
+			return err
+		}
+		lanes := make([][]int64, l)
+		for j := 0; j < sq; j++ {
+			for p := 0; p < l; p++ {
+				for i := 0; i < l; i++ {
+					lanes[i] = inBuf[i*g.b : (i+1)*g.b]
+				}
+				if err := rd.FillFlat(inBuf); err != nil {
+					w.Close() //nolint:errcheck // the read error takes precedence
+					return err
+				}
+				memsort.MultiMerge(outBuf, lanes)
+				s, err := a.NewStripeSkew(subLen, j+p)
+				if err != nil {
+					w.Close() //nolint:errcheck // the alloc error takes precedence
+					return err
+				}
+				if err := w.WriteFlat(stripeAddrs(s, 0, subLen), outBuf); err != nil {
+					w.Close() //nolint:errcheck // the write error takes precedence
+					return err
+				}
+				l2[j][p] = s
+			}
+		}
+		return w.Close()
 	}
+	err = pass5()
 	a.Arena().Free(inBuf)
 	a.Arena().Free(outBuf)
 	freeAll2(parts)
+	if err != nil {
+		freeAll2(l2)
+		return nil, err
+	}
 
 	// Pass 6: per-j shuffle + cleanup of the l merged part sequences into
 	// Q_j.  Inner dirtiness ≤ l·l ≤ l·√M = the chunk size.
 	a.Arena().SetPhase("outer/innerclean")
 	qs := make([]*pdm.Stripe, sq)
+	w6, err := stream.NewWriter(a)
+	if err != nil {
+		freeAll2(l2)
+		return nil, err
+	}
 	for j := 0; j < sq; j++ {
 		q, err := a.NewStripeSkew(l*subLen, j)
 		if err != nil {
+			w6.Close() //nolint:errcheck // the alloc error takes precedence
 			freeAll2(l2)
 			freeAll(qs)
 			return nil, err
 		}
-		if err := shuffleCleanup(a, viewsOf(l2[j]), l*g.b, sequentialEmit(q)); err != nil {
+		qs[j] = q
+		if err := shuffleCleanup(a, viewsOf(l2[j]), l*g.b, streamEmit(w6, q)); err != nil {
+			w6.Close() //nolint:errcheck // the cleanup error takes precedence
 			freeAll2(l2)
 			freeAll(qs)
-			q.Free()
 			return nil, fmt.Errorf("core: SevenPass inner cleanup: %w", err)
 		}
-		qs[j] = q
 	}
+	err = w6.Close()
 	freeAll2(l2)
+	if err != nil {
+		freeAll(qs)
+		return nil, err
+	}
 
 	// Pass 7: shuffle Q_1..Q_√M + cleanup; outer dirtiness ≤ l·√M ≤ M.
 	a.Arena().SetPhase("outer/finalclean")
@@ -269,12 +315,21 @@ func outerMerge(a *pdm.Array, subseqs [][]*pdm.Stripe, l, n int) (*pdm.Stripe, e
 		freeAll(qs)
 		return nil, err
 	}
-	if err := shuffleCleanup(a, viewsOf(qs), g.m, sequentialEmit(out)); err != nil {
+	w7, err := stream.NewWriter(a)
+	if err != nil {
 		freeAll(qs)
+		out.Free()
+		return nil, err
+	}
+	err = shuffleCleanup(a, viewsOf(qs), g.m, streamEmit(w7, out))
+	if cerr := w7.Close(); err == nil {
+		err = cerr
+	}
+	freeAll(qs)
+	if err != nil {
 		out.Free()
 		return nil, fmt.Errorf("core: SevenPass final cleanup: %w", err)
 	}
-	freeAll(qs)
 	a.Arena().SetPhase("")
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/memsort"
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // ThreePass1 sorts in with the paper's Section 3.1 mesh algorithm in exactly
@@ -70,38 +71,50 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 		a.Arena().Free(buf)
 		return nil, err
 	}
-	for k := 0; k < l; k++ {
-		if err := in.ReadAt(off+k*g.m, buf); err != nil {
-			a.Arena().Free(buf)
-			a.Arena().Free(gather)
-			return nil, err
+	pass1 := func() error {
+		rd, err := stream.NewStripeReader(in, off, n, g.m)
+		if err != nil {
+			return err
 		}
-		memsort.Keys(buf)
-		reversed := k%2 == 1
-		// gather[c*√M + r] = column c, row r of the sorted submesh.
-		for c := 0; c < sq; c++ {
-			src := c
-			if reversed {
-				src = sq - 1 - c
+		defer rd.Close()
+		w, err := stream.NewWriter(a)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < l; k++ {
+			if err := rd.FillFlat(buf); err != nil {
+				w.Close() //nolint:errcheck // the read error takes precedence
+				return err
 			}
-			for r := 0; r < sq; r++ {
-				gather[c*sq+r] = buf[r*sq+src]
+			memsort.Keys(buf)
+			reversed := k%2 == 1
+			// gather[c*√M + r] = column c, row r of the sorted submesh.
+			for c := 0; c < sq; c++ {
+				src := c
+				if reversed {
+					src = sq - 1 - c
+				}
+				for r := 0; r < sq; r++ {
+					gather[c*sq+r] = buf[r*sq+src]
+				}
+			}
+			addrs := make([]pdm.BlockAddr, sq)
+			for c := 0; c < sq; c++ {
+				addrs[c] = cols[c].BlockAddr(k)
+			}
+			if err := w.WriteFlat(addrs, gather); err != nil {
+				w.Close() //nolint:errcheck // the write error takes precedence
+				return err
 			}
 		}
-		addrs := make([]pdm.BlockAddr, sq)
-		views := make([][]int64, sq)
-		for c := 0; c < sq; c++ {
-			addrs[c] = cols[c].BlockAddr(k)
-			views[c] = gather[c*sq : (c+1)*sq]
-		}
-		if err := a.WriteV(addrs, views); err != nil {
-			a.Arena().Free(buf)
-			a.Arena().Free(gather)
-			return nil, err
-		}
+		return w.Close()
 	}
+	err = pass1()
 	a.Arena().Free(buf)
 	a.Arena().Free(gather)
+	if err != nil {
+		return nil, err
+	}
 
 	// Pass 2: column sort.  Column c is l·√M ≤ M keys; its sorted segment j
 	// (√M keys = the column's share of band j) goes to block c of
@@ -127,56 +140,106 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 	if err != nil {
 		return nil, err
 	}
-	for c0 := 0; c0 < sq; c0 += batch {
-		cnt := batch
-		if c0+cnt > sq {
-			cnt = sq - c0
+	pass2 := func() error {
+		// The column gathers are pure address arithmetic over the immutable
+		// column stripes: pre-plan them so the next batch of columns streams
+		// in while this one is sorted and its bands staged behind the writer.
+		chunks := (sq + batch - 1) / batch
+		rd, err := stream.NewReader(a, chunks, func(bi int) []pdm.BlockAddr {
+			c0 := bi * batch
+			cnt := batch
+			if c0+cnt > sq {
+				cnt = sq - c0
+			}
+			raddrs := make([]pdm.BlockAddr, 0, cnt*l)
+			for ci := 0; ci < cnt; ci++ {
+				for k := 0; k < l; k++ {
+					raddrs = append(raddrs, cols[c0+ci].BlockAddr(k))
+				}
+			}
+			return raddrs
+		})
+		if err != nil {
+			return err
 		}
-		raddrs := make([]pdm.BlockAddr, 0, cnt*l)
-		rviews := make([][]int64, 0, cnt*l)
-		for ci := 0; ci < cnt; ci++ {
-			for k := 0; k < l; k++ {
-				raddrs = append(raddrs, cols[c0+ci].BlockAddr(k))
-				rviews = append(rviews, colBuf[ci*colLen+k*sq:ci*colLen+(k+1)*sq])
+		defer rd.Close()
+		w, err := stream.NewWriter(a)
+		if err != nil {
+			return err
+		}
+		for c0 := 0; c0 < sq; c0 += batch {
+			cnt := batch
+			if c0+cnt > sq {
+				cnt = sq - c0
+			}
+			if err := rd.FillFlat(colBuf[:cnt*colLen]); err != nil {
+				w.Close() //nolint:errcheck // the read error takes precedence
+				return err
+			}
+			waddrs := make([]pdm.BlockAddr, 0, cnt*l)
+			wviews := make([][]int64, 0, cnt*l)
+			for ci := 0; ci < cnt; ci++ {
+				col := colBuf[ci*colLen : (ci+1)*colLen]
+				memsort.Keys(col)
+				for j := 0; j < l; j++ {
+					waddrs = append(waddrs, bands[j].BlockAddr(c0+ci))
+					wviews = append(wviews, col[j*sq:(j+1)*sq])
+				}
+			}
+			if err := w.Write(waddrs, wviews); err != nil {
+				w.Close() //nolint:errcheck // the write error takes precedence
+				return err
 			}
 		}
-		if err := a.ReadV(raddrs, rviews); err != nil {
-			a.Arena().Free(colBuf)
-			return nil, err
-		}
-		waddrs := make([]pdm.BlockAddr, 0, cnt*l)
-		wviews := make([][]int64, 0, cnt*l)
-		for ci := 0; ci < cnt; ci++ {
-			col := colBuf[ci*colLen : (ci+1)*colLen]
-			memsort.Keys(col)
-			for j := 0; j < l; j++ {
-				waddrs = append(waddrs, bands[j].BlockAddr(c0+ci))
-				wviews = append(wviews, col[j*sq:(j+1)*sq])
-			}
-		}
-		if err := a.WriteV(waddrs, wviews); err != nil {
-			a.Arena().Free(colBuf)
-			return nil, err
-		}
+		return w.Close()
 	}
+	err = pass2()
 	a.Arena().Free(colBuf)
+	if err != nil {
+		return nil, err
+	}
 
 	// Pass 3: rolling cleanup over bands in row-major order.  Band j holds
 	// exactly the mesh rows [j·√M, (j+1)·√M) as a set; the rolling pass
 	// re-sorts each chunk, so the within-band order is immaterial.
 	a.Arena().SetPhase("threepass1/cleanup")
 	var out *pdm.Stripe
+	var w *stream.Writer
 	if emit == nil {
 		out, err = a.NewStripe(n)
 		if err != nil {
 			return nil, err
 		}
-		emit = sequentialEmit(out)
+		w, err = stream.NewWriter(a)
+		if err != nil {
+			out.Free()
+			return nil, err
+		}
+		emit = streamEmit(w, out)
+	}
+	rd, err := stream.NewReader(a, l, func(t int) []pdm.BlockAddr {
+		return stripeAddrs(bands[t], 0, g.m)
+	})
+	if err != nil {
+		if w != nil {
+			w.Close() //nolint:errcheck // the alloc error takes precedence
+		}
+		if out != nil {
+			out.Free()
+		}
+		return nil, err
 	}
 	readBand := func(t int, dst []int64) error {
-		return bands[t].ReadAt(0, dst)
+		return rd.FillFlat(dst)
 	}
-	if err := rollingPass(a, g.m, l, readBand, emit); err != nil {
+	err = rollingPass(a, g.m, l, readBand, emit)
+	rd.Close()
+	if w != nil {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		if out != nil {
 			out.Free()
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/pdm"
+	"repro/internal/stream"
 )
 
 // ThreePass2 sorts in with the paper's Section 4 algorithm — the LMM sort
@@ -53,18 +54,30 @@ func threePass2Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 	}
 	defer freeAll(backing)
 	var out *pdm.Stripe
+	var w *stream.Writer
 	if emit == nil {
 		out, err = a.NewStripe(n)
 		if err != nil {
 			return nil, err
 		}
-		emit = sequentialEmit(out)
+		w, err = stream.NewWriter(a)
+		if err != nil {
+			out.Free()
+			return nil, err
+		}
+		emit = streamEmit(w, out)
 	}
 	a.Arena().SetPhase("threepass2/cleanup")
 	// Displacement after the shuffle is at most l·m = (N/M)·√M ≤ M, so the
 	// M-chunk rolling clean below never overflows; an overflow would be an
 	// implementation bug, not an input property.
-	if err := shuffleCleanup(a, merged, g.m, emit); err != nil { // pass 3
+	err = shuffleCleanup(a, merged, g.m, emit) // pass 3
+	if w != nil {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		if out != nil {
 			out.Free()
 		}

@@ -7,9 +7,10 @@ import (
 
 // Disk is one disk of a PDM array.  Offsets are in blocks; every transfer
 // moves exactly one block of B keys.  Implementations must be safe for
-// concurrent use by the array's per-disk I/O goroutines (the array never
-// issues two concurrent operations to the same disk, but different disks run
-// concurrently and may share underlying state in tests).
+// fully concurrent use: besides the array's per-disk I/O goroutines, the
+// streaming layer (internal/stream) overlaps prefetch and write-behind
+// transfers with the algorithm's own requests, so one disk may see several
+// concurrent operations (always on distinct blocks).
 type Disk interface {
 	// ReadBlock copies block off into dst (len(dst) == B).
 	ReadBlock(off int, dst []int64) error

@@ -6,20 +6,31 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // FileDisk is a Disk backed by a single ordinary file, with blocks stored as
-// little-endian int64s at offset off·B·8.  An Array built from D FileDisks
-// performs genuinely concurrent I/O: each parallel step issues its per-disk
-// operations from separate goroutines, so on a machine where the files live
-// on independent devices the transfer really is overlapped.
+// little-endian int64s at offset off·B·8.  All I/O goes through ReadAt /
+// WriteAt on one persistent handle — no seek-then-read — so any number of
+// goroutines may operate on the disk concurrently: an Array built from D
+// FileDisks overlaps its per-disk operations, and the streaming layer's
+// prefetchers and write-behind flushers can run alongside the algorithm.
+//
+// The backing file is grown in chunks of growBlocks blocks ahead of the
+// write frontier, so steady sequential writes extend the file's metadata
+// O(N/growBlocks) times instead of every block.
 type FileDisk struct {
-	mu     sync.Mutex
 	f      *os.File
 	b      int
-	blocks int
-	buf    []byte
+	blocks atomic.Int64 // block count = write frontier
+	grown  atomic.Int64 // preallocated size of the file, in blocks
+	growMu sync.Mutex   // serializes Truncate growth
+	bufs   sync.Pool    // *[]byte encode/decode buffers of 8·b bytes
 }
+
+// growBlocks is the file-preallocation chunk: the file is extended this many
+// blocks at a time.
+const growBlocks = 256
 
 // NewFileDisk creates (truncating) a file-backed disk at path with block
 // size b keys.
@@ -28,7 +39,12 @@ func NewFileDisk(path string, b int) (*FileDisk, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pdm: creating file disk: %w", err)
 	}
-	return &FileDisk{f: f, b: b, buf: make([]byte, 8*b)}, nil
+	d := &FileDisk{f: f, b: b}
+	d.bufs.New = func() any {
+		buf := make([]byte, 8*b)
+		return &buf
+	}
+	return d, nil
 }
 
 // NewFileArray creates a PDM array of cfg.D file disks named disk0000.bin …
@@ -56,16 +72,17 @@ func (d *FileDisk) ReadBlock(off int, dst []int64) error {
 	if len(dst) != d.b {
 		return ErrBadBlock
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if off < 0 || off >= d.blocks {
-		return fmt.Errorf("%w: read of block %d (disk holds %d)", ErrOutOfRange, off, d.blocks)
+	if off < 0 || int64(off) >= d.blocks.Load() {
+		return fmt.Errorf("%w: read of block %d (disk holds %d)", ErrOutOfRange, off, d.blocks.Load())
 	}
-	if _, err := d.f.ReadAt(d.buf, int64(off)*int64(d.b)*8); err != nil {
+	bp := d.bufs.Get().(*[]byte)
+	buf := *bp
+	defer d.bufs.Put(bp)
+	if _, err := d.f.ReadAt(buf, int64(off)*int64(d.b)*8); err != nil {
 		return fmt.Errorf("pdm: file disk read: %w", err)
 	}
 	for i := range dst {
-		dst[i] = int64(binary.LittleEndian.Uint64(d.buf[8*i:]))
+		dst[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
 	return nil
 }
@@ -78,32 +95,61 @@ func (d *FileDisk) WriteBlock(off int, src []int64) error {
 	if off < 0 {
 		return fmt.Errorf("%w: write of block %d", ErrOutOfRange, off)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(d.buf[8*i:], uint64(v))
+	if err := d.grow(off + 1); err != nil {
+		return err
 	}
-	if _, err := d.f.WriteAt(d.buf, int64(off)*int64(d.b)*8); err != nil {
+	bp := d.bufs.Get().(*[]byte)
+	buf := *bp
+	defer d.bufs.Put(bp)
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	if _, err := d.f.WriteAt(buf, int64(off)*int64(d.b)*8); err != nil {
 		return fmt.Errorf("pdm: file disk write: %w", err)
 	}
-	if off >= d.blocks {
-		d.blocks = off + 1
+	// Advance the frontier to cover off.
+	for {
+		cur := d.blocks.Load()
+		if int64(off) < cur || d.blocks.CompareAndSwap(cur, int64(off)+1) {
+			return nil
+		}
 	}
+}
+
+// grow preallocates the backing file to hold at least want blocks, extending
+// in growBlocks chunks.
+func (d *FileDisk) grow(want int) error {
+	if int64(want) <= d.grown.Load() {
+		return nil
+	}
+	d.growMu.Lock()
+	defer d.growMu.Unlock()
+	if int64(want) <= d.grown.Load() {
+		return nil
+	}
+	target := (int64(want) + growBlocks - 1) / growBlocks * growBlocks
+	if err := d.f.Truncate(target * int64(d.b) * 8); err != nil {
+		return fmt.Errorf("pdm: file disk grow: %w", err)
+	}
+	d.grown.Store(target)
 	return nil
 }
 
 // Blocks implements Disk.
 func (d *FileDisk) Blocks() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.blocks
+	return int(d.blocks.Load())
 }
 
-// Close implements Disk, closing and removing nothing: the file is left on
-// disk so callers can inspect the sorted output.
+// Close implements Disk.  The file is trimmed to the written frontier (undo
+// the chunked preallocation) and closed, but not removed, so callers can
+// inspect the sorted output.
 func (d *FileDisk) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if d.grown.Load() > d.blocks.Load() {
+		if err := d.f.Truncate(d.blocks.Load() * int64(d.b) * 8); err != nil {
+			d.f.Close() //nolint:errcheck // surface the truncate error instead
+			return fmt.Errorf("pdm: file disk trim: %w", err)
+		}
+	}
 	return d.f.Close()
 }
 

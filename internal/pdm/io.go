@@ -26,13 +26,32 @@ func (a *Array) WriteV(addrs []BlockAddr, bufs [][]int64) error {
 }
 
 func (a *Array) execV(addrs []BlockAddr, bufs [][]int64, write bool) error {
-	if len(addrs) != len(bufs) {
-		return fmt.Errorf("pdm: %d addrs but %d buffers", len(addrs), len(bufs))
+	if err := a.validateV(addrs, bufs); err != nil {
+		return err
 	}
 	if len(addrs) == 0 {
 		return nil
 	}
-	perDisk := make([][]ioOp, a.cfg.D)
+	if err := a.transferV(addrs, bufs, write); err != nil {
+		return err
+	}
+	a.ChargeV(addrs, write)
+	return nil
+}
+
+// ValidateV checks a vectored request — matching lengths, addresses on
+// existing disks, B-key buffers — without touching the disks or the
+// accounting.  The streaming layer validates before charging so that a
+// rejected request leaves no trace, exactly like ReadV/WriteV.
+func (a *Array) ValidateV(addrs []BlockAddr, bufs [][]int64) error {
+	return a.validateV(addrs, bufs)
+}
+
+// validateV checks a vectored request without touching the disks.
+func (a *Array) validateV(addrs []BlockAddr, bufs [][]int64) error {
+	if len(addrs) != len(bufs) {
+		return fmt.Errorf("pdm: %d addrs but %d buffers", len(addrs), len(bufs))
+	}
 	for i, ad := range addrs {
 		if ad.Disk < 0 || ad.Disk >= a.cfg.D {
 			return fmt.Errorf("%w: disk %d of %d", ErrOutOfRange, ad.Disk, a.cfg.D)
@@ -40,16 +59,30 @@ func (a *Array) execV(addrs []BlockAddr, bufs [][]int64, write bool) error {
 		if len(bufs[i]) != a.cfg.B {
 			return ErrBadBlock
 		}
+	}
+	return nil
+}
+
+// TransferV moves the data of a vectored request — addrs[i] into/out of
+// bufs[i] — WITHOUT charging steps or recording the trace.  The streaming
+// layer (internal/stream) uses it to overlap physical transfers with
+// computation while charging each logical request exactly once through
+// ChargeV, so the PDM cost model cannot observe the overlap.
+func (a *Array) TransferV(addrs []BlockAddr, bufs [][]int64, write bool) error {
+	if err := a.validateV(addrs, bufs); err != nil {
+		return err
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	return a.transferV(addrs, bufs, write)
+}
+
+func (a *Array) transferV(addrs []BlockAddr, bufs [][]int64, write bool) error {
+	perDisk := make([][]ioOp, a.cfg.D)
+	for i, ad := range addrs {
 		perDisk[ad.Disk] = append(perDisk[ad.Disk], ioOp{ad, bufs[i]})
 	}
-
-	steps := 0
-	for _, ops := range perDisk {
-		if len(ops) > steps {
-			steps = len(ops)
-		}
-	}
-
 	var wg sync.WaitGroup
 	errs := make([]error, a.cfg.D)
 	for d, ops := range perDisk {
@@ -80,12 +113,33 @@ func (a *Array) execV(addrs []BlockAddr, bufs [][]int64, write bool) error {
 			return err
 		}
 	}
-
-	a.account(len(addrs), steps, write)
-	a.recordTrace(addrs, write)
 	return nil
 }
 
+// ChargeV records the accounting of one vectored request as if it executed
+// synchronously now: max-per-disk parallel steps, block counters, simulated
+// time, and the trace entry.  Callers pairing it with TransferV must invoke
+// it exactly once per logical request, in the algorithm's program order, so
+// that stats and traces are identical to the unpipelined execution.
+func (a *Array) ChargeV(addrs []BlockAddr, write bool) {
+	if len(addrs) == 0 {
+		return
+	}
+	perDisk := make([]int, a.cfg.D)
+	steps := 0
+	for _, ad := range addrs {
+		perDisk[ad.Disk]++
+		if perDisk[ad.Disk] > steps {
+			steps = perDisk[ad.Disk]
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.account(len(addrs), steps, write)
+	a.recordTrace(addrs, write)
+}
+
+// account assumes a.mu is held.
 func (a *Array) account(blocks, steps int, write bool) {
 	if write {
 		a.stats.BlocksWritten += int64(blocks)
@@ -95,6 +149,30 @@ func (a *Array) account(blocks, steps int, write bool) {
 		a.stats.ReadSteps += int64(steps)
 	}
 	a.stats.SimTime += float64(steps) * (a.cfg.SeekTime + float64(a.cfg.B)*a.cfg.TransferPerKey)
+}
+
+// RecordPrefetch counts one streamed read chunk: a hit if the prefetcher had
+// it ready when the consumer asked, a stall otherwise.
+func (a *Array) RecordPrefetch(hit bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if hit {
+		a.stats.PrefetchHits++
+	} else {
+		a.stats.PrefetchStalls++
+	}
+}
+
+// RecordWriteBehind counts one streamed write request: a hit if staging was
+// free when the producer pushed, a stall if the producer had to wait.
+func (a *Array) RecordWriteBehind(hit bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if hit {
+		a.stats.WriteBehindHits++
+	} else {
+		a.stats.WriteBehindStalls++
+	}
 }
 
 // splitBlocks carves flat (len a multiple of B) into B-key block views.

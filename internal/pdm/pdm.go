@@ -4,13 +4,15 @@
 // step the machine may transfer at most one block per disk.  A "pass" over N
 // keys is N/(DB) parallel read steps plus the same number of write steps.
 //
-// The package provides two disk backends — an in-memory block store
-// (MemDisk), which is exact and deterministic, and a real-file backend
-// (FileDisk) driven by one goroutine per disk — plus the machinery every PDM
-// algorithm in this repository is written against: vectored block I/O with
-// step accounting (Array.ReadV / Array.WriteV), striped logical arrays
-// (Stripe), sequential striped streams (Reader, Writer), and a metered
-// internal-memory arena (Arena).
+// The package provides disk backends — an in-memory block store (MemDisk),
+// which is exact and deterministic, a real-file backend (FileDisk) safe for
+// fully concurrent per-disk I/O, and a latency-modeling decorator
+// (LatencyDisk) — plus the machinery every PDM algorithm in this repository
+// is written against: vectored block I/O with step accounting (Array.ReadV
+// / Array.WriteV), the transfer/charge split the streaming layer builds on
+// (Array.TransferV / Array.ChargeV, see internal/stream), striped logical
+// arrays (Stripe), sequential striped streams (Reader, Writer), and a
+// metered internal-memory arena (Arena).
 //
 // The unit of data is the key, an int64.  Records are keys, as in the paper.
 package pdm
@@ -18,6 +20,7 @@ package pdm
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Common errors returned by the simulator.
@@ -61,6 +64,29 @@ type Config struct {
 	// units.  Zero values disable the respective component.
 	SeekTime       float64
 	TransferPerKey float64
+
+	// Pipeline configures the streaming I/O layer (internal/stream) built
+	// on this array.  The zero value keeps every transfer synchronous.
+	Pipeline PipelineConfig
+}
+
+// PipelineConfig sizes the pipelined I/O layer.  Depths are measured in
+// stripes (D·B keys each); the staging buffers come out of the arena, so
+// the capacity formula grows by PipelineStaging() — the memory cost of
+// overlapping transfer with computation is charged like any other buffer.
+type PipelineConfig struct {
+	// Prefetch is the number of stripe buffers a stream.Reader may fill
+	// ahead of the consumer.  Zero means synchronous reads.
+	Prefetch int
+	// WriteBehind is the number of stripe buffers a stream.Writer may
+	// hold in flight behind the producer.  Zero means synchronous writes.
+	WriteBehind int
+}
+
+// PipelineStaging returns the extra arena capacity, in keys, the pipeline
+// configuration reserves: one stripe per prefetch or write-behind slot.
+func (c Config) PipelineStaging() int {
+	return (c.Pipeline.Prefetch + c.Pipeline.WriteBehind) * c.D * c.B
 }
 
 // C returns the memory-to-stripe ratio M/(D·B), the constant the paper
@@ -78,6 +104,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pdm: M = %d smaller than one stripe D*B = %d", c.Mem, c.D*c.B)
 	case c.MemSlack < 0:
 		return fmt.Errorf("pdm: MemSlack = %v, want >= 0", c.MemSlack)
+	case c.Pipeline.Prefetch < 0 || c.Pipeline.WriteBehind < 0:
+		return fmt.Errorf("pdm: pipeline depths %+v, want >= 0", c.Pipeline)
 	}
 	return nil
 }
@@ -91,11 +119,17 @@ type BlockAddr struct {
 // Array is a PDM disk array: D disks plus the accounting state shared by all
 // algorithms running against it (I/O statistics, memory arena, and the block
 // allocator used by Stripe).
+//
+// The accounting state (stats, trace, block allocator) is guarded by mu so
+// that the streaming layer's background transfer goroutines can run while
+// the algorithm goroutine keeps charging I/O.
 type Array struct {
 	cfg   Config
 	disks []Disk
-	stats Stats
 	arena *Arena
+
+	mu    sync.Mutex
+	stats Stats
 	alloc rowAllocator
 	trace []TraceOp
 }
@@ -125,7 +159,7 @@ func NewWithDisks(cfg Config, disks []Disk) (*Array, error) {
 	if slack == 0 {
 		slack = 2
 	}
-	capacity := int(float64(cfg.Mem)*slack) + cfg.D*cfg.B
+	capacity := int(float64(cfg.Mem)*slack) + cfg.D*cfg.B + cfg.PipelineStaging()
 	return &Array{
 		cfg:   cfg,
 		disks: disks,
@@ -152,12 +186,23 @@ func (a *Array) StripeWidth() int { return a.cfg.D * a.cfg.B }
 // Arena returns the internal-memory arena shared by algorithms on this array.
 func (a *Array) Arena() *Arena { return a.arena }
 
+// Pipeline returns the array's pipeline configuration.
+func (a *Array) Pipeline() PipelineConfig { return a.cfg.Pipeline }
+
 // Stats returns a snapshot of the accumulated I/O statistics.
-func (a *Array) Stats() Stats { return a.stats }
+func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
 
 // ResetStats zeroes the I/O statistics (the arena and disk contents are
 // untouched).
-func (a *Array) ResetStats() { a.stats = Stats{} }
+func (a *Array) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = Stats{}
+}
 
 // Close closes all disks, returning the first error encountered.
 func (a *Array) Close() error {

@@ -15,16 +15,32 @@ type Stats struct {
 	// SimTime is the simulated elapsed time under the configured cost model
 	// (zero if the cost model is disabled).
 	SimTime float64
+
+	// Pipeline observability, maintained by internal/stream.  These do not
+	// affect the cost model: a transfer costs the same steps whether or not
+	// it was overlapped.  They are scheduling-dependent (hence excluded from
+	// determinism checks): PrefetchHits counts streamed read chunks whose
+	// data was already resident when the consumer asked, PrefetchStalls
+	// those the consumer had to wait for; WriteBehindHits/-Stalls are the
+	// producer-side analogue for staged writes.
+	PrefetchHits      int64
+	PrefetchStalls    int64
+	WriteBehindHits   int64
+	WriteBehindStalls int64
 }
 
 // Add returns the componentwise sum of s and t.
 func (s Stats) Add(t Stats) Stats {
 	return Stats{
-		BlocksRead:    s.BlocksRead + t.BlocksRead,
-		BlocksWritten: s.BlocksWritten + t.BlocksWritten,
-		ReadSteps:     s.ReadSteps + t.ReadSteps,
-		WriteSteps:    s.WriteSteps + t.WriteSteps,
-		SimTime:       s.SimTime + t.SimTime,
+		BlocksRead:        s.BlocksRead + t.BlocksRead,
+		BlocksWritten:     s.BlocksWritten + t.BlocksWritten,
+		ReadSteps:         s.ReadSteps + t.ReadSteps,
+		WriteSteps:        s.WriteSteps + t.WriteSteps,
+		SimTime:           s.SimTime + t.SimTime,
+		PrefetchHits:      s.PrefetchHits + t.PrefetchHits,
+		PrefetchStalls:    s.PrefetchStalls + t.PrefetchStalls,
+		WriteBehindHits:   s.WriteBehindHits + t.WriteBehindHits,
+		WriteBehindStalls: s.WriteBehindStalls + t.WriteBehindStalls,
 	}
 }
 
@@ -32,12 +48,27 @@ func (s Stats) Add(t Stats) Stats {
 // between two snapshots.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		BlocksRead:    s.BlocksRead - t.BlocksRead,
-		BlocksWritten: s.BlocksWritten - t.BlocksWritten,
-		ReadSteps:     s.ReadSteps - t.ReadSteps,
-		WriteSteps:    s.WriteSteps - t.WriteSteps,
-		SimTime:       s.SimTime - t.SimTime,
+		BlocksRead:        s.BlocksRead - t.BlocksRead,
+		BlocksWritten:     s.BlocksWritten - t.BlocksWritten,
+		ReadSteps:         s.ReadSteps - t.ReadSteps,
+		WriteSteps:        s.WriteSteps - t.WriteSteps,
+		SimTime:           s.SimTime - t.SimTime,
+		PrefetchHits:      s.PrefetchHits - t.PrefetchHits,
+		PrefetchStalls:    s.PrefetchStalls - t.PrefetchStalls,
+		WriteBehindHits:   s.WriteBehindHits - t.WriteBehindHits,
+		WriteBehindStalls: s.WriteBehindStalls - t.WriteBehindStalls,
 	}
+}
+
+// Overlap reports the fraction of streamed read chunks served without a
+// stall: 1.0 means the prefetcher always had the next chunk ready.  It
+// returns 1 when nothing was streamed.
+func (s Stats) Overlap() float64 {
+	total := s.PrefetchHits + s.PrefetchStalls
+	if total == 0 {
+		return 1
+	}
+	return float64(s.PrefetchHits) / float64(total)
 }
 
 // ReadPasses converts read steps into passes over n keys on a machine with

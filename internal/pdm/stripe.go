@@ -92,7 +92,10 @@ func (a *Array) NewStripeSkew(nKeys, skew int) (*Stripe, error) {
 	if skew < 0 {
 		skew += a.cfg.D
 	}
-	return &Stripe{a: a, row0: a.alloc.alloc(rows), skew: skew, n: nKeys, nb: nb, rows: rows}, nil
+	a.mu.Lock()
+	row0 := a.alloc.alloc(rows)
+	a.mu.Unlock()
+	return &Stripe{a: a, row0: row0, skew: skew, n: nKeys, nb: nb, rows: rows}, nil
 }
 
 // Len returns the stripe's length in keys.
@@ -107,7 +110,9 @@ func (s *Stripe) Array() *Array { return s.a }
 // Free returns the stripe's rows to the allocator.  The stripe must not be
 // used afterwards.
 func (s *Stripe) Free() {
+	s.a.mu.Lock()
 	s.a.alloc.release(s.row0, s.rows)
+	s.a.mu.Unlock()
 	s.rows = 0
 }
 
@@ -120,6 +125,14 @@ func (s *Stripe) BlockAddr(j int) BlockAddr {
 
 // Skew returns the stripe's disk-rotation offset.
 func (s *Stripe) Skew() int { return s.skew }
+
+// AddrRange returns the addresses of the blocks covering keys
+// [keyOff, keyOff+nKeys), in logical order — the request the sequential
+// ReadAt/WriteAt would issue.  The streaming layer uses it to pre-plan
+// chunk requests.
+func (s *Stripe) AddrRange(keyOff, nKeys int) ([]BlockAddr, error) {
+	return s.addrRange(keyOff, nKeys)
+}
 
 // addrRange returns the addresses of the blocks covering keys
 // [keyOff, keyOff+nKeys).
@@ -160,33 +173,29 @@ func (s *Stripe) WriteAt(keyOff int, src []int64) error {
 	return s.a.WriteV(addrs, s.a.splitBlocks(src))
 }
 
-// Load writes data into the stripe without touching the I/O statistics.
-// It models the input already residing on the disks, which is the starting
-// state of every PDM algorithm; use it only from harnesses.
+// Load writes data into the stripe without touching the I/O statistics or
+// the trace.  It models the input already residing on the disks, which is
+// the starting state of every PDM algorithm; use it only from harnesses.
 func (s *Stripe) Load(data []int64) error {
 	if len(data) != s.n {
 		return fmt.Errorf("pdm: Load of %d keys into stripe of %d", len(data), s.n)
 	}
-	saved := s.a.stats
-	savedTrace := s.a.trace
-	s.a.trace = nil
-	err := s.WriteAt(0, data)
-	s.a.stats = saved
-	s.a.trace = savedTrace
-	return err
+	addrs, err := s.addrRange(0, len(data))
+	if err != nil {
+		return err
+	}
+	return s.a.TransferV(addrs, s.a.splitBlocks(data), true)
 }
 
-// Unload reads the whole stripe without touching the I/O statistics, for
-// verification in harnesses.
+// Unload reads the whole stripe without touching the I/O statistics or the
+// trace, for verification in harnesses.
 func (s *Stripe) Unload() ([]int64, error) {
 	out := make([]int64, s.n)
-	saved := s.a.stats
-	savedTrace := s.a.trace
-	s.a.trace = nil
-	err := s.ReadAt(0, out)
-	s.a.stats = saved
-	s.a.trace = savedTrace
-	return out, err
+	addrs, err := s.addrRange(0, len(out))
+	if err != nil {
+		return nil, err
+	}
+	return out, s.a.TransferV(addrs, s.a.splitBlocks(out), false)
 }
 
 // Reader streams a stripe (or a sub-range of one) sequentially.

@@ -13,20 +13,26 @@ type TraceOp struct {
 // never on the key values.  Recording the trace lets tests assert exactly
 // that, by comparing traces across different inputs of the same size.
 func (a *Array) EnableTrace() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.trace = []TraceOp{}
 }
 
 // DisableTrace stops recording and drops the trace.
 func (a *Array) DisableTrace() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.trace = nil
 }
 
 // Trace returns the recorded requests since EnableTrace.
 func (a *Array) Trace() []TraceOp {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.trace
 }
 
-// recordTrace appends one request if tracing is enabled.
+// recordTrace appends one request if tracing is enabled.  a.mu must be held.
 func (a *Array) recordTrace(addrs []BlockAddr, write bool) {
 	if a.trace == nil {
 		return

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"repro/internal/pdm"
+)
+
+// Async is the handle of one overlapped vectored request issued by
+// ReadAsync: the request has already been charged; Wait joins the physical
+// transfer.
+type Async struct {
+	done chan struct{}
+	err  error
+}
+
+// ReadAsync issues one vectored read — addrs[i] into bufs[i] — charging it
+// immediately (the point where the synchronous ReadV would have been
+// called) and performing the transfer in the background when the array's
+// pipeline configuration enables prefetch.  The caller must not touch bufs
+// until Wait returns; it may keep consuming data the request does not
+// alias, which is how the multiway merge overlaps lane refills with
+// merging.  With prefetch 0 the transfer completes before ReadAsync
+// returns.  Validation errors surface synchronously, before any charge.
+func ReadAsync(a *pdm.Array, addrs []pdm.BlockAddr, bufs [][]int64) (*Async, error) {
+	x := &Async{done: make(chan struct{})}
+	if a.Pipeline().Prefetch == 0 {
+		x.err = a.ReadV(addrs, bufs)
+		close(x.done)
+		return x, nil
+	}
+	if err := a.ValidateV(addrs, bufs); err != nil {
+		return nil, err
+	}
+	a.ChargeV(addrs, false)
+	go func() {
+		defer close(x.done)
+		x.err = a.TransferV(addrs, bufs, false)
+	}()
+	return x, nil
+}
+
+// Wait blocks until the transfer lands and returns its error.  It may be
+// called any number of times.
+func (x *Async) Wait() error {
+	<-x.done
+	return x.err
+}

@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+)
+
+// Pipe is the read-transform-write shape of every PDM pass: it streams src
+// through transform into dst in chunks of len(buf) keys.  With pipelining
+// configured on the array, chunk t+1 is prefetched and chunk t−1 is flushed
+// while transform runs on chunk t; with a zero pipeline configuration it is
+// exactly the synchronous loop it replaces.  transform receives the key
+// offset of the chunk and may modify it in place (a nil transform copies).
+// Both stripes must have equal length, a multiple of B; len(buf) must be a
+// positive multiple of B.
+func Pipe(src, dst *pdm.Stripe, buf []int64, transform func(off int, chunk []int64) error) error {
+	a := src.Array()
+	n := src.Len()
+	if dst.Len() != n {
+		return fmt.Errorf("stream: Pipe from %d keys into %d", n, dst.Len())
+	}
+	chunk := len(buf)
+	if chunk <= 0 || chunk%a.B() != 0 {
+		return fmt.Errorf("stream: Pipe buffer of %d keys with B = %d", chunk, a.B())
+	}
+	r, err := NewStripeReader(src, 0, n, chunk)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w, err := NewWriter(a)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < n; off += chunk {
+		cn := chunk
+		if off+cn > n {
+			cn = n - off
+		}
+		if err := r.FillFlat(buf[:cn]); err != nil {
+			w.Close() //nolint:errcheck // the read error takes precedence
+			return err
+		}
+		if transform != nil {
+			if err := transform(off, buf[:cn]); err != nil {
+				w.Close() //nolint:errcheck // the transform error takes precedence
+				return err
+			}
+		}
+		addrs, err := dst.AddrRange(off, cn)
+		if err != nil {
+			w.Close() //nolint:errcheck // the range error takes precedence
+			return err
+		}
+		if err := w.WriteFlat(addrs, buf[:cn]); err != nil {
+			w.Close() //nolint:errcheck // the write error takes precedence
+			return err
+		}
+	}
+	return w.Close()
+}

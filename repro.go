@@ -97,6 +97,25 @@ type MachineConfig struct {
 	// directory (one goroutine per disk performs the parallel I/O);
 	// otherwise disks are simulated in memory.
 	Dir string
+	// Pipeline configures the streaming I/O layer: depths > 0 overlap
+	// prefetch and write-behind with computation on every pass.  Pass
+	// accounting is unaffected — the PDM cost model charges the same steps
+	// whether or not a transfer was overlapped — but wall-clock time on
+	// file-backed disks improves and Report gains overlap metrics.
+	Pipeline PipelineConfig
+}
+
+// PipelineConfig sizes the streaming I/O layer.  Depths are in stripes
+// (Disks·√Memory keys each); the staging comes out of the machine's metered
+// internal memory, on top of the algorithms' own envelope.  Zero depths
+// mean fully synchronous I/O.
+type PipelineConfig struct {
+	// Prefetch is the number of stripe buffers a streamed read may run
+	// ahead of the consumer.
+	Prefetch int
+	// WriteBehind is the number of stripe buffers a streamed write may lag
+	// behind the producer.
+	WriteBehind int
 }
 
 // Machine is a PDM plus the paper's algorithm suite.
@@ -129,7 +148,11 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if alpha == 0 {
 		alpha = 1
 	}
-	pcfg := pdm.Config{D: d, B: b, Mem: cfg.Memory}
+	pcfg := pdm.Config{D: d, B: b, Mem: cfg.Memory,
+		Pipeline: pdm.PipelineConfig{
+			Prefetch:    cfg.Pipeline.Prefetch,
+			WriteBehind: cfg.Pipeline.WriteBehind,
+		}}
 	var (
 		a   *pdm.Array
 		err error
@@ -173,6 +196,25 @@ type Report struct {
 	// PaddedN is the on-disk length after padding to the algorithm's
 	// geometry (sentinel keys are stripped from the returned data).
 	PaddedN int
+	// Pipeline observability (all zero when the machine runs synchronous
+	// I/O).  PrefetchHits counts streamed read chunks whose data had
+	// already landed when the algorithm asked for them, PrefetchStalls
+	// those it had to wait for; WriteStalls counts streamed writes that
+	// waited for staging.  Overlap = hits/(hits+stalls) — the fraction of
+	// read latency the pipeline hid (1 when nothing streamed).
+	PrefetchHits   int64
+	PrefetchStalls int64
+	WriteStalls    int64
+	Overlap        float64
+}
+
+// pipelineMetrics fills the Report's overlap counters from the measured
+// I/O delta.
+func (r *Report) pipelineMetrics(io pdm.Stats) {
+	r.PrefetchHits = io.PrefetchHits
+	r.PrefetchStalls = io.PrefetchStalls
+	r.WriteStalls = io.WriteBehindStalls
+	r.Overlap = io.Overlap()
 }
 
 // Capacity returns the largest number of keys the given algorithm sorts on
@@ -294,7 +336,7 @@ func (m *Machine) Sort(keys []int64, alg Algorithm) (*Report, error) {
 		return nil, err
 	}
 	copy(keys, out[:len(keys)])
-	return &Report{
+	rep := &Report{
 		Algorithm:   alg,
 		N:           len(keys),
 		Passes:      res.Passes,
@@ -303,7 +345,9 @@ func (m *Machine) Sort(keys []int64, alg Algorithm) (*Report, error) {
 		FellBack:    res.FellBack,
 		IO:          res.IO,
 		PaddedN:     padded,
-	}, nil
+	}
+	rep.pipelineMetrics(res.IO)
+	return rep, nil
 }
 
 // SortInts sorts nonnegative integer keys below universe with the paper's
@@ -340,7 +384,7 @@ func (m *Machine) SortInts(keys []int64, universe int64) (*Report, error) {
 		return nil, err
 	}
 	copy(keys, out[:len(keys)])
-	return &Report{
+	rep := &Report{
 		Algorithm:   Auto,
 		N:           len(keys),
 		Passes:      res.Passes,
@@ -348,7 +392,9 @@ func (m *Machine) SortInts(keys []int64, universe int64) (*Report, error) {
 		WritePasses: res.WritePasses,
 		IO:          res.IO,
 		PaddedN:     padded,
-	}, nil
+	}
+	rep.pipelineMetrics(res.IO)
+	return rep, nil
 }
 
 // padFor returns the smallest on-disk length ≥ n satisfying the
