@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/memsort"
+	"repro/internal/par"
 	"repro/internal/pdm"
 	"repro/internal/report"
 	"repro/internal/stream"
@@ -377,6 +379,118 @@ func BenchmarkSortThreePass2SlowDiskSync(b *testing.B) {
 
 func BenchmarkSortThreePass2SlowDiskPipelined(b *testing.B) {
 	benchThreePass2File(b, pdm.PipelineConfig{Prefetch: 8, WriteBehind: 8})
+}
+
+// --- worker-pool compute benchmarks ---
+//
+// Each pair runs the same kernel or algorithm with Workers=1 versus
+// Workers=NumCPU; the outputs are bit-identical by construction (the
+// determinism tests assert it), so the wall-clock delta is pure compute
+// parallelism.  On a single-CPU host the pairs are within noise of each
+// other; the speedup materializes with the cores.
+
+func workerWidths() []int {
+	w := runtime.NumCPU()
+	if w < 4 {
+		w = 4 // exercise the parallel paths even on small hosts
+	}
+	return []int{1, w}
+}
+
+// BenchmarkWorkersRunFormation is the run-formation kernel: sorting one
+// memory load, exactly what pass 1 of every algorithm does per chunk.
+func BenchmarkWorkersRunFormation(b *testing.B) {
+	const n = 1 << 20
+	src := workload.Perm(n, 21)
+	buf := make([]int64, n)
+	scratch := make([]int64, n)
+	for _, w := range workerWidths() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := par.New(w)
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				pool.SortKeysScratch(buf, scratch)
+			}
+			if !memsort.IsSorted(buf) {
+				b.Fatal("not sorted")
+			}
+		})
+	}
+}
+
+// BenchmarkWorkersMultiMerge is the k-way merge kernel: the loser tree's
+// output range cut by splitters across the workers.
+func BenchmarkWorkersMultiMerge(b *testing.B) {
+	const (
+		k   = 64
+		per = 1 << 14
+	)
+	lanes := make([][]int64, k)
+	for i := range lanes {
+		lane := workload.Uniform(per, 0, 1<<30, int64(i))
+		memsort.Keys(lane)
+		lanes[i] = lane
+	}
+	dst := make([]int64, k*per)
+	for _, w := range workerWidths() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := par.New(w)
+			b.SetBytes(int64(8 * k * per))
+			for i := 0; i < b.N; i++ {
+				pool.MultiMerge(dst, lanes)
+			}
+		})
+	}
+}
+
+// BenchmarkWorkersEndToEnd is the whole-algorithm pair on a compute-
+// dominated configuration: ThreePass2 at M = 65536 on latency-modeled file
+// disks with the pipeline hiding the I/O, so the in-memory sorts and
+// merges dominate the wall clock.
+func BenchmarkWorkersEndToEnd(b *testing.B) {
+	const m = 65536 // B = 256, D = 64
+	for _, workers := range workerWidths() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := pdm.Config{D: 64, B: 256, Mem: m,
+				Pipeline: pdm.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+				Workers:  workers}
+			dir := b.TempDir()
+			disks := make([]pdm.Disk, cfg.D)
+			for i := range disks {
+				fd, ferr := pdm.NewFileDisk(fmt.Sprintf("%s/disk%04d.bin", dir, i), cfg.B)
+				if ferr != nil {
+					b.Fatal(ferr)
+				}
+				disks[i] = pdm.LatencyDisk{Disk: fd, PerBlock: 20 * time.Microsecond}
+			}
+			a, err := pdm.NewWithDisks(cfg, disks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Close()
+			n := 16 * m
+			in, err := a.NewStripe(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := in.Load(workload.Perm(n, 23)); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.ThreePass2(a, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Out.Free()
+			}
+			b.StopTimer()
+			st := a.Stats()
+			b.ReportMetric(st.WorkerUtilization(workers), "utilization")
+		})
+	}
 }
 
 // --- kernel micro-benchmarks ---

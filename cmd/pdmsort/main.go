@@ -8,7 +8,7 @@
 //	pdmsort -in keys.bin -out sorted.bin [-mem 65536] [-disks 0] \
 //	        [-alg auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|radix] \
 //	        [-universe 4294967296] [-scratch DIR] [-gen N] [-seed 1] \
-//	        [-prefetch 2] [-writebehind 2]
+//	        [-prefetch 2] [-writebehind 2] [-workers 0]
 //
 // With -gen N (and no -in), pdmsort first generates N random keys.
 // The exit report prints the measured pass counts — the paper's currency.
@@ -36,16 +36,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for -gen")
 	prefetch := flag.Int("prefetch", 2, "prefetch depth in stripes (0 = synchronous reads)")
 	writeBehind := flag.Int("writebehind", 2, "write-behind depth in stripes (0 = synchronous writes)")
+	workers := flag.Int("workers", 0, "compute worker pool width (0 = GOMAXPROCS; output is identical for any value)")
 	flag.Parse()
 
 	pipe := repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind}
-	if err := run(*in, *out, *mem, *disks, *algName, *universe, *scratch, *gen, *seed, pipe); err != nil {
+	if err := run(*in, *out, *mem, *disks, *algName, *universe, *scratch, *gen, *seed, pipe, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "pdmsort: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, mem, disks int, algName string, universe int64, scratch string, gen int, seed int64, pipe repro.PipelineConfig) error {
+func run(in, out string, mem, disks int, algName string, universe int64, scratch string, gen int, seed int64, pipe repro.PipelineConfig, workers int) error {
 	var keys []int64
 	switch {
 	case gen > 0:
@@ -78,7 +79,7 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 		scratch = dir
 	}
 
-	m, err := repro.NewMachine(repro.MachineConfig{Memory: mem, Disks: disks, Dir: scratch, Pipeline: pipe})
+	m, err := repro.NewMachine(repro.MachineConfig{Memory: mem, Disks: disks, Dir: scratch, Pipeline: pipe, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -109,6 +110,12 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 	if rep.PrefetchHits+rep.PrefetchStalls > 0 {
 		fmt.Printf("pipeline: %.0f%% of streamed reads overlapped (%d hits, %d stalls, %d write stalls)\n",
 			100*rep.Overlap, rep.PrefetchHits, rep.PrefetchStalls, rep.WriteStalls)
+	}
+	if rep.ComputeSeconds > 0 {
+		fmt.Printf("compute: %.3fs in parallel sections across %d workers (%.0f%% utilization)\n",
+			rep.ComputeSeconds, rep.Workers, 100*rep.WorkerUtilization)
+	} else {
+		fmt.Printf("compute: serial (workers=%d, nothing crossed the parallel grain)\n", rep.Workers)
 	}
 	fmt.Printf("output: %s\n", out)
 	return nil

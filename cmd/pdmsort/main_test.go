@@ -70,7 +70,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.Mkdir(scratch, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, 256, 0, "lmm3", 1<<32, scratch, 0, 1, repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}); err != nil {
+	if err := run(in, out, 256, 0, "lmm3", 1<<32, scratch, 0, 1, repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}, 2); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readKeys(out)
@@ -89,7 +89,7 @@ func TestRunGenerateAndRadix(t *testing.T) {
 	if err := os.Mkdir(scratch, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", out, 256, 4, "radix", 1<<20, scratch, 2000, 7, repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}); err != nil {
+	if err := run("", out, 256, 4, "radix", 1<<20, scratch, 2000, 7, repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}, 2); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readKeys(out)
@@ -102,7 +102,7 @@ func TestRunGenerateAndRadix(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 256, 0, "auto", 1<<20, t.TempDir(), 0, 1, repro.PipelineConfig{}); err == nil {
+	if err := run("", "", 256, 0, "auto", 1<<20, t.TempDir(), 0, 1, repro.PipelineConfig{}, 0); err == nil {
 		t.Fatal("no input accepted")
 	}
 	dir := t.TempDir()
@@ -110,7 +110,7 @@ func TestRunErrors(t *testing.T) {
 	if err := writeKeys(in, []int64{3, 1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", 256, 0, "bogus", 1<<20, dir, 0, 1, repro.PipelineConfig{}); err == nil {
+	if err := run(in, "", 256, 0, "bogus", 1<<20, dir, 0, 1, repro.PipelineConfig{}, 0); err == nil {
 		t.Fatal("bogus algorithm accepted")
 	}
 }

@@ -1,0 +1,150 @@
+package repro
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/pdm"
+	"repro/internal/workload"
+)
+
+// The worker pool must be invisible to everything but the wall clock: for
+// any worker count, sorted output, pass counts, pdm.Stats, and the I/O
+// trace are bit-identical.  These tests pit Workers=1 against Workers=8 on
+// every algorithm with pipelining enabled, at sizes where the M-key chunks
+// cross the pool's parallel grain, and run under -race in CI.
+
+// normalizeStats zeroes the scheduling-dependent observability counters —
+// pipeline hits/stalls and compute timings — which are documented as
+// outside the determinism guarantee.  Everything else must match exactly.
+func normalizeStats(s pdm.Stats) pdm.Stats {
+	s.PrefetchHits, s.PrefetchStalls = 0, 0
+	s.WriteBehindHits, s.WriteBehindStalls = 0, 0
+	s.ComputeSections, s.ComputeWallNanos, s.ComputeBusyNanos = 0, 0, 0
+	return s
+}
+
+type detRun struct {
+	out   []int64
+	rep   *Report
+	stats pdm.Stats
+	trace []pdm.TraceOp
+}
+
+func sortWithWorkers(t *testing.T, workers int, keys []int64, sort func(m *Machine, keys []int64) (*Report, error)) detRun {
+	t.Helper()
+	m, err := NewMachine(MachineConfig{
+		Memory:   1024,
+		Pipeline: PipelineConfig{Prefetch: 2, WriteBehind: 2},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	out := append([]int64(nil), keys...)
+	m.Array().EnableTrace()
+	rep, err := sort(m, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detRun{out: out, rep: rep, stats: normalizeStats(m.Array().Stats()), trace: m.Array().Trace()}
+}
+
+func assertIdenticalRuns(t *testing.T, serial, parallel detRun) {
+	t.Helper()
+	if !slices.Equal(serial.out, parallel.out) {
+		t.Fatal("sorted output differs between worker counts")
+	}
+	if serial.rep.Passes != parallel.rep.Passes ||
+		serial.rep.ReadPasses != parallel.rep.ReadPasses ||
+		serial.rep.WritePasses != parallel.rep.WritePasses ||
+		serial.rep.FellBack != parallel.rep.FellBack ||
+		serial.rep.PaddedN != parallel.rep.PaddedN {
+		t.Fatalf("pass counts differ: serial %+v, parallel %+v", serial.rep, parallel.rep)
+	}
+	if serial.stats != parallel.stats {
+		t.Fatalf("stats differ:\nserial   %+v\nparallel %+v", serial.stats, parallel.stats)
+	}
+	if !pdm.TracesEqual(serial.trace, parallel.trace) {
+		t.Fatal("I/O traces differ between worker counts")
+	}
+	if normalizeStats(serial.rep.IO) != normalizeStats(parallel.rep.IO) {
+		t.Fatal("report I/O deltas differ between worker counts")
+	}
+}
+
+func TestWorkerCountDeterminism(t *testing.T) {
+	const mem = 1024
+	cases := []struct {
+		alg Algorithm
+		n   int
+	}{
+		{ThreePassMesh, 32 * mem},
+		{TwoPassMeshExpected, 8 * mem},
+		{ThreePassLMM, 32 * mem},
+		{TwoPassExpected, 8 * mem},
+		{ThreePassExpected, 16 * mem},
+		{SevenPass, 16 * mem},
+		{SixPassExpected, 16 * mem},
+		{SevenPassMesh, 16 * mem},
+	}
+	for _, tc := range cases {
+		t.Run(tc.alg.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				keys := workload.Uniform(tc.n-257, -1<<40, 1<<40, seed+int64(tc.alg)<<8)
+				sort := func(m *Machine, k []int64) (*Report, error) { return m.Sort(k, tc.alg) }
+				serial := sortWithWorkers(t, 1, keys, sort)
+				parallel := sortWithWorkers(t, 8, keys, sort)
+				assertIdenticalRuns(t, serial, parallel)
+				if !slices.IsSorted(serial.out) {
+					t.Fatal("output not sorted")
+				}
+			}
+		})
+	}
+}
+
+func TestWorkerCountDeterminismRadix(t *testing.T) {
+	keys := workload.Uniform(9000, 0, (1<<20)-1, 77)
+	sort := func(m *Machine, k []int64) (*Report, error) { return m.SortInts(k, 1<<20) }
+	serial := sortWithWorkers(t, 1, keys, sort)
+	parallel := sortWithWorkers(t, 8, keys, sort)
+	assertIdenticalRuns(t, serial, parallel)
+}
+
+func TestWorkerCountDeterminismPairs(t *testing.T) {
+	n := 8 * 1024
+	keys := workload.Uniform(n, 0, 1<<16, 5) // narrow universe forces ties
+	payloads := make([]int64, n)
+	for i := range payloads {
+		payloads[i] = int64(i) * 3
+	}
+	type pairRun struct {
+		keys, payloads []int64
+	}
+	run := func(workers int) pairRun {
+		m, err := NewMachine(MachineConfig{Memory: 1024, Workers: workers,
+			Pipeline: PipelineConfig{Prefetch: 2, WriteBehind: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		k := append([]int64(nil), keys...)
+		p := append([]int64(nil), payloads...)
+		if _, err := m.SortPairs(k, p, Auto); err != nil {
+			t.Fatal(err)
+		}
+		return pairRun{k, p}
+	}
+	serial, parallel := run(1), run(8)
+	if !slices.Equal(serial.keys, parallel.keys) || !slices.Equal(serial.payloads, parallel.payloads) {
+		t.Fatal("SortPairs result differs between worker counts")
+	}
+	// Stability: equal keys keep their original payload order.
+	for i := 1; i < n; i++ {
+		if serial.keys[i] == serial.keys[i-1] && serial.payloads[i] < serial.payloads[i-1] {
+			t.Fatalf("stability violated at %d", i)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/memsort"
+	"repro/internal/par"
 	"repro/internal/pdm"
 	"repro/internal/stream"
 )
@@ -154,6 +155,7 @@ func formRuns(a *pdm.Array, in *pdm.Stripe, off, n, runLen int) ([]*pdm.Stripe, 
 	if err != nil {
 		return nil, err
 	}
+	pool := a.Pool()
 	numRuns := n / runLen
 	// A cleanup chunk reads h = √M/numRuns consecutive blocks from every
 	// run, so spacing the run skews by h tiles the disks exactly; unit
@@ -168,7 +170,7 @@ func formRuns(a *pdm.Array, in *pdm.Stripe, off, n, runLen int) ([]*pdm.Stripe, 
 			w.Close() //nolint:errcheck // the read error takes precedence
 			return nil, err
 		}
-		memsort.Keys(buf)
+		pool.SortKeys(buf)
 		s, err := a.NewStripeSkew(runLen, i*skewStep)
 		if err != nil {
 			w.Close() //nolint:errcheck // the alloc error takes precedence
@@ -219,6 +221,7 @@ func formRunsUnshuffled(a *pdm.Array, in *pdm.Stripe, off, n, runLen, m int) ([]
 	if err != nil {
 		return nil, err
 	}
+	pool := a.Pool()
 	numRuns := n / runLen
 	skewStep := mergeSkewStep(g, numRuns, partLen/g.b)
 	runs := make([]*pdm.Stripe, numRuns)
@@ -227,14 +230,12 @@ func formRunsUnshuffled(a *pdm.Array, in *pdm.Stripe, off, n, runLen, m int) ([]
 			w.Close() //nolint:errcheck // the read error takes precedence
 			return nil, err
 		}
-		memsort.Keys(buf)
-		// Gather part p at parts[p*partLen : (p+1)*partLen].
-		for p := 0; p < m; p++ {
-			dst := parts[p*partLen : (p+1)*partLen]
-			for k := range dst {
-				dst[k] = buf[p+k*m]
-			}
-		}
+		// parts is dead until the unshuffle below, so the sort may use it
+		// as partitioned-merge scratch — no extra arena memory.
+		pool.SortKeysScratch(buf, parts)
+		// Gather part p at parts[p*partLen : (p+1)*partLen] — a transpose
+		// of the sorted run viewed as partLen rows of m keys.
+		pool.Transpose(parts, buf, partLen, m)
 		s, err := a.NewStripeSkew(runLen, i*skewStep)
 		if err != nil {
 			w.Close() //nolint:errcheck // the alloc error takes precedence
@@ -329,6 +330,7 @@ func mergePartGroups(a *pdm.Array, runs []*pdm.Stripe, partLen, m int) ([]seqVie
 	if err != nil {
 		return nil, nil, err
 	}
+	pool := a.Pool()
 	merged := make([]seqView, m)
 	var backing []*pdm.Stripe
 	lanes := make([][]int64, l)
@@ -344,12 +346,24 @@ func mergePartGroups(a *pdm.Array, runs []*pdm.Stripe, partLen, m int) ([]seqVie
 		if err := rd.FillFlat(in); err != nil {
 			return fail(err)
 		}
-		// Merge each group in the batch.
-		for gj := 0; gj < gcnt; gj++ {
+		// Merge each group in the batch: a single resident group gets the
+		// partitioned (splitter-cut) merge, several split across the workers
+		// group-wise — either way bit-identical to the serial loser tree.
+		if gcnt == 1 {
 			for i := range runs {
-				lanes[i] = in[gj*group+i*partLen : gj*group+(i+1)*partLen]
+				lanes[i] = in[i*partLen : (i+1)*partLen]
 			}
-			memsort.MultiMerge(out[gj*group:(gj+1)*group], lanes)
+			pool.MultiMerge(out[:group], lanes)
+		} else {
+			pool.For(gcnt*group, gcnt, func(_, lo, hi int) {
+				glanes := make([][]int64, l)
+				for gj := lo; gj < hi; gj++ {
+					for i := 0; i < l; i++ {
+						glanes[i] = in[gj*group+i*partLen : gj*group+(i+1)*partLen]
+					}
+					memsort.MultiMerge(out[gj*group:(gj+1)*group], glanes)
+				}
+			})
 		}
 		// One shared stripe per batch, blocks interleaved round-robin:
 		// stripe block p holds block p/gcnt of group j0 + p%gcnt.
@@ -454,11 +468,12 @@ func rollingPass(a *pdm.Array, chunk, chunks int, read func(t int, dst []int64) 
 		return err
 	}
 	defer a.Arena().Free(buf)
+	pool := a.Pool()
 	carry := buf[:chunk]
 	if err := read(0, carry); err != nil {
 		return err
 	}
-	memsort.Keys(carry)
+	pool.SortKeys(carry)
 	var lastMax int64
 	emitted := false
 	for t := 1; t < chunks; t++ {
@@ -466,8 +481,8 @@ func rollingPass(a *pdm.Array, chunk, chunks int, read func(t int, dst []int64) 
 		if err := read(t, cur); err != nil {
 			return err
 		}
-		memsort.Keys(cur)
-		memsort.SymMerge(buf, chunk)
+		pool.SortKeys(cur)
+		pool.SymMerge(buf, chunk)
 		if emitted && buf[0] < lastMax {
 			return ErrCleanupOverflow
 		}
@@ -519,6 +534,21 @@ func RollingPass(a *pdm.Array, chunk, chunks int, read func(t int, dst []int64) 
 // SequentialEmit exposes the consecutive-chunk writer for RollingPass.
 func SequentialEmit(out *pdm.Stripe) func(t int, chunk []int64) error {
 	return sequentialEmit(out)
+}
+
+// sortColumns sorts the cnt contiguous colLen-key columns resident in buf:
+// across the workers when several columns are in memory at once, and inside
+// the single column otherwise — both bit-identical to serial column sorts.
+func sortColumns(pool *par.Pool, buf []int64, colLen, cnt int) {
+	if cnt == 1 {
+		pool.SortKeys(buf[:colLen])
+		return
+	}
+	pool.For(cnt*colLen, cnt, func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			memsort.Keys(buf[c*colLen : (c+1)*colLen])
+		}
+	})
 }
 
 // freeAll frees every stripe in the slice.

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/memsort"
 	"repro/internal/pdm"
 	"repro/internal/stream"
 )
@@ -79,11 +78,11 @@ func ExpTwoPassMesh(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 				w.Close() //nolint:errcheck // the read error takes precedence
 				return err
 			}
+			sortColumns(a.Pool(), colBuf, colLen, cnt)
 			addrs := make([]pdm.BlockAddr, 0, cnt*segs)
 			views := make([][]int64, 0, cnt*segs)
 			for ci := 0; ci < cnt; ci++ {
 				col := colBuf[ci*colLen : (ci+1)*colLen]
-				memsort.Keys(col)
 				for j := 0; j < segs; j++ {
 					addrs = append(addrs, bands[j].BlockAddr(c0+ci))
 					views = append(views, col[j*sq:(j+1)*sq])

@@ -215,8 +215,19 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 		}
 
 		// Group by bucket: bucketOf is monotone in the key, so a key sort
-		// groups the buckets in value order.
-		memsort.Keys(buf[:valid])
+		// groups the buckets in value order, and the parallel histogram
+		// yields each bucket's extent without rescanning the keys.
+		pool := a.Pool()
+		pool.SortKeys(buf[:valid])
+		bcounts, ok := pool.Histogram(buf[:valid], r, bucketOf)
+		if !ok {
+			for _, k := range buf[:valid] {
+				if bkt := bucketOf(k); bkt < 0 || bkt >= r {
+					return fail(fmt.Errorf("core: key %d maps to bucket %d outside [0,%d)", k, bkt, r))
+				}
+			}
+			return fail(fmt.Errorf("core: bucket histogram failed without an offending key"))
+		}
 
 		// Assemble this phase's full blocks: carry-completion blocks (the
 		// in-memory partial topped up from the group) followed by direct
@@ -230,15 +241,11 @@ func scatterPass(a *pdm.Array, src blockSeq, r int, bucketOf func(int64) int, st
 		}
 		var tails []tail
 		pos := 0
-		for pos < valid {
-			bkt := bucketOf(buf[pos])
-			if bkt < 0 || bkt >= r {
-				return fail(fmt.Errorf("core: key %d maps to bucket %d outside [0,%d)", buf[pos], bkt, r))
+		for bkt := 0; bkt < r; bkt++ {
+			if bcounts[bkt] == 0 {
+				continue
 			}
-			end := pos
-			for end < valid && bucketOf(buf[end]) == bkt {
-				end++
-			}
+			end := pos + bcounts[bkt]
 			c := carryCnt[bkt]
 			seg := carry[bkt*g.b : (bkt+1)*g.b]
 			if c+(end-pos) < g.b {

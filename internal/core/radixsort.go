@@ -131,7 +131,7 @@ func RadixSort(a *pdm.Array, in *pdm.Stripe, universe int64) (*Result, error) {
 		accLen += len(keys)
 		remaining[leaf] -= len(keys)
 		if remaining[leaf] == 0 {
-			memsort.Keys(acc[:accLen])
+			a.Pool().SortKeys(acc[:accLen])
 			if err := ap.append(acc[:accLen]); err != nil {
 				return err
 			}

@@ -100,22 +100,29 @@ func unshuffleEmit(a *pdm.Array, subseqs []*pdm.Stripe, staging []int64) emitFun
 	sq := len(subseqs)
 	b := a.B()
 	d := a.D()
+	pool := a.Pool()
 	return func(t int, chunk []int64) error {
 		for j0 := 0; j0 < sq; j0 += d {
 			cnt := d
 			if j0+cnt > sq {
 				cnt = sq - j0
 			}
+			// The strided gather into the staging blocks splits across the
+			// workers; the addressing stays serial and identical.
+			pool.For(cnt*b, cnt, func(_, lo, hi int) {
+				for dj := lo; dj < hi; dj++ {
+					j := j0 + dj
+					seg := staging[dj*b : (dj+1)*b]
+					for k := 0; k < b; k++ {
+						seg[k] = chunk[k*sq+j]
+					}
+				}
+			})
 			addrs := make([]pdm.BlockAddr, cnt)
 			views := make([][]int64, cnt)
 			for dj := 0; dj < cnt; dj++ {
-				j := j0 + dj
-				seg := staging[dj*b : (dj+1)*b]
-				for k := 0; k < b; k++ {
-					seg[k] = chunk[k*sq+j]
-				}
-				addrs[dj] = subseqs[j].BlockAddr(t)
-				views[dj] = seg
+				addrs[dj] = subseqs[j0+dj].BlockAddr(t)
+				views[dj] = staging[dj*b : (dj+1)*b]
 			}
 			if err := a.WriteV(addrs, views); err != nil {
 				return err
@@ -176,18 +183,16 @@ func outerMerge(a *pdm.Array, subseqs [][]*pdm.Stripe, l, n int) (*pdm.Stripe, e
 		if err != nil {
 			return err
 		}
+		pool := a.Pool()
 		for i := range subseqs {
 			for j := range subseqs[i] {
 				if err := rd.FillFlat(buf); err != nil {
 					w.Close() //nolint:errcheck // the read error takes precedence
 					return err
 				}
-				for p := 0; p < l; p++ {
-					dst := scatter[p*g.b : (p+1)*g.b]
-					for k := range dst {
-						dst[k] = buf[p+k*l]
-					}
-				}
+				// Part p at scatter[p·B:(p+1)·B] — a transpose of the
+				// subsequence viewed as B rows of l keys.
+				pool.Transpose(scatter, buf, g.b, l)
 				if err := w.WriteFlat(stripeAddrs(parts[i][j], 0, subLen), scatter); err != nil {
 					w.Close() //nolint:errcheck // the write error takes precedence
 					return err
@@ -242,6 +247,7 @@ func outerMerge(a *pdm.Array, subseqs [][]*pdm.Stripe, l, n int) (*pdm.Stripe, e
 		if err != nil {
 			return err
 		}
+		pool := a.Pool()
 		lanes := make([][]int64, l)
 		for j := 0; j < sq; j++ {
 			for p := 0; p < l; p++ {
@@ -252,7 +258,7 @@ func outerMerge(a *pdm.Array, subseqs [][]*pdm.Stripe, l, n int) (*pdm.Stripe, e
 					w.Close() //nolint:errcheck // the read error takes precedence
 					return err
 				}
-				memsort.MultiMerge(outBuf, lanes)
+				pool.MultiMerge(outBuf, lanes)
 				s, err := a.NewStripeSkew(subLen, j+p)
 				if err != nil {
 					w.Close() //nolint:errcheck // the alloc error takes precedence

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/memsort"
 	"repro/internal/pdm"
 	"repro/internal/stream"
 )
@@ -81,23 +80,29 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 		if err != nil {
 			return err
 		}
+		pool := a.Pool()
 		for k := 0; k < l; k++ {
 			if err := rd.FillFlat(buf); err != nil {
 				w.Close() //nolint:errcheck // the read error takes precedence
 				return err
 			}
-			memsort.Keys(buf)
+			// gather is dead until the transpose below, so the sort may use
+			// it as partitioned-merge scratch.
+			pool.SortKeysScratch(buf, gather)
 			reversed := k%2 == 1
-			// gather[c*√M + r] = column c, row r of the sorted submesh.
-			for c := 0; c < sq; c++ {
-				src := c
-				if reversed {
-					src = sq - 1 - c
+			// gather[c*√M + r] = column c, row r of the sorted submesh — the
+			// snake-direction transpose, split across the workers by column.
+			pool.For(g.m, sq, func(_, lo, hi int) {
+				for c := lo; c < hi; c++ {
+					src := c
+					if reversed {
+						src = sq - 1 - c
+					}
+					for r := 0; r < sq; r++ {
+						gather[c*sq+r] = buf[r*sq+src]
+					}
 				}
-				for r := 0; r < sq; r++ {
-					gather[c*sq+r] = buf[r*sq+src]
-				}
-			}
+			})
 			addrs := make([]pdm.BlockAddr, sq)
 			for c := 0; c < sq; c++ {
 				addrs[c] = cols[c].BlockAddr(k)
@@ -176,11 +181,11 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 				w.Close() //nolint:errcheck // the read error takes precedence
 				return err
 			}
+			sortColumns(a.Pool(), colBuf, colLen, cnt)
 			waddrs := make([]pdm.BlockAddr, 0, cnt*l)
 			wviews := make([][]int64, 0, cnt*l)
 			for ci := 0; ci < cnt; ci++ {
 				col := colBuf[ci*colLen : (ci+1)*colLen]
-				memsort.Keys(col)
 				for j := 0; j < l; j++ {
 					waddrs = append(waddrs, bands[j].BlockAddr(c0+ci))
 					wviews = append(wviews, col[j*sq:(j+1)*sq])

@@ -1,0 +1,107 @@
+package memsort
+
+// This file holds the worker-aware entry points of the merge kernels: the
+// multi-sequence selection that lets a caller cut k sorted lanes at an exact
+// global rank, so independent workers can merge disjoint output ranges of
+// one logical k-way merge (internal/par builds its partitioned merges on it).
+
+// searchLess returns the number of keys in the sorted slice a that are
+// strictly smaller than v.
+func searchLess(a []int64, v int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchLessEq returns the number of keys in the sorted slice a that are
+// smaller than or equal to v.
+func searchLessEq(a []int64, v int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CutLanes splits k sorted lanes at global rank: it returns per-lane cut
+// indices cuts with sum(cuts) = rank such that every key in the prefixes
+// lanes[i][:cuts[i]] is ≤ every key in the suffixes lanes[i][cuts[i]:].
+// Ties at the cut value are assigned to the lowest-numbered lanes first,
+// matching the loser tree's tie order, so concatenating the merges of the
+// prefix lanes and of the suffix lanes reproduces MultiMerge exactly.
+// rank is clamped to [0, total keys].
+func CutLanes(lanes [][]int64, rank int) []int {
+	cuts := make([]int, len(lanes))
+	if rank <= 0 {
+		return cuts
+	}
+	total := 0
+	var lo, hi int64
+	first := true
+	for _, l := range lanes {
+		total += len(l)
+		if len(l) == 0 {
+			continue
+		}
+		if first || l[0] < lo {
+			lo = l[0]
+		}
+		if first || l[len(l)-1] > hi {
+			hi = l[len(l)-1]
+		}
+		first = false
+	}
+	if rank >= total {
+		for i, l := range lanes {
+			cuts[i] = len(l)
+		}
+		return cuts
+	}
+	// Binary search for the rank-th smallest value v (1-indexed): the
+	// smallest v with |{keys ≤ v}| ≥ rank.  The overflow-safe midpoint
+	// matters: lo and hi may span nearly the whole int64 range.
+	for lo < hi {
+		mid := lo + int64((uint64(hi)-uint64(lo))/2)
+		cnt := 0
+		for _, l := range lanes {
+			cnt += searchLessEq(l, mid)
+		}
+		if cnt >= rank {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	v := lo
+	// Everything strictly below v is in the prefix; distribute the
+	// remaining rank among the copies of v, lowest-numbered lanes first.
+	rem := rank
+	for i, l := range lanes {
+		cuts[i] = searchLess(l, v)
+		rem -= cuts[i]
+	}
+	for i, l := range lanes {
+		if rem == 0 {
+			break
+		}
+		ties := searchLessEq(l, v) - cuts[i]
+		if ties > rem {
+			ties = rem
+		}
+		cuts[i] += ties
+		rem -= ties
+	}
+	return cuts
+}

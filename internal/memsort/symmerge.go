@@ -9,8 +9,39 @@ func SymMerge(a []int64, m int) {
 	symMerge(a, 0, m, len(a))
 }
 
+// SymMergeRange merges the sorted runs data[lo:mid] and data[mid:hi] in
+// place — SymMerge on a subrange, the entry point the parallel compute
+// layer (internal/par) uses for its leaf merges.
+func SymMergeRange(data []int64, lo, mid, hi int) {
+	symMerge(data, lo, mid, hi)
+}
+
 func symMerge(data []int64, a, m, b int) {
-	// Avoid unnecessary recursion on trivial halves.
+	start, mid, end, split := symMergeSplit(data, a, m, b)
+	if !split {
+		return
+	}
+	if a < start && start < mid {
+		symMerge(data, a, start, mid)
+	}
+	if mid < end && end < b {
+		symMerge(data, mid, end, b)
+	}
+}
+
+// SymMergeSplit performs one divide step of the symmetric merge on the
+// sorted runs data[lo:mid] and data[mid:hi]: trivial ranges (a one-key
+// side, or an empty side) are merged completely and split is false;
+// otherwise the step rotates the crossing region and returns the two
+// independent subproblems (lo, start, half) and (half, end, hi), so a
+// caller can recurse on them concurrently.  A subproblem is already merged
+// — and must be skipped — unless its bounds are strictly increasing.
+func SymMergeSplit(data []int64, lo, mid, hi int) (start, half, end int, split bool) {
+	return symMergeSplit(data, lo, mid, hi)
+}
+
+func symMergeSplit(data []int64, a, m, b int) (start, mid, end int, split bool) {
+	// Handle trivial halves completely instead of splitting.
 	if m-a == 1 {
 		// Insert data[a] into data[m:b]: find the lowest index i in [m,b)
 		// with data[i] >= data[a], then rotate data[a:i] left by one.
@@ -26,7 +57,7 @@ func symMerge(data []int64, a, m, b int) {
 		for k := a; k < i-1; k++ {
 			data[k], data[k+1] = data[k+1], data[k]
 		}
-		return
+		return 0, 0, 0, false
 	}
 	if b-m == 1 {
 		// Insert data[m] into data[a:m]: find the lowest index i in [a,m)
@@ -43,15 +74,15 @@ func symMerge(data []int64, a, m, b int) {
 		for k := m; k > i; k-- {
 			data[k], data[k-1] = data[k-1], data[k]
 		}
-		return
+		return 0, 0, 0, false
 	}
 	if m <= a || b <= m {
-		return
+		return 0, 0, 0, false
 	}
 
-	mid := int(uint(a+b) >> 1)
+	mid = int(uint(a+b) >> 1)
 	n := mid + m
-	var start, r int
+	var r int
 	if m > mid {
 		start = n - b
 		r = mid
@@ -68,16 +99,11 @@ func symMerge(data []int64, a, m, b int) {
 			start = c + 1
 		}
 	}
-	end := n - start
+	end = n - start
 	if start < m && m < end {
 		rotate(data, start, m, end)
 	}
-	if a < start && start < mid {
-		symMerge(data, a, start, mid)
-	}
-	if mid < end && end < b {
-		symMerge(data, mid, end, b)
-	}
+	return start, mid, end, true
 }
 
 // rotate exchanges the adjacent blocks data[a:m] and data[m:b] using the

@@ -1,0 +1,52 @@
+package par
+
+import "repro/internal/memsort"
+
+// MultiMerge merges k sorted lanes into dst (len = total lane length)
+// across the workers: the output range is cut at exact global ranks by
+// memsort.CutLanes, and each worker runs the serial loser-tree merge on
+// its own slice of every lane into its own slice of dst.  dst must not
+// alias the lanes.  The output is bit-identical to memsort.MultiMerge for
+// any worker count.
+func (p *Pool) MultiMerge(dst []int64, lanes [][]int64) {
+	total := 0
+	for _, l := range lanes {
+		total += len(l)
+	}
+	if len(dst) != total {
+		panic("par: MultiMerge destination size mismatch")
+	}
+	if p.workers == 1 || total < minParallel || len(lanes) < 2 {
+		memsort.MultiMerge(dst, lanes)
+		return
+	}
+	done := p.section()
+	p.multiMergeBody(dst, lanes, total)
+	done()
+}
+
+// multiMergeBody is the partitioned merge without the guard/section
+// wrapper, shared with SortKeysScratch.
+func (p *Pool) multiMergeBody(dst []int64, lanes [][]int64, total int) {
+	w := p.workers
+	// Splitters: cuts[s] holds each lane's cut at output rank s·total/w.
+	cuts := make([][]int, w+1)
+	cuts[0] = make([]int, len(lanes))
+	for s := 1; s < w; s++ {
+		cuts[s] = memsort.CutLanes(lanes, s*total/w)
+	}
+	last := make([]int, len(lanes))
+	for i, l := range lanes {
+		last[i] = len(l)
+	}
+	cuts[w] = last
+	p.parDo(w, func(_, slo, shi int) {
+		sub := make([][]int64, len(lanes))
+		for s := slo; s < shi; s++ {
+			for i, l := range lanes {
+				sub[i] = l[cuts[s][i]:cuts[s+1][i]]
+			}
+			memsort.MultiMerge(dst[s*total/w:(s+1)*total/w], sub)
+		}
+	})
+}

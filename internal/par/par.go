@@ -1,0 +1,142 @@
+// Package par is the shared worker-pool compute layer between the in-core
+// kernels (internal/memsort) and the PDM algorithms: parallel memory-load
+// sorting (per-worker introsort + partitioned merge), partitioned k-way
+// merging (the loser tree's output range cut by splitters so each worker
+// merges an independent slice), parallel in-place symmetric merging, and
+// scatter/gather primitives (transpose, copy, radix-style histograms).
+//
+// The layer is invisible to the PDM cost model and to the algorithms'
+// results: every operation produces output bit-identical to its serial
+// counterpart for any worker count — sorting and merging int64 multisets
+// have a unique result, and the partition boundaries are exact ranks — so
+// parallelism changes wall-clock only, never pass counts, statistics, or
+// I/O traces.  No operation allocates from the pdm Arena: the sorts and
+// merges are in-place (or write caller-provided buffers), keeping the
+// paper's memory envelope untouched.
+//
+// A Pool is safe for use from one algorithm goroutine at a time per
+// operation; distinct operations on one pool must not run concurrently
+// (in-tree callers drive it from the single algorithm goroutine, exactly
+// like a stream.Reader).  The pool records observability counters —
+// parallel sections entered, their wall time, and the summed per-worker
+// busy time — that the pdm Array folds into its Stats, where they are
+// scheduling-dependent like the pipeline hit/stall counters and excluded
+// from determinism guarantees.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// minParallel is the work size, in keys, below which every operation runs
+// serially: fork/join overhead swamps the win on smaller inputs, and the
+// simulator's small test geometries should not pay it.
+const minParallel = 1024
+
+// Pool is a fixed-width fork/join worker pool.  Workers are spawned per
+// operation (Go's scheduler makes goroutine reuse unnecessary); the pool
+// carries the width and the observability counters.
+type Pool struct {
+	workers int
+
+	sections  atomic.Int64
+	wallNanos atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// New returns a pool of the given width; workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Counters returns the cumulative observability counters: parallel
+// sections entered, their summed wall time, and the summed busy time of
+// all worker goroutines (including each section's inline share).
+func (p *Pool) Counters() (sections, wallNanos, busyNanos int64) {
+	return p.sections.Load(), p.wallNanos.Load(), p.busyNanos.Load()
+}
+
+// ResetCounters zeroes the observability counters.
+func (p *Pool) ResetCounters() {
+	p.sections.Store(0)
+	p.wallNanos.Store(0)
+	p.busyNanos.Store(0)
+}
+
+// section starts timing one parallel section; the returned func ends it.
+func (p *Pool) section() func() {
+	t0 := time.Now()
+	return func() {
+		p.sections.Add(1)
+		p.wallNanos.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// busyDo runs f inline, adding its elapsed time to the busy counter.
+func (p *Pool) busyDo(f func()) {
+	t0 := time.Now()
+	f()
+	p.busyNanos.Add(time.Since(t0).Nanoseconds())
+}
+
+// spawn runs f on a new goroutine tracked by wg, recording its busy time.
+// Only flat (non-forking) work may go through spawn — a forking f must use
+// a plain goroutine and time its own leaves, or the children's work would
+// be counted twice.
+func (p *Pool) spawn(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.busyDo(f)
+	}()
+}
+
+// parDo fans f(w, lo, hi) out over at most p.workers contiguous spans of
+// [0, n) and waits.  Callers guard for parallel-worthiness; parDo itself
+// records no section.
+func (p *Pool) parDo(n int, f func(w, lo, hi int)) {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		i := i
+		p.spawn(&wg, func() { f(i, i*n/w, (i+1)*n/w) })
+	}
+	p.busyDo(func() { f(0, 0, n/w) })
+	wg.Wait()
+}
+
+// For runs f(w, lo, hi) over a partition of [0, n) into at most Workers
+// contiguous spans, in parallel when the total work (in keys) warrants it
+// and serially — one call f(0, 0, n) — otherwise.  f must only touch state
+// owned by its span; the span index w is informational.
+func (p *Pool) For(work, n int, f func(w, lo, hi int)) {
+	if p.workers == 1 || n < 2 || work < minParallel {
+		f(0, 0, n)
+		return
+	}
+	done := p.section()
+	p.parDo(n, f)
+	done()
+}
+
+// Copy copies src into dst (lengths must match) across the workers.
+func (p *Pool) Copy(dst, src []int64) {
+	if len(dst) != len(src) {
+		panic("par: Copy length mismatch")
+	}
+	p.For(len(dst), len(dst), func(_, lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}

@@ -1,0 +1,220 @@
+package par
+
+import (
+	"math/rand"
+	"slices"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/memsort"
+)
+
+var testWidths = []int{1, 2, 3, 4, 8}
+
+func randKeys(rng *rand.Rand, n int, span int64) []int64 {
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(2*span) - span
+	}
+	return a
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("zero-worker pool")
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("Workers() = %d, want 5", got)
+	}
+}
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, w := range testWidths {
+		p := New(w)
+		const n = 5000
+		hits := make([]int32, n)
+		p.For(n, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("w=%d: index %d visited %d times", w, i, h)
+			}
+		}
+	}
+}
+
+func TestForSmallWorkRunsSerial(t *testing.T) {
+	p := New(8)
+	calls := 0
+	p.For(10, 10, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("serial call = (%d, %d, %d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("%d calls, want 1", calls)
+	}
+}
+
+func TestSortKeysMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 500, minParallel, minParallel + 13, 20000} {
+		want := randKeys(rng, n, 50) // duplicates likely
+		got := append([]int64(nil), want...)
+		memsort.Keys(want)
+		for _, w := range testWidths {
+			a := append([]int64(nil), got...)
+			New(w).SortKeys(a)
+			if !slices.Equal(a, want) {
+				t.Fatalf("n=%d w=%d: SortKeys differs from serial", n, w)
+			}
+		}
+	}
+}
+
+func TestSortKeysScratchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{500, minParallel, 20000} {
+		src := randKeys(rng, n, 1<<40)
+		want := append([]int64(nil), src...)
+		memsort.Keys(want)
+		for _, w := range testWidths {
+			a := append([]int64(nil), src...)
+			New(w).SortKeysScratch(a, make([]int64, n))
+			if !slices.Equal(a, want) {
+				t.Fatalf("n=%d w=%d: SortKeysScratch differs from serial", n, w)
+			}
+			// Undersized scratch must fall back, not fail.
+			a = append([]int64(nil), src...)
+			New(w).SortKeysScratch(a, make([]int64, n/2))
+			if !slices.Equal(a, want) {
+				t.Fatalf("n=%d w=%d: fallback path differs from serial", n, w)
+			}
+		}
+	}
+}
+
+func TestSymMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{16, minParallel, 8192} {
+		for trial := 0; trial < 10; trial++ {
+			m := rng.Intn(n + 1)
+			src := randKeys(rng, n, 40)
+			memsort.Keys(src[:m])
+			memsort.Keys(src[m:])
+			want := append([]int64(nil), src...)
+			memsort.SymMerge(want, m)
+			for _, w := range testWidths {
+				a := append([]int64(nil), src...)
+				New(w).SymMerge(a, m)
+				if !slices.Equal(a, want) {
+					t.Fatalf("n=%d m=%d w=%d: SymMerge differs from serial", n, m, w)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(8)
+		lanes := make([][]int64, k)
+		total := 0
+		for i := range lanes {
+			n := rng.Intn(1200)
+			if trial%5 == 0 && i == 0 {
+				n = 0 // empty lanes must be handled
+			}
+			lanes[i] = randKeys(rng, n, 30)
+			memsort.Keys(lanes[i])
+			total += n
+		}
+		want := make([]int64, total)
+		memsort.MultiMerge(want, lanes)
+		for _, w := range testWidths {
+			got := make([]int64, total)
+			New(w).MultiMerge(got, lanes)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d w=%d: MultiMerge differs from serial", trial, w)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dims := range [][2]int{{1, 1}, {4, 7}, {64, 64}, {128, 33}} {
+		rows, cols := dims[0], dims[1]
+		src := randKeys(rng, rows*cols, 1<<30)
+		for _, w := range testWidths {
+			dst := make([]int64, rows*cols)
+			New(w).Transpose(dst, src, rows, cols)
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					if dst[c*rows+r] != src[r*cols+c] {
+						t.Fatalf("%dx%d w=%d: dst[%d][%d] wrong", rows, cols, w, c, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := randKeys(rng, 9000, 1<<30)
+	for _, w := range testWidths {
+		dst := make([]int64, len(src))
+		New(w).Copy(dst, src)
+		if !slices.Equal(dst, src) {
+			t.Fatalf("w=%d: Copy mangled data", w)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const buckets = 16
+	keys := make([]int64, 8000)
+	want := make([]int, buckets)
+	for i := range keys {
+		keys[i] = rng.Int63n(buckets)
+		want[keys[i]]++
+	}
+	for _, w := range testWidths {
+		got, ok := New(w).Histogram(keys, buckets, func(k int64) int { return int(k) })
+		if !ok || !slices.Equal(got, want) {
+			t.Fatalf("w=%d: histogram = %v, %v", w, got, ok)
+		}
+		// Out-of-range keys must be reported, not counted or crashed on.
+		badKeys := append(append([]int64(nil), keys...), int64(buckets))
+		if _, ok := New(w).Histogram(badKeys, buckets, func(k int64) int { return int(k) }); ok {
+			t.Fatalf("w=%d: out-of-range bucket accepted", w)
+		}
+	}
+}
+
+func TestCountersAdvanceAndReset(t *testing.T) {
+	p := New(4)
+	a := randKeys(rand.New(rand.NewSource(8)), 4*minParallel, 1<<30)
+	p.SortKeys(a)
+	sections, wall, busy := p.Counters()
+	if sections == 0 || wall <= 0 || busy <= 0 {
+		t.Fatalf("counters did not advance: %d, %d, %d", sections, wall, busy)
+	}
+	p.ResetCounters()
+	if s, w, b := p.Counters(); s != 0 || w != 0 || b != 0 {
+		t.Fatalf("counters not reset: %d, %d, %d", s, w, b)
+	}
+	// A serial pool records no sections.
+	p1 := New(1)
+	p1.SortKeys(a)
+	if s, _, _ := p1.Counters(); s != 0 {
+		t.Fatalf("serial pool recorded %d sections", s)
+	}
+}

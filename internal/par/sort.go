@@ -1,0 +1,146 @@
+package par
+
+import (
+	"sync"
+
+	"repro/internal/memsort"
+)
+
+// SortKeys sorts a in place across the workers: per-worker memsort.Keys on
+// contiguous segments, then parallel in-place merge rounds (symmetric
+// merges of adjacent segment pairs, each pair's merge itself forked by
+// SymMergeSplit).  It allocates no key buffers, so it is safe inside any
+// memory envelope; when a scratch buffer is available, SortKeysScratch is
+// faster.  The result is identical to memsort.Keys for any worker count.
+func (p *Pool) SortKeys(a []int64) {
+	n := len(a)
+	if p.workers == 1 || n < minParallel {
+		memsort.Keys(a)
+		return
+	}
+	done := p.section()
+	s := p.workers
+	bounds := make([]int, s+1)
+	for i := range bounds {
+		bounds[i] = i * n / s
+	}
+	p.parDo(s, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			memsort.Keys(a[bounds[i]:bounds[i+1]])
+		}
+	})
+	// Merge rounds: width doubles each round; every pair merge gets an
+	// equal share of the workers to fork its symmetric merge with.
+	for width := 1; width < s; width *= 2 {
+		type pair struct{ lo, mid, hi int }
+		var pairs []pair
+		for i := 0; i+width < s; i += 2 * width {
+			hiIdx := i + 2*width
+			if hiIdx > s {
+				hiIdx = s
+			}
+			pairs = append(pairs, pair{bounds[i], bounds[i+width], bounds[hiIdx]})
+		}
+		budget := p.workers / len(pairs)
+		if budget < 1 {
+			budget = 1
+		}
+		// Plain goroutines, not p.spawn: symMergeRec records its own busy
+		// time at the leaves, so timing the whole subtree here would count
+		// its children's work (and the waits for them) twice.
+		var wg sync.WaitGroup
+		for _, pr := range pairs[1:] {
+			pr := pr
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.symMergeRec(a, pr.lo, pr.mid, pr.hi, budget)
+			}()
+		}
+		p.symMergeRec(a, pairs[0].lo, pairs[0].mid, pairs[0].hi, budget)
+		wg.Wait()
+	}
+	done()
+}
+
+// SortKeysScratch sorts a in place using scratch (len ≥ len(a)) as merge
+// space: per-worker memsort.Keys on contiguous segments, one splitter-
+// partitioned k-way merge of the segments into scratch, and a parallel
+// copy back.  Falls back to SortKeys when scratch is too small or the
+// input too short to parallelize.
+func (p *Pool) SortKeysScratch(a, scratch []int64) {
+	n := len(a)
+	if p.workers == 1 || n < minParallel || len(scratch) < n {
+		p.SortKeys(a)
+		return
+	}
+	done := p.section()
+	s := p.workers
+	lanes := make([][]int64, s)
+	p.parDo(s, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seg := a[i*n/s : (i+1)*n/s]
+			memsort.Keys(seg)
+			lanes[i] = seg
+		}
+	})
+	p.multiMergeBody(scratch[:n], lanes, n)
+	p.parDo(n, func(_, lo, hi int) {
+		copy(a[lo:hi], scratch[lo:hi])
+	})
+	done()
+}
+
+// SymMerge merges the sorted halves a[:m] and a[m:] in place across the
+// workers; identical to memsort.SymMerge for any worker count.
+func (p *Pool) SymMerge(a []int64, m int) {
+	if p.workers == 1 || len(a) < minParallel {
+		memsort.SymMerge(a, m)
+		return
+	}
+	done := p.section()
+	p.symMergeRec(a, 0, m, len(a), p.workers)
+	done()
+}
+
+// symMergeRec is the forked symmetric merge: each SymMergeSplit step yields
+// two independent subproblems, run concurrently while the goroutine budget
+// lasts and serially below it (or below the parallel grain).  Busy time is
+// recorded around the actual work — the split steps and the serial leaf
+// merges — never around a wait, so WorkerUtilization counts each merged
+// key exactly once.
+func (p *Pool) symMergeRec(data []int64, a, m, b, budget int) {
+	for {
+		if budget <= 1 || b-a < minParallel {
+			p.busyDo(func() { memsort.SymMergeRange(data, a, m, b) })
+			return
+		}
+		var start, mid, end int
+		var split bool
+		p.busyDo(func() { start, mid, end, split = memsort.SymMergeSplit(data, a, m, b) })
+		if !split {
+			return
+		}
+		left := a < start && start < mid
+		right := mid < end && end < b
+		switch {
+		case left && right:
+			var wg sync.WaitGroup
+			lo, lm, lhi, lb := a, start, mid, budget/2
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.symMergeRec(data, lo, lm, lhi, lb)
+			}()
+			p.symMergeRec(data, mid, end, b, budget-budget/2)
+			wg.Wait()
+			return
+		case left:
+			m, b = start, mid
+		case right:
+			a, m = mid, end
+		default:
+			return
+		}
+	}
+}

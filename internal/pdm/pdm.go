@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/par"
 )
 
 // Common errors returned by the simulator.
@@ -68,6 +70,12 @@ type Config struct {
 	// Pipeline configures the streaming I/O layer (internal/stream) built
 	// on this array.  The zero value keeps every transfer synchronous.
 	Pipeline PipelineConfig
+
+	// Workers sizes the compute worker pool (internal/par) the algorithms
+	// use for in-memory sorting, merging, and shuffling; zero selects
+	// GOMAXPROCS.  Any value yields bit-identical output, statistics, and
+	// I/O traces — the pool changes wall-clock only.
+	Workers int
 }
 
 // PipelineConfig sizes the pipelined I/O layer.  Depths are measured in
@@ -106,6 +114,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pdm: MemSlack = %v, want >= 0", c.MemSlack)
 	case c.Pipeline.Prefetch < 0 || c.Pipeline.WriteBehind < 0:
 		return fmt.Errorf("pdm: pipeline depths %+v, want >= 0", c.Pipeline)
+	case c.Workers < 0:
+		return fmt.Errorf("pdm: Workers = %d, want >= 0", c.Workers)
 	}
 	return nil
 }
@@ -127,6 +137,7 @@ type Array struct {
 	cfg   Config
 	disks []Disk
 	arena *Arena
+	pool  *par.Pool
 
 	mu    sync.Mutex
 	stats Stats
@@ -164,6 +175,7 @@ func NewWithDisks(cfg Config, disks []Disk) (*Array, error) {
 		cfg:   cfg,
 		disks: disks,
 		arena: NewArena(capacity),
+		pool:  par.New(cfg.Workers),
 	}, nil
 }
 
@@ -189,19 +201,29 @@ func (a *Array) Arena() *Arena { return a.arena }
 // Pipeline returns the array's pipeline configuration.
 func (a *Array) Pipeline() PipelineConfig { return a.cfg.Pipeline }
 
-// Stats returns a snapshot of the accumulated I/O statistics.
+// Pool returns the compute worker pool shared by algorithms on this array.
+func (a *Array) Pool() *par.Pool { return a.pool }
+
+// Workers returns the resolved width of the compute worker pool.
+func (a *Array) Workers() int { return a.pool.Workers() }
+
+// Stats returns a snapshot of the accumulated I/O statistics, with the
+// compute pool's observability counters folded in.
 func (a *Array) Stats() Stats {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	s := a.stats
+	a.mu.Unlock()
+	s.ComputeSections, s.ComputeWallNanos, s.ComputeBusyNanos = a.pool.Counters()
+	return s
 }
 
-// ResetStats zeroes the I/O statistics (the arena and disk contents are
-// untouched).
+// ResetStats zeroes the I/O statistics and the compute counters (the arena
+// and disk contents are untouched).
 func (a *Array) ResetStats() {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.stats = Stats{}
+	a.mu.Unlock()
+	a.pool.ResetCounters()
 }
 
 // Close closes all disks, returning the first error encountered.

@@ -27,6 +27,16 @@ type Stats struct {
 	PrefetchStalls    int64
 	WriteBehindHits   int64
 	WriteBehindStalls int64
+
+	// Compute observability, maintained by the array's worker pool
+	// (internal/par) and — like the pipeline counters — scheduling-dependent
+	// and excluded from determinism checks: ComputeSections counts parallel
+	// compute sections entered, ComputeWallNanos their summed wall time, and
+	// ComputeBusyNanos the summed busy time of all workers inside them.  All
+	// zero when the pool runs serially (Workers = 1 or small inputs).
+	ComputeSections  int64
+	ComputeWallNanos int64
+	ComputeBusyNanos int64
 }
 
 // Add returns the componentwise sum of s and t.
@@ -41,6 +51,9 @@ func (s Stats) Add(t Stats) Stats {
 		PrefetchStalls:    s.PrefetchStalls + t.PrefetchStalls,
 		WriteBehindHits:   s.WriteBehindHits + t.WriteBehindHits,
 		WriteBehindStalls: s.WriteBehindStalls + t.WriteBehindStalls,
+		ComputeSections:   s.ComputeSections + t.ComputeSections,
+		ComputeWallNanos:  s.ComputeWallNanos + t.ComputeWallNanos,
+		ComputeBusyNanos:  s.ComputeBusyNanos + t.ComputeBusyNanos,
 	}
 }
 
@@ -57,6 +70,9 @@ func (s Stats) Sub(t Stats) Stats {
 		PrefetchStalls:    s.PrefetchStalls - t.PrefetchStalls,
 		WriteBehindHits:   s.WriteBehindHits - t.WriteBehindHits,
 		WriteBehindStalls: s.WriteBehindStalls - t.WriteBehindStalls,
+		ComputeSections:   s.ComputeSections - t.ComputeSections,
+		ComputeWallNanos:  s.ComputeWallNanos - t.ComputeWallNanos,
+		ComputeBusyNanos:  s.ComputeBusyNanos - t.ComputeBusyNanos,
 	}
 }
 
@@ -69,6 +85,26 @@ func (s Stats) Overlap() float64 {
 		return 1
 	}
 	return float64(s.PrefetchHits) / float64(total)
+}
+
+// ComputeSeconds returns the wall time, in seconds, spent inside parallel
+// compute sections.
+func (s Stats) ComputeSeconds() float64 {
+	return float64(s.ComputeWallNanos) / 1e9
+}
+
+// WorkerUtilization reports the busy fraction of the worker pool over the
+// parallel compute sections: busy/(wall·workers).  It returns 1 when no
+// parallel section ran (nothing was wasted).
+func (s Stats) WorkerUtilization(workers int) float64 {
+	if s.ComputeWallNanos <= 0 || workers <= 0 {
+		return 1
+	}
+	u := float64(s.ComputeBusyNanos) / (float64(s.ComputeWallNanos) * float64(workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
 }
 
 // ReadPasses converts read steps into passes over n keys on a machine with

@@ -103,6 +103,12 @@ type MachineConfig struct {
 	// whether or not a transfer was overlapped — but wall-clock time on
 	// file-backed disks improves and Report gains overlap metrics.
 	Pipeline PipelineConfig
+	// Workers sizes the compute worker pool every in-memory kernel runs on
+	// (run formation sorts, partitioned k-way merges, shuffles, radix
+	// counting); zero selects GOMAXPROCS.  Output, pass counts, statistics,
+	// and I/O traces are bit-identical for any worker count — parallelism
+	// changes wall-clock only — and Report gains compute metrics.
+	Workers int
 }
 
 // PipelineConfig sizes the streaming I/O layer.  Depths are in stripes
@@ -152,7 +158,8 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		Pipeline: pdm.PipelineConfig{
 			Prefetch:    cfg.Pipeline.Prefetch,
 			WriteBehind: cfg.Pipeline.WriteBehind,
-		}}
+		},
+		Workers: cfg.Workers}
 	var (
 		a   *pdm.Array
 		err error
@@ -206,15 +213,28 @@ type Report struct {
 	PrefetchStalls int64
 	WriteStalls    int64
 	Overlap        float64
+	// Compute observability (all zero/1 when the machine runs a single
+	// worker or the inputs are too small to parallelize).  Workers is the
+	// machine's resolved worker-pool width; ComputeSeconds the wall time
+	// spent inside parallel compute sections; WorkerUtilization the busy
+	// fraction of the pool over those sections.  Like the pipeline
+	// counters, these are scheduling-dependent and excluded from the
+	// bit-identical determinism guarantee.
+	Workers           int
+	ComputeSeconds    float64
+	WorkerUtilization float64
 }
 
-// pipelineMetrics fills the Report's overlap counters from the measured
-// I/O delta.
-func (r *Report) pipelineMetrics(io pdm.Stats) {
+// pipelineMetrics fills the Report's overlap and compute counters from the
+// measured I/O delta.
+func (r *Report) pipelineMetrics(io pdm.Stats, workers int) {
 	r.PrefetchHits = io.PrefetchHits
 	r.PrefetchStalls = io.PrefetchStalls
 	r.WriteStalls = io.WriteBehindStalls
 	r.Overlap = io.Overlap()
+	r.Workers = workers
+	r.ComputeSeconds = io.ComputeSeconds()
+	r.WorkerUtilization = io.WorkerUtilization(workers)
 }
 
 // Capacity returns the largest number of keys the given algorithm sorts on
@@ -346,7 +366,7 @@ func (m *Machine) Sort(keys []int64, alg Algorithm) (*Report, error) {
 		IO:          res.IO,
 		PaddedN:     padded,
 	}
-	rep.pipelineMetrics(res.IO)
+	rep.pipelineMetrics(res.IO, m.a.Workers())
 	return rep, nil
 }
 
@@ -393,7 +413,7 @@ func (m *Machine) SortInts(keys []int64, universe int64) (*Report, error) {
 		IO:          res.IO,
 		PaddedN:     padded,
 	}
-	rep.pipelineMetrics(res.IO)
+	rep.pipelineMetrics(res.IO, m.a.Workers())
 	return rep, nil
 }
 
