@@ -1,0 +1,188 @@
+// Command benchjson measures the repository's headline performance —
+// end-to-end sort throughput per algorithm and scheduler jobs/sec under a
+// concurrent mixed batch — and writes the results as one JSON document
+// (BENCH_pr3.json by default).  CI runs it on every push and uploads the
+// file as an artifact, so the perf trajectory of the reproduction is
+// recorded per commit instead of living only in benchmark logs.
+//
+//	benchjson [-out BENCH_pr3.json] [-n 262144] [-mem 4096] [-jobs 12] [-workers 0]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+// endToEnd is one single-machine sort measurement.
+type endToEnd struct {
+	Algorithm   string  `json:"algorithm"`
+	N           int     `json:"n"`
+	Passes      float64 `json:"passes"`
+	WallSeconds float64 `json:"wallSeconds"`
+	KeysPerSec  float64 `json:"keysPerSec"`
+	Overlap     float64 `json:"overlap"`
+	Workers     int     `json:"workers"`
+}
+
+// schedulerBench is the concurrent mixed-batch measurement.
+type schedulerBench struct {
+	Jobs        int     `json:"jobs"`
+	KeysTotal   int64   `json:"keysTotal"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wallSeconds"`
+	JobsPerSec  float64 `json:"jobsPerSec"`
+	KeysPerSec  float64 `json:"keysPerSec"`
+	Passes      float64 `json:"passesWeighted"`
+}
+
+// document is the artifact schema.
+type document struct {
+	Timestamp string         `json:"timestamp"`
+	GoVersion string         `json:"goVersion"`
+	NumCPU    int            `json:"numCPU"`
+	EndToEnd  []endToEnd     `json:"endToEnd"`
+	Scheduler schedulerBench `json:"scheduler"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr3.json", "output file")
+	n := flag.Int("n", 1<<18, "keys per end-to-end sort")
+	mem := flag.Int("mem", 4096, "internal memory M in keys (perfect square)")
+	jobs := flag.Int("jobs", 12, "jobs in the scheduler batch")
+	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
+	flag.Parse()
+	if err := run(*out, *n, *mem, *jobs, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, n, mem, jobs, workers int) error {
+	doc := document{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	// End-to-end single-machine throughput per algorithm family.
+	for _, alg := range []string{"lmm3", "mesh3", "exp2", "seven"} {
+		res, err := sortOnce(alg, n, mem, workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", alg, err)
+		}
+		doc.EndToEnd = append(doc.EndToEnd, res)
+	}
+
+	sb, err := schedulerBatch(jobs, mem, workers)
+	if err != nil {
+		return err
+	}
+	doc.Scheduler = sb
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec)\n",
+		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec)
+	return nil
+}
+
+func sortOnce(algName string, n, mem, workers int) (endToEnd, error) {
+	alg, err := repro.ParseAlgorithm(algName)
+	if err != nil {
+		return endToEnd{}, err
+	}
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Memory:   mem,
+		Workers:  workers,
+		Pipeline: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		return endToEnd{}, err
+	}
+	defer m.Close()
+	if capacity := m.Capacity(alg); n > capacity {
+		n = capacity
+	}
+	keys, err := (&repro.WorkloadSpec{Kind: "uniform", N: n, Seed: 1}).Generate()
+	if err != nil {
+		return endToEnd{}, err
+	}
+	t0 := time.Now()
+	rep, err := m.Sort(keys, alg)
+	if err != nil {
+		return endToEnd{}, err
+	}
+	wall := time.Since(t0).Seconds()
+	return endToEnd{
+		Algorithm:   rep.Algorithm.String(),
+		N:           n,
+		Passes:      rep.Passes,
+		WallSeconds: wall,
+		KeysPerSec:  float64(n) / wall,
+		Overlap:     rep.Overlap,
+		Workers:     rep.Workers,
+	}, nil
+}
+
+func schedulerBatch(jobs, mem, workers int) (schedulerBench, error) {
+	s, err := repro.NewScheduler(repro.SchedulerConfig{
+		Memory:    4 * 3 * mem, // ~four concurrent envelopes
+		Workers:   workers,
+		JobMemory: mem,
+		Pipeline:  repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		return schedulerBench{}, err
+	}
+	defer s.Close()
+	kinds := []string{"perm", "uniform", "zipf", "sortedruns"}
+	algs := []repro.Algorithm{repro.ThreePassLMM, repro.ThreePassMesh, repro.TwoPassExpected, repro.Auto}
+	var keysTotal int64
+	t0 := time.Now()
+	ids := make([]int, jobs)
+	for i := 0; i < jobs; i++ {
+		n := 16 * mem
+		id, err := s.Submit(repro.JobSpec{
+			Workload:  &repro.WorkloadSpec{Kind: kinds[i%len(kinds)], N: n, Seed: int64(i)},
+			Algorithm: algs[i%len(algs)],
+		})
+		if err != nil {
+			return schedulerBench{}, err
+		}
+		ids[i] = id
+		keysTotal += int64(n)
+	}
+	for _, id := range ids {
+		st, err := s.Wait(context.Background(), id)
+		if err != nil {
+			return schedulerBench{}, err
+		}
+		if st.State != repro.JobDone {
+			return schedulerBench{}, fmt.Errorf("job %d finished %s: %s", id, st.State, st.Error)
+		}
+	}
+	wall := time.Since(t0).Seconds()
+	stats := s.Stats()
+	return schedulerBench{
+		Jobs:        jobs,
+		KeysTotal:   keysTotal,
+		Workers:     stats.Workers,
+		WallSeconds: wall,
+		JobsPerSec:  float64(jobs) / wall,
+		KeysPerSec:  float64(keysTotal) / wall,
+		Passes:      stats.PassesWeighted,
+	}, nil
+}

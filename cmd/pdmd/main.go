@@ -1,0 +1,308 @@
+// Command pdmd serves the PDM sorting stack over HTTP: a repro.Scheduler
+// admits concurrent sort jobs against global memory, disk, and worker
+// budgets, and this daemon exposes its job API as JSON endpoints.
+//
+//	POST /jobs              submit a job (inline keys or a workload spec)
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         poll one job's status (report when done)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /jobs/{id}/keys    fetch the sorted output (keepKeys jobs only)
+//	GET  /stats             aggregate scheduler statistics as JSON
+//	GET  /metrics           the same in Prometheus text format
+//
+// Example session:
+//
+//	pdmd -addr :8080 -mem 1048576 -jobmem 65536 &
+//	curl -s -X POST localhost:8080/jobs -d \
+//	  '{"workload":{"kind":"zipf","n":1000000,"seed":7},"alg":"lmm3"}'
+//	curl -s localhost:8080/jobs/1
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	mem := flag.Int("mem", 1<<20, "global internal-memory budget in keys")
+	diskBudget := flag.Int("diskbudget", 0, "global scratch budget in keys (0 = 64x mem)")
+	workers := flag.Int("workers", 0, "global compute budget (0 = GOMAXPROCS)")
+	jobMem := flag.Int("jobmem", 65536, "default per-job internal memory M in keys (perfect square)")
+	scratch := flag.String("scratch", "", "scratch directory for file-backed job disks (default: in-memory disks)")
+	queue := flag.Int("queue", 0, "admission queue bound (0 = 1024)")
+	prefetch := flag.Int("prefetch", 2, "default per-job prefetch depth in stripes")
+	writeBehind := flag.Int("writebehind", 2, "default per-job write-behind depth in stripes")
+	maxBody := flag.Int64("maxbody", 64<<20, "largest accepted submit body in bytes")
+	flag.Parse()
+
+	sch, err := repro.NewScheduler(repro.SchedulerConfig{
+		Memory:     *mem,
+		DiskBudget: *diskBudget,
+		Workers:    *workers,
+		JobMemory:  *jobMem,
+		Dir:        *scratch,
+		MaxQueue:   *queue,
+		Pipeline:   repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdmd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Addr: *addr, Handler: newServer(sch, *maxBody)}
+	go func() {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		log.Printf("pdmd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // exiting either way
+		sch.Close()
+	}()
+	log.Printf("pdmd: serving on %s (mem budget %d keys, job M %d)", *addr, *mem, *jobMem)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "pdmd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Keys     []int64             `json:"keys,omitempty"`
+	Workload *repro.WorkloadSpec `json:"workload,omitempty"`
+	// Alg names the algorithm (auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|
+	// six|sevenmesh); "radix" selects the Section 7 RadixSort, whose key
+	// universe defaults to 2^32 unless set.
+	Alg      string `json:"alg,omitempty"`
+	Universe int64  `json:"universe,omitempty"`
+	Memory   int    `json:"memory,omitempty"`
+	Disks    int    `json:"disks,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	// BlockLatencyUS models per-block device latency in microseconds.
+	BlockLatencyUS int64  `json:"blockLatencyUs,omitempty"`
+	KeepKeys       bool   `json:"keepKeys,omitempty"`
+	Label          string `json:"label,omitempty"`
+}
+
+// server wraps the scheduler with the HTTP surface.
+type server struct {
+	sch     *repro.Scheduler
+	maxBody int64
+}
+
+// newServer builds the pdmd handler around a scheduler (exposed for the
+// end-to-end tests, which mount it on httptest).  maxBody caps the
+// submit body size in bytes; <= 0 selects 64 MiB.
+func newServer(sch *repro.Scheduler, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	s := &server{sch: sch, maxBody: maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.status)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /jobs/{id}/keys", s.keys)
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	// The scheduler budgets every byte a job holds; the decode must not
+	// be the unbudgeted exception, so the body is hard-capped.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec := repro.JobSpec{
+		Keys:         req.Keys,
+		Workload:     req.Workload,
+		Universe:     req.Universe,
+		Memory:       req.Memory,
+		Disks:        req.Disks,
+		Workers:      req.Workers,
+		BlockLatency: time.Duration(req.BlockLatencyUS) * time.Microsecond,
+		KeepKeys:     req.KeepKeys,
+		Label:        req.Label,
+	}
+	if req.Alg == "radix" {
+		if spec.Universe < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("universe %d: want > 0", spec.Universe))
+			return
+		}
+		if spec.Universe == 0 {
+			spec.Universe = 1 << 32
+		}
+	} else {
+		if spec.Universe != 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("universe is only valid with alg=radix"))
+			return
+		}
+		alg, err := repro.ParseAlgorithm(req.Alg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec.Algorithm = alg
+	}
+	id, err := s.sch.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, repro.ErrQueueFull) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	st, _ := s.sch.Status(id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *server) jobID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	st, ok := s.sch.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sch.Jobs())
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	if !s.sch.Cancel(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
+		return
+	}
+	st, _ := s.sch.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) keys(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	keys, err := s.sch.SortedKeys(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	// Optional slicing for large outputs: ?offset=N&limit=M.  Both are
+	// clamped into [0, len(keys)] BEFORE the end arithmetic — a huge
+	// limit must not overflow offset+limit into a negative slice bound.
+	offset, limit := 0, len(keys)
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
+			return
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+	}
+	if offset < 0 || offset > len(keys) {
+		offset = len(keys)
+	}
+	if limit < 0 || limit > len(keys)-offset {
+		limit = len(keys) - offset
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":      len(keys),
+		"offset": offset,
+		"keys":   keys[offset : offset+limit],
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sch.Stats())
+}
+
+// metrics renders the aggregate statistics in Prometheus text format: the
+// per-job pass/overlap/utilization observability rolled up for scraping.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.sch.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# TYPE pdmd_jobs_total counter\n")
+	p("pdmd_jobs_total{state=\"submitted\"} %d\n", st.Submitted)
+	p("pdmd_jobs_total{state=\"completed\"} %d\n", st.Completed)
+	p("pdmd_jobs_total{state=\"failed\"} %d\n", st.Failed)
+	p("pdmd_jobs_total{state=\"canceled\"} %d\n", st.Canceled)
+	p("# TYPE pdmd_jobs gauge\n")
+	p("pdmd_jobs{state=\"queued\"} %d\n", st.Queued)
+	p("pdmd_jobs{state=\"running\"} %d\n", st.Running)
+	p("# TYPE pdmd_mem_keys gauge\n")
+	p("pdmd_mem_keys{kind=\"in_use\"} %d\n", st.MemInUse)
+	p("pdmd_mem_keys{kind=\"capacity\"} %d\n", st.MemCapacity)
+	p("# TYPE pdmd_disk_keys gauge\n")
+	p("pdmd_disk_keys{kind=\"in_use\"} %d\n", st.DiskInUse)
+	p("pdmd_disk_keys{kind=\"capacity\"} %d\n", st.DiskCapacity)
+	p("# TYPE pdmd_workers gauge\npdmd_workers %d\n", st.Workers)
+	p("# TYPE pdmd_keys_sorted_total counter\npdmd_keys_sorted_total %d\n", st.KeysSorted)
+	p("# TYPE pdmd_passes_weighted_avg gauge\npdmd_passes_weighted_avg %g\n", st.PassesWeighted)
+	p("# TYPE pdmd_prefetch_chunks_total counter\n")
+	p("pdmd_prefetch_chunks_total{result=\"hit\"} %d\n", st.PrefetchHits)
+	p("pdmd_prefetch_chunks_total{result=\"stall\"} %d\n", st.PrefetchStalls)
+	p("# TYPE pdmd_write_stalls_total counter\npdmd_write_stalls_total %d\n", st.WriteStalls)
+	p("# TYPE pdmd_compute_seconds_total counter\npdmd_compute_seconds_total %g\n", st.ComputeSeconds)
+	p("# TYPE pdmd_worker_utilization gauge\npdmd_worker_utilization %g\n", st.WorkerUtilization)
+	p("# TYPE pdmd_jobs_per_second gauge\npdmd_jobs_per_second %g\n", st.JobsPerSecond)
+	p("# TYPE pdmd_uptime_seconds gauge\npdmd_uptime_seconds %g\n", st.UptimeSeconds)
+}

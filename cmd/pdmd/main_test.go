@@ -1,0 +1,390 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// testServer mounts the pdmd handler on httptest over a small scheduler.
+func testServer(t *testing.T) (*httptest.Server, *repro.Scheduler) {
+	t.Helper()
+	sch, err := repro.NewScheduler(repro.SchedulerConfig{
+		Memory:    12000,
+		Workers:   2,
+		JobMemory: 1024,
+		Pipeline:  repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(sch, 1<<20))
+	t.Cleanup(func() {
+		ts.Close()
+		sch.Close()
+	})
+	return ts, sch
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeObject(t, resp)
+}
+
+func decodeObject(t *testing.T, resp *http.Response) map[string]json.RawMessage {
+	t.Helper()
+	defer resp.Body.Close()
+	var obj map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&obj); err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func getStatus(t *testing.T, base string, id int) repro.JobStatus {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%d = %d", id, resp.StatusCode)
+	}
+	var st repro.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pollUntil(t *testing.T, base string, id int, want repro.JobState) repro.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, base, id)
+		if st.State == want {
+			return st
+		}
+		if st.State == repro.JobFailed {
+			t.Fatalf("job %d failed: %s", id, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %d never reached %s", id, want)
+	return repro.JobStatus{}
+}
+
+// TestSubmitPollResult is the end-to-end happy path of the acceptance
+// criteria: submit over HTTP, poll to completion, and fetch a report
+// whose pass count matches the paper's bound for the chosen algorithm
+// (ThreePass2: exactly 3 passes).
+func TestSubmitPollResult(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"workload": map[string]any{"kind": "zipf", "n": 16 * 1024, "seed": 7},
+		"alg":      "lmm3",
+		"keepKeys": true,
+		"label":    "e2e",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %v", resp.StatusCode, obj)
+	}
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	st := pollUntil(t, ts.URL, id, repro.JobDone)
+	if st.Report == nil {
+		t.Fatal("done job has no report")
+	}
+	if st.Report.Passes > 3+1e-9 {
+		t.Fatalf("ThreePass2 took %.3f passes over HTTP, paper bound is 3", st.Report.Passes)
+	}
+	if st.Report.N != 16*1024 || st.Algorithm != "ThreePass2" {
+		t.Fatalf("report mismatch: %+v", st)
+	}
+
+	// Fetch the sorted keys, sliced and whole.
+	resp2, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keysResp struct {
+		N    int     `json:"n"`
+		Keys []int64 `json:"keys"`
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&keysResp); err != nil {
+		t.Fatal(err)
+	}
+	if keysResp.N != 16*1024 || !slices.IsSorted(keysResp.Keys) {
+		t.Fatalf("keys endpoint returned %d keys, sorted=%v", keysResp.N, slices.IsSorted(keysResp.Keys))
+	}
+	resp3, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys?offset=100&limit=10", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slice struct {
+		Keys []int64 `json:"keys"`
+	}
+	defer resp3.Body.Close()
+	if err := json.NewDecoder(resp3.Body).Decode(&slice); err != nil {
+		t.Fatal(err)
+	}
+	if len(slice.Keys) != 10 || !slices.Equal(slice.Keys, keysResp.Keys[100:110]) {
+		t.Fatalf("sliced keys = %v", slice.Keys)
+	}
+}
+
+// TestCancelOverHTTP submits a latency-slowed job and cancels it through
+// the API: the job must abort promptly and report canceled.
+func TestCancelOverHTTP(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"workload":       map[string]any{"kind": "perm", "n": 16 * 1024, "seed": 1},
+		"alg":            "seven",
+		"blockLatencyUs": 500,
+		"label":          "slow",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %v", resp.StatusCode, obj)
+	}
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, ts.URL, id, repro.JobRunning)
+	canceledAt := time.Now()
+	creq, err := http.Post(fmt.Sprintf("%s/jobs/%d/cancel", ts.URL, id), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creq.Body.Close()
+	if creq.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", creq.StatusCode)
+	}
+	st := pollUntil(t, ts.URL, id, repro.JobCanceled)
+	if took := time.Since(canceledAt); took > 5*time.Second {
+		t.Fatalf("cancellation took %v", took)
+	}
+	if st.ArenaLeak != 0 {
+		t.Fatalf("canceled job leaked %d arena keys", st.ArenaLeak)
+	}
+	if !strings.Contains(st.Error, "canceled") {
+		t.Fatalf("canceled job error = %q", st.Error)
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	ts, _ := testServer(t)
+	cases := []map[string]any{
+		{"alg": "bogus", "keys": []int64{3, 1, 2}},
+		{"alg": "lmm3"}, // no input
+		{"alg": "lmm3", "keys": []int64{1}, "workload": map[string]any{"kind": "perm", "n": 4}},
+		{"alg": "lmm3", "keys": []int64{1}, "universe": 100},
+		{"alg": "radix", "keys": []int64{1}, "universe": -5},
+		{"alg": "lmm3", "keys": []int64{1}, "memory": 1000},
+		{"alg": "lmm3", "keys": []int64{1}, "nonsense": true},
+		{"workload": map[string]any{"kind": "wat", "n": 4}},
+	}
+	for i, body := range cases {
+		resp, obj := postJSON(t, ts.URL+"/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d accepted with %d: %v", i, resp.StatusCode, obj)
+		}
+		if _, ok := obj["error"]; !ok {
+			t.Fatalf("case %d: no error field", i)
+		}
+	}
+	// Unknown job ids are 404s.
+	for _, path := range []string{"/jobs/99", "/jobs/99/keys"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/jobs/99/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job = %d", resp.StatusCode)
+	}
+	// An oversized body is rejected with 413, not buffered: a valid
+	// 2 MiB submission against the test server's 1 MiB cap.
+	var big bytes.Buffer
+	big.WriteString(`{"alg":"lmm3","keys":[0`)
+	big.WriteString(strings.Repeat(",1", 1<<20))
+	big.WriteString("]}")
+	bresp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(big.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", bresp.StatusCode)
+	}
+	// A Zipf exponent outside s > 1 must not crash the daemon: the
+	// generator clamps and the job completes.
+	sresp, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"workload": map[string]any{"kind": "zipf", "n": 2048, "seed": 1, "s": 1.0},
+		"alg":      "auto",
+	})
+	if sresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("zipf s=1.0 rejected: %v", obj)
+	}
+	var sid int
+	if err := json.Unmarshal(obj["id"], &sid); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, ts.URL, sid, repro.JobDone)
+}
+
+// TestKeysSliceBounds covers the offset/limit clamping: extreme values
+// must clamp, never panic the handler.
+func TestKeysSliceBounds(t *testing.T) {
+	ts, _ := testServer(t)
+	_, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"workload": map[string]any{"kind": "perm", "n": 2048, "seed": 1},
+		"alg":      "lmm3",
+		"keepKeys": true,
+	})
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, ts.URL, id, repro.JobDone)
+	for _, q := range []string{
+		"offset=1&limit=9223372036854775807", // end would overflow
+		"offset=99999&limit=10",              // offset past the end
+		"offset=-5&limit=-5",                 // negative both
+		"offset=2040&limit=999",              // limit past the end
+	} {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys?%s", ts.URL, id, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			N    int     `json:"n"`
+			Keys []int64 `json:"keys"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("?%s: %v", q, err)
+		}
+		if resp.StatusCode != http.StatusOK || out.N != 2048 {
+			t.Fatalf("?%s = %d, n=%d", q, resp.StatusCode, out.N)
+		}
+	}
+	// Unparsable values are 400s.
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys?offset=99999999999999999999", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("overflowing offset = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsAndMetrics drives a couple of jobs and checks both telemetry
+// surfaces: the JSON stats and the Prometheus text rendering.
+func TestStatsAndMetrics(t *testing.T) {
+	ts, _ := testServer(t)
+	ids := make([]int, 0, 3)
+	for seed := 0; seed < 3; seed++ {
+		resp, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+			"workload": map[string]any{"kind": "sortedruns", "n": 8 * 1024, "seed": seed},
+			"alg":      "auto",
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit = %d: %v", resp.StatusCode, obj)
+		}
+		var id int
+		if err := json.Unmarshal(obj["id"], &id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		pollUntil(t, ts.URL, id, repro.JobDone)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats repro.SchedStats
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 3 || stats.KeysSorted != 3*8*1024 || stats.PassesWeighted <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.MemInUse != 0 {
+		t.Fatalf("memory not drained: %+v", stats)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`pdmd_jobs_total{state="completed"} 3`,
+		"pdmd_keys_sorted_total 24576",
+		`pdmd_mem_keys{kind="in_use"} 0`,
+		"pdmd_passes_weighted_avg",
+		"pdmd_worker_utilization",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// The job list includes all three, in submission order.
+	lresp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []repro.JobStatus
+	err = json.NewDecoder(lresp.Body).Decode(&list)
+	lresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 || list[0].ID > list[1].ID {
+		t.Fatalf("job list = %+v", list)
+	}
+}

@@ -6,16 +6,19 @@
 // Usage:
 //
 //	pdmsort -in keys.bin -out sorted.bin [-mem 65536] [-disks 0] \
-//	        [-alg auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|radix] \
+//	        [-alg auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix] \
 //	        [-universe 4294967296] [-scratch DIR] [-gen N] [-seed 1] \
 //	        [-prefetch 2] [-writebehind 2] [-workers 0]
 //
 // With -gen N (and no -in), pdmsort first generates N random keys.
 // The exit report prints the measured pass counts — the paper's currency.
+// Unknown algorithm names and invalid flag combinations exit 2 with a
+// usage message before any work happens.
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -24,12 +27,19 @@ import (
 	"repro"
 )
 
+// usageError marks a flag-validation failure: main prints the usage text
+// and exits 2, distinguishing operator mistakes from runtime failures.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
 func main() {
 	in := flag.String("in", "", "input file of little-endian int64 keys")
 	out := flag.String("out", "", "output file (defaults to <in>.sorted)")
 	mem := flag.Int("mem", 65536, "internal memory M in keys (perfect square)")
 	disks := flag.Int("disks", 0, "number of disks D (0 = sqrt(M)/4)")
-	algName := flag.String("alg", "auto", "algorithm: auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|radix")
+	algName := flag.String("alg", "auto", "algorithm: auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix")
 	universe := flag.Int64("universe", 1<<32, "key universe for -alg radix")
 	scratch := flag.String("scratch", "", "directory for the disk files (default: temp dir)")
 	gen := flag.Int("gen", 0, "generate this many random keys instead of reading -in")
@@ -42,30 +52,63 @@ func main() {
 	pipe := repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind}
 	if err := run(*in, *out, *mem, *disks, *algName, *universe, *scratch, *gen, *seed, pipe, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "pdmsort: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintln(os.Stderr)
+			flag.Usage()
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, mem, disks int, algName string, universe int64, scratch string, gen int, seed int64, pipe repro.PipelineConfig, workers int) error {
-	var keys []int64
+// validate rejects unusable flag combinations before any work (file I/O,
+// key generation, machine construction) happens.
+func validate(in string, mem, disks int, algName string, universe int64, gen int, pipe repro.PipelineConfig, workers int) error {
+	if algName != "radix" {
+		if _, err := repro.ParseAlgorithm(algName); err != nil {
+			return usageError{fmt.Errorf("-alg: %w", err)}
+		}
+	}
 	switch {
-	case gen > 0:
+	case gen < 0:
+		return usageError{fmt.Errorf("-gen %d: want a positive count", gen)}
+	case gen > 0 && in != "":
+		return usageError{errors.New("-gen and -in are mutually exclusive")}
+	case gen == 0 && in == "":
+		return usageError{errors.New("need -in FILE or -gen N")}
+	case universe <= 0 && (algName == "radix" || gen > 0):
+		return usageError{fmt.Errorf("-universe %d: want > 0", universe)}
+	case mem <= 0:
+		return usageError{fmt.Errorf("-mem %d: want > 0", mem)}
+	case disks < 0:
+		return usageError{fmt.Errorf("-disks %d: want >= 0", disks)}
+	case pipe.Prefetch < 0 || pipe.WriteBehind < 0:
+		return usageError{fmt.Errorf("-prefetch %d / -writebehind %d: want >= 0", pipe.Prefetch, pipe.WriteBehind)}
+	case workers < 0:
+		return usageError{fmt.Errorf("-workers %d: want >= 0", workers)}
+	}
+	return nil
+}
+
+func run(in, out string, mem, disks int, algName string, universe int64, scratch string, gen int, seed int64, pipe repro.PipelineConfig, workers int) error {
+	if err := validate(in, mem, disks, algName, universe, gen, pipe, workers); err != nil {
+		return err
+	}
+	var keys []int64
+	if gen > 0 {
 		keys = make([]int64, gen)
 		rng := rand.New(rand.NewSource(seed))
 		for i := range keys {
 			keys[i] = rng.Int63n(universe)
 		}
-		if in == "" {
-			in = "generated.bin"
-		}
-	case in != "":
+		in = "generated.bin"
+	} else {
 		var err error
 		keys, err = readKeys(in)
 		if err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("need -in FILE or -gen N")
 	}
 	if out == "" {
 		out = in + ".sorted"
@@ -89,7 +132,7 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 	if algName == "radix" {
 		rep, err = m.SortInts(keys, universe)
 	} else {
-		alg, aerr := parseAlg(algName)
+		alg, aerr := parseAlg(algName) // cannot fail: validate ran first
 		if aerr != nil {
 			return aerr
 		}
@@ -121,27 +164,10 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 	return nil
 }
 
+// parseAlg delegates to the facade's shared name table (pdmd uses the
+// same one, so the CLI and the service accept identical spellings).
 func parseAlg(name string) (repro.Algorithm, error) {
-	switch name {
-	case "auto":
-		return repro.Auto, nil
-	case "mesh3":
-		return repro.ThreePassMesh, nil
-	case "mesh2e":
-		return repro.TwoPassMeshExpected, nil
-	case "lmm3":
-		return repro.ThreePassLMM, nil
-	case "exp2":
-		return repro.TwoPassExpected, nil
-	case "exp3":
-		return repro.ThreePassExpected, nil
-	case "seven":
-		return repro.SevenPass, nil
-	case "six":
-		return repro.SixPassExpected, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", name)
-	}
+	return repro.ParseAlgorithm(name)
 }
 
 func readKeys(path string) ([]int64, error) {

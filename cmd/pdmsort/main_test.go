@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"slices"
@@ -112,5 +113,61 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(in, "", 256, 0, "bogus", 1<<20, dir, 0, 1, repro.PipelineConfig{}, 0); err == nil {
 		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+// TestValidateRejectsBadFlags covers the upfront flag validation: every
+// unusable combination must be rejected as a usageError — which main
+// turns into a non-zero exit plus the usage text — before any file is
+// read, any key generated, or any machine built.
+func TestValidateRejectsBadFlags(t *testing.T) {
+	ok := repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}
+	cases := []struct {
+		name     string
+		in       string
+		mem      int
+		disks    int
+		alg      string
+		universe int64
+		gen      int
+		pipe     repro.PipelineConfig
+		workers  int
+	}{
+		{name: "unknown alg", in: "x.bin", mem: 256, alg: "bogus", universe: 1, pipe: ok},
+		{name: "unknown alg with gen", mem: 256, alg: "quick3", universe: 100, gen: 10, pipe: ok},
+		{name: "no input", mem: 256, alg: "auto", universe: 1, pipe: ok},
+		{name: "gen and in conflict", in: "x.bin", mem: 256, alg: "auto", universe: 100, gen: 10, pipe: ok},
+		{name: "negative gen", mem: 256, alg: "auto", universe: 100, gen: -5, pipe: ok},
+		{name: "zero universe radix", in: "x.bin", mem: 256, alg: "radix", universe: 0, pipe: ok},
+		{name: "zero universe gen", mem: 256, alg: "auto", universe: 0, gen: 10, pipe: ok},
+		{name: "zero mem", in: "x.bin", mem: 0, alg: "auto", universe: 1, pipe: ok},
+		{name: "negative disks", in: "x.bin", mem: 256, disks: -1, alg: "auto", universe: 1, pipe: ok},
+		{name: "negative prefetch", in: "x.bin", mem: 256, alg: "auto", universe: 1, pipe: repro.PipelineConfig{Prefetch: -1}},
+		{name: "negative workers", in: "x.bin", mem: 256, alg: "auto", universe: 1, pipe: ok, workers: -2},
+	}
+	for _, tc := range cases {
+		err := validate(tc.in, tc.mem, tc.disks, tc.alg, tc.universe, tc.gen, tc.pipe, tc.workers)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: error %v is not a usageError", tc.name, err)
+		}
+	}
+	// Valid combinations pass.
+	if err := validate("x.bin", 256, 0, "sevenmesh", 1, 0, ok, 0); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if err := validate("", 256, 4, "radix", 100, 10, ok, 2); err != nil {
+		t.Fatalf("valid radix gen rejected: %v", err)
+	}
+	// run surfaces the usageError without touching the filesystem: the
+	// input file does not exist, yet the algorithm error comes first.
+	err := run("/nonexistent/keys.bin", "", 256, 0, "bogus", 1, "", 0, 1, ok, 0)
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("run returned %v, want a usageError before any I/O", err)
 	}
 }

@@ -477,6 +477,13 @@ func rollingPass(a *pdm.Array, chunk, chunks int, read func(t int, dst []int64) 
 	var lastMax int64
 	emitted := false
 	for t := 1; t < chunks; t++ {
+		// Canceled jobs abort between chunks even when every read is
+		// served from prefetched staging and every emit is write-behind —
+		// the scheduler's cancellation must not wait out a compute-bound
+		// cleanup pass.
+		if err := a.CtxErr(); err != nil {
+			return err
+		}
 		cur := buf[chunk:]
 		if err := read(t, cur); err != nil {
 			return err

@@ -36,11 +36,37 @@ import (
 // simulator's small test geometries should not pay it.
 const minParallel = 1024
 
+// Limiter is a shared compute budget across pools: every unit of worker
+// work (each busyDo leaf) on every attached pool must hold one of its slots
+// while it executes.  The job scheduler attaches one pool per concurrent
+// job to a single limiter, so J jobs fanning out w-wide each still execute
+// at most slots leaves at once — the pool width stays a real global budget
+// instead of multiplying per job.  Slots are held only around flat leaf
+// work, never across a fork/join wait, so attached pools cannot deadlock
+// however deeply their merges recurse.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter returns a limiter with the given number of slots; slots <= 0
+// selects GOMAXPROCS.
+func NewLimiter(slots int) *Limiter {
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	return &Limiter{sem: make(chan struct{}, slots)}
+}
+
+// Slots returns the limiter's capacity.
+func (l *Limiter) Slots() int { return cap(l.sem) }
+
 // Pool is a fixed-width fork/join worker pool.  Workers are spawned per
 // operation (Go's scheduler makes goroutine reuse unnecessary); the pool
-// carries the width and the observability counters.
+// carries the width, the observability counters, and optionally a shared
+// Limiter arbitrating its execution slots against other pools.
 type Pool struct {
 	workers int
+	lim     *Limiter
 
 	sections  atomic.Int64
 	wallNanos atomic.Int64
@@ -49,10 +75,17 @@ type Pool struct {
 
 // New returns a pool of the given width; workers <= 0 selects GOMAXPROCS.
 func New(workers int) *Pool {
+	return NewLimited(workers, nil)
+}
+
+// NewLimited is New with the pool's leaf execution gated by lim (nil means
+// ungated).  Results are identical either way — the limiter only schedules
+// when work runs, never how it is partitioned.
+func NewLimited(workers int, lim *Limiter) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	return &Pool{workers: workers, lim: lim}
 }
 
 // Workers returns the pool width.
@@ -81,8 +114,16 @@ func (p *Pool) section() func() {
 	}
 }
 
-// busyDo runs f inline, adding its elapsed time to the busy counter.
+// busyDo runs f inline, adding its elapsed time to the busy counter.  With
+// a limiter attached it holds one slot for the duration of f — busy time
+// starts after the slot is acquired, so waiting for another pool's work
+// never counts as utilization.  Every f passed here is flat (it neither
+// forks nor waits), which is what makes slot-holding deadlock-free.
 func (p *Pool) busyDo(f func()) {
+	if p.lim != nil {
+		p.lim.sem <- struct{}{}
+		defer func() { <-p.lim.sem }()
+	}
 	t0 := time.Now()
 	f()
 	p.busyNanos.Add(time.Since(t0).Nanoseconds())

@@ -28,21 +28,8 @@ func NewArena(capacity int) *Arena {
 // Alloc reserves and returns a zeroed buffer of n keys, or
 // ErrMemoryExceeded if the reservation would exceed the arena capacity.
 func (ar *Arena) Alloc(n int) ([]int64, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("pdm: Alloc(%d): negative size", n)
-	}
-	ar.mu.Lock()
-	defer ar.mu.Unlock()
-	if ar.used+n > ar.capacity {
-		return nil, fmt.Errorf("%w: in use %d + request %d > capacity %d",
-			ErrMemoryExceeded, ar.used, n, ar.capacity)
-	}
-	ar.used += n
-	if ar.used > ar.peak {
-		ar.peak = ar.used
-	}
-	if ar.phase != "" && ar.used > ar.phases[ar.phase] {
-		ar.phases[ar.phase] = ar.used
+	if err := ar.Reserve(n); err != nil {
+		return nil, err
 	}
 	return make([]int64, n), nil
 }
@@ -60,13 +47,45 @@ func (ar *Arena) MustAlloc(n int) []int64 {
 // Free releases a buffer previously returned by Alloc.  Only the length
 // matters; the arena does not track identity.
 func (ar *Arena) Free(buf []int64) {
+	ar.Release(len(buf))
+}
+
+// Reserve charges n keys against the arena without handing out a buffer —
+// the sub-budgeting primitive the job scheduler carves per-job memory
+// envelopes with: a whole child machine's arena capacity is reserved on a
+// global ledger arena at admission and Released when the job's resources
+// are torn down, so concurrent jobs can never oversubscribe the machine's
+// internal memory.  It fails with ErrMemoryExceeded exactly like Alloc.
+func (ar *Arena) Reserve(n int) error {
+	if n < 0 {
+		return fmt.Errorf("pdm: negative arena request %d", n)
+	}
 	ar.mu.Lock()
 	defer ar.mu.Unlock()
-	ar.used -= len(buf)
+	if ar.used+n > ar.capacity {
+		return fmt.Errorf("%w: in use %d + reservation %d > capacity %d",
+			ErrMemoryExceeded, ar.used, n, ar.capacity)
+	}
+	ar.used += n
+	if ar.used > ar.peak {
+		ar.peak = ar.used
+	}
+	if ar.phase != "" && ar.used > ar.phases[ar.phase] {
+		ar.phases[ar.phase] = ar.used
+	}
+	return nil
+}
+
+// Release returns n keys previously charged by Reserve (or by Alloc, whose
+// Free delegates here).
+func (ar *Arena) Release(n int) {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	ar.used -= n
 	if ar.used < 0 {
-		// Freeing more than was allocated is a caller bug severe enough to
+		// Releasing more than was charged is a caller bug severe enough to
 		// surface loudly: it would silently defeat the memory model.
-		panic(fmt.Sprintf("pdm: arena underflow: freed %d with only %d in use", len(buf), ar.used+len(buf)))
+		panic(fmt.Sprintf("pdm: arena underflow: released %d with only %d in use", n, ar.used+n))
 	}
 }
 

@@ -98,3 +98,54 @@ func TestArenaZeroed(t *testing.T) {
 		}
 	}
 }
+
+func TestArenaReserveRelease(t *testing.T) {
+	// The scheduler's sub-budgeting: whole job envelopes are carved from
+	// a ledger arena without materializing buffers.
+	ledger := NewArena(100)
+	if err := ledger.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Reserve(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Reserve(1); err == nil {
+		t.Fatal("over-reservation accepted")
+	}
+	if got := ledger.InUse(); got != 100 {
+		t.Fatalf("InUse = %d, want 100", got)
+	}
+	ledger.Release(40)
+	// Reservations and allocations share one accounting.
+	buf, err := ledger.Alloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Reserve(11); err == nil {
+		t.Fatal("reservation past alloc+reserve accepted")
+	}
+	ledger.Free(buf)
+	ledger.Release(60)
+	if got := ledger.InUse(); got != 0 {
+		t.Fatalf("InUse after drain = %d", got)
+	}
+	if got := ledger.Peak(); got != 100 {
+		t.Fatalf("Peak = %d, want 100", got)
+	}
+	if err := ledger.Reserve(-1); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+}
+
+func TestArenaReleaseUnderflowPanics(t *testing.T) {
+	ar := NewArena(10)
+	if err := ar.Reserve(5); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	ar.Release(6)
+}

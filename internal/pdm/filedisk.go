@@ -47,22 +47,33 @@ func NewFileDisk(path string, b int) (*FileDisk, error) {
 	return d, nil
 }
 
+// NewFileDisks creates d file-backed disks named disk0000.bin … inside
+// dir, with block size b keys, closing any already-created disks on
+// failure.  NewFileArray and the facade's machine constructor share it.
+func NewFileDisks(dir string, d, b int) ([]Disk, error) {
+	disks := make([]Disk, d)
+	for i := range disks {
+		fd, err := NewFileDisk(filepath.Join(dir, fmt.Sprintf("disk%04d.bin", i)), b)
+		if err != nil {
+			for _, prev := range disks[:i] {
+				prev.Close() //nolint:errcheck // best-effort cleanup
+			}
+			return nil, err
+		}
+		disks[i] = fd
+	}
+	return disks, nil
+}
+
 // NewFileArray creates a PDM array of cfg.D file disks named disk0000.bin …
 // inside dir.
 func NewFileArray(cfg Config, dir string) (*Array, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	disks := make([]Disk, cfg.D)
-	for i := range disks {
-		fd, err := NewFileDisk(filepath.Join(dir, fmt.Sprintf("disk%04d.bin", i)), cfg.B)
-		if err != nil {
-			for _, d := range disks[:i] {
-				d.Close() //nolint:errcheck // best-effort cleanup
-			}
-			return nil, err
-		}
-		disks[i] = fd
+	disks, err := NewFileDisks(dir, cfg.D, cfg.B)
+	if err != nil {
+		return nil, err
 	}
 	return NewWithDisks(cfg, disks)
 }

@@ -26,6 +26,9 @@ func (a *Array) WriteV(addrs []BlockAddr, bufs [][]int64) error {
 }
 
 func (a *Array) execV(addrs []BlockAddr, bufs [][]int64, write bool) error {
+	if err := a.CtxErr(); err != nil {
+		return err
+	}
 	if err := a.validateV(addrs, bufs); err != nil {
 		return err
 	}
@@ -69,6 +72,9 @@ func (a *Array) validateV(addrs []BlockAddr, bufs [][]int64) error {
 // computation while charging each logical request exactly once through
 // ChargeV, so the PDM cost model cannot observe the overlap.
 func (a *Array) TransferV(addrs []BlockAddr, bufs [][]int64, write bool) error {
+	if err := a.CtxErr(); err != nil {
+		return err
+	}
 	if err := a.validateV(addrs, bufs); err != nil {
 		return err
 	}

@@ -1,0 +1,145 @@
+package pdm
+
+import (
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+)
+
+// latencyPair builds two identical 4-disk arrays, one on plain MemDisks
+// and one with every disk wrapped in LatencyDisk.
+func latencyPair(t *testing.T, perBlock time.Duration) (plain, slow *Array) {
+	t.Helper()
+	cfg := Config{D: 4, B: 8, Mem: 64}
+	var err error
+	plain, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disks := make([]Disk, cfg.D)
+	for i := range disks {
+		disks[i] = LatencyDisk{Disk: NewMemDisk(cfg.B), PerBlock: perBlock}
+	}
+	slow, err = NewWithDisks(cfg, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, slow
+}
+
+// TestLatencyDiskStatsUnchanged: the decorator must be invisible to the
+// cost model — identical charged steps, blocks, and simulated time for an
+// identical request sequence.
+func TestLatencyDiskStatsUnchanged(t *testing.T) {
+	plain, slow := latencyPair(t, 100*time.Microsecond)
+	defer plain.Close()
+	defer slow.Close()
+	for _, a := range []*Array{plain, slow} {
+		s, err := a.NewStripe(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]int64, 64)
+		for i := range data {
+			data[i] = int64(i * 3)
+		}
+		if err := s.WriteAt(0, data); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int64, 64)
+		if err := s.ReadAt(0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(got, data) {
+			t.Fatal("latency disk corrupted the data")
+		}
+		// An uneven vectored read: 2 blocks on one disk, 1 on another.
+		addrs := []BlockAddr{s.BlockAddr(0), s.BlockAddr(4), s.BlockAddr(1)}
+		bufs := make([][]int64, len(addrs))
+		for i := range bufs {
+			bufs[i] = make([]int64, 8)
+		}
+		if err := a.ReadV(addrs, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, ss := plain.Stats(), slow.Stats()
+	ps.ComputeSections, ps.ComputeWallNanos, ps.ComputeBusyNanos = 0, 0, 0
+	ss.ComputeSections, ss.ComputeWallNanos, ss.ComputeBusyNanos = 0, 0, 0
+	if ps != ss {
+		t.Fatalf("stats diverge:\nplain %+v\nslow  %+v", ps, ss)
+	}
+}
+
+// TestLatencyAccruesPerParallelStep: D concurrent single-block operations
+// (one per disk) cost ~one PerBlock wait because the array fans out per
+// disk, while k blocks queued on a single disk serialize into ~k waits —
+// the behavior that makes overlap worth having.
+func TestLatencyAccruesPerParallelStep(t *testing.T) {
+	const perBlock = 20 * time.Millisecond
+	_, slow := latencyPair(t, perBlock)
+	defer slow.Close()
+	s, err := slow.NewStripe(8 * 16) // 16 blocks: 4 rows of 4 disks
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int64, 8*4)
+	// Warm the disks (writes also sleep; do it once per block we read).
+	if err := s.WriteAt(0, make([]int64, 8*16)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One block on each of the 4 disks: one parallel step.
+	t0 := time.Now()
+	if err := s.ReadAt(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(t0)
+
+	// 4 blocks on the same disk (stride D): serialized on that disk.
+	addrs := []BlockAddr{s.BlockAddr(0), s.BlockAddr(4), s.BlockAddr(8), s.BlockAddr(12)}
+	bufs := [][]int64{buf[0:8], buf[8:16], buf[16:24], buf[24:32]}
+	t0 = time.Now()
+	if err := slow.ReadV(addrs, bufs); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(t0)
+
+	if parallel < perBlock {
+		t.Fatalf("parallel step took %v, latency %v never applied", parallel, perBlock)
+	}
+	if parallel >= 3*perBlock {
+		t.Fatalf("parallel step took %v — per-disk fan-out did not overlap the %v waits", parallel, perBlock)
+	}
+	if serial < 4*perBlock {
+		t.Fatalf("4 same-disk blocks took %v, want >= %v (one wait per block)", serial, 4*perBlock)
+	}
+}
+
+// TestLatencyComposesWithFileDisk: the decorator wraps any backend; a
+// latency-wrapped FileDisk still round-trips data and still sleeps.
+func TestLatencyComposesWithFileDisk(t *testing.T) {
+	const perBlock = 10 * time.Millisecond
+	fd, err := NewFileDisk(filepath.Join(t.TempDir(), "disk0.bin"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := LatencyDisk{Disk: fd, PerBlock: perBlock}
+	defer d.Close()
+	src := []int64{7, 6, 5, 4, 3, 2, 1, 0}
+	t0 := time.Now()
+	if err := d.WriteBlock(0, src); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, 8)
+	if err := d.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < 2*perBlock {
+		t.Fatalf("write+read took %v, want >= %v", elapsed, 2*perBlock)
+	}
+	if !slices.Equal(got, src) {
+		t.Fatalf("file round trip through LatencyDisk = %v", got)
+	}
+}

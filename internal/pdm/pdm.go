@@ -18,9 +18,11 @@
 package pdm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/par"
 )
@@ -76,6 +78,12 @@ type Config struct {
 	// GOMAXPROCS.  Any value yields bit-identical output, statistics, and
 	// I/O traces — the pool changes wall-clock only.
 	Workers int
+
+	// Limiter, when non-nil, attaches this array's compute pool to a
+	// cross-array worker budget: the job scheduler passes one limiter to
+	// every concurrent job's array so their pools share a single global
+	// compute width instead of multiplying it.  Results are unaffected.
+	Limiter *par.Limiter
 }
 
 // PipelineConfig sizes the pipelined I/O layer.  Depths are measured in
@@ -95,6 +103,19 @@ type PipelineConfig struct {
 // configuration reserves: one stripe per prefetch or write-behind slot.
 func (c Config) PipelineStaging() int {
 	return (c.Pipeline.Prefetch + c.Pipeline.WriteBehind) * c.D * c.B
+}
+
+// ArenaCapacity returns the arena capacity, in keys, an Array built from
+// this configuration provisions: MemSlack·M of algorithm envelope (the
+// paper's cleanup phases hold two M-key chunks), one stripe of scatter/
+// gather staging, and the pipeline's staging.  The scheduler reserves
+// exactly this amount per job on its global memory ledger.
+func (c Config) ArenaCapacity() int {
+	slack := c.MemSlack
+	if slack == 0 {
+		slack = 2
+	}
+	return int(float64(c.Mem)*slack) + c.D*c.B + c.PipelineStaging()
 }
 
 // C returns the memory-to-stripe ratio M/(D·B), the constant the paper
@@ -139,10 +160,23 @@ type Array struct {
 	arena *Arena
 	pool  *par.Pool
 
+	// ctx, when bound, aborts every subsequent I/O once canceled — the
+	// scheduler's cancellation path down into the pass helpers.
+	ctx atomic.Pointer[context.Context]
+
 	mu    sync.Mutex
 	stats Stats
 	alloc rowAllocator
 	trace []TraceOp
+}
+
+// NewMemDisks creates d in-memory disks with block size b keys.
+func NewMemDisks(d, b int) []Disk {
+	disks := make([]Disk, d)
+	for i := range disks {
+		disks[i] = NewMemDisk(b)
+	}
+	return disks
 }
 
 // New creates an Array backed by fresh in-memory disks.
@@ -150,11 +184,7 @@ func New(cfg Config) (*Array, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	disks := make([]Disk, cfg.D)
-	for i := range disks {
-		disks[i] = NewMemDisk(cfg.B)
-	}
-	return NewWithDisks(cfg, disks)
+	return NewWithDisks(cfg, NewMemDisks(cfg.D, cfg.B))
 }
 
 // NewWithDisks creates an Array from caller-provided disks (for example
@@ -166,17 +196,40 @@ func NewWithDisks(cfg Config, disks []Disk) (*Array, error) {
 	if len(disks) != cfg.D {
 		return nil, fmt.Errorf("pdm: got %d disks, config says D = %d", len(disks), cfg.D)
 	}
-	slack := cfg.MemSlack
-	if slack == 0 {
-		slack = 2
-	}
-	capacity := int(float64(cfg.Mem)*slack) + cfg.D*cfg.B + cfg.PipelineStaging()
 	return &Array{
 		cfg:   cfg,
 		disks: disks,
-		arena: NewArena(capacity),
-		pool:  par.New(cfg.Workers),
+		arena: NewArena(cfg.ArenaCapacity()),
+		pool:  par.NewLimited(cfg.Workers, cfg.Limiter),
 	}, nil
+}
+
+// BindContext ties subsequent I/O on the array to ctx: once ctx is
+// canceled, every ReadV, WriteV, and TransferV — and therefore every pass
+// helper and streaming transfer built on them — fails with an error
+// wrapping ctx.Err().  The facade's SortContext binds the job's context
+// for the duration of one sort; a nil ctx unbinds.  Accounting stays
+// honest: a request rejected here charges no steps and records no trace,
+// exactly like any other validation failure.
+func (a *Array) BindContext(ctx context.Context) {
+	if ctx == nil {
+		a.ctx.Store(nil)
+		return
+	}
+	a.ctx.Store(&ctx)
+}
+
+// CtxErr reports whether the bound context (if any) has been canceled,
+// wrapping its error so callers can errors.Is against context.Canceled.
+func (a *Array) CtxErr() error {
+	p := a.ctx.Load()
+	if p == nil {
+		return nil
+	}
+	if err := (*p).Err(); err != nil {
+		return fmt.Errorf("pdm: aborted: %w", err)
+	}
+	return nil
 }
 
 // Config returns the array's configuration.
@@ -215,6 +268,16 @@ func (a *Array) Stats() Stats {
 	a.mu.Unlock()
 	s.ComputeSections, s.ComputeWallNanos, s.ComputeBusyNanos = a.pool.Counters()
 	return s
+}
+
+// DiskFootprint returns the high-water on-disk footprint in keys: the rows
+// the block allocator has ever handed out (they are reused but never
+// shrunk) times the stripe width.  The scheduler checks it against each
+// job's admitted disk envelope.
+func (a *Array) DiskFootprint() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alloc.next * a.cfg.D * a.cfg.B
 }
 
 // ResetStats zeroes the I/O statistics and the compute counters (the arena

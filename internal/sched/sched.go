@@ -1,0 +1,536 @@
+// Package sched is the concurrent sort-job scheduler: it owns the
+// machine's global resources — an internal-memory budget (a pdm.Arena used
+// as a ledger, carved per job with Reserve/Release), an on-disk scratch
+// budget, and a compute budget (one par.Limiter shared by every job's
+// worker pool) — and admits jobs against them.
+//
+// Jobs move queued → running → done/failed/canceled.  Admission is strict
+// FIFO with head-of-line blocking: the head job waits until both its
+// memory and disk envelopes fit, so a large job cannot be starved by a
+// stream of small ones, and budget exhaustion is backpressure rather than
+// failure.  Each admitted job runs on its own goroutine with its own
+// cancellable context and (when the scheduler is file-backed) its own
+// scratch directory, removed when the job finishes.  Canceling a queued
+// job removes it without ever reserving resources; canceling a running job
+// cancels its context, which the pdm layer turns into a prompt abort of
+// every subsequent I/O.
+//
+// The package is deliberately generic: a job is an envelope plus a Run
+// function.  The repro facade supplies Run functions that build a per-job
+// Machine from the envelope (its arena capacity is exactly the reserved
+// amount, its pool attached to the shared limiter) and sort; this package
+// never needs to know what a pass is.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/pdm"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// Queued jobs wait for admission in FIFO order.
+	Queued State = iota
+	// Running jobs hold their memory/disk envelopes and execute.
+	Running
+	// Done jobs completed successfully.
+	Done
+	// Failed jobs returned an error other than cancellation.
+	Failed
+	// Canceled jobs were canceled before or during execution.
+	Canceled
+)
+
+// String names the state as the service reports it.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Errors returned by the scheduler.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity — the service's backpressure signal.
+	ErrQueueFull = errors.New("sched: admission queue full")
+	// ErrTooLarge is returned by Submit for a job whose envelope could
+	// never fit the scheduler's total budget.
+	ErrTooLarge = errors.New("sched: job envelope exceeds the scheduler budget")
+)
+
+// Config sizes a Scheduler.
+type Config struct {
+	// MemKeys is the global internal-memory budget in keys; every running
+	// job's arena capacity is carved from it.  Required.
+	MemKeys int
+	// DiskKeys is the global scratch budget in keys; zero selects
+	// 64·MemKeys.
+	DiskKeys int
+	// Workers is the global compute budget: the width of the par.Limiter
+	// every job's worker pool shares.  Zero selects GOMAXPROCS.
+	Workers int
+	// Dir, when non-empty, gives each job a scratch directory
+	// Dir/job-NNNN (created at admission, removed at completion) for
+	// file-backed disks.
+	Dir string
+	// MaxQueue bounds the number of queued jobs; zero selects 1024.
+	MaxQueue int
+}
+
+// Env is what an admitted job receives: its identity, the shared compute
+// budget, and its scratch directory ("" when the scheduler is
+// memory-backed).
+type Env struct {
+	JobID   int
+	Limiter *par.Limiter
+	Workers int
+	Dir     string
+}
+
+// Request describes one job: its resource envelope and its body.
+type Request struct {
+	// Label is a free-form tag carried through to status reports.
+	Label string
+	// MemKeys is the internal-memory envelope reserved on the global
+	// ledger for the job's lifetime (for a sorting job: the whole arena
+	// capacity of its machine).  Must be positive.
+	MemKeys int
+	// DiskKeys is the on-disk scratch envelope reserved for the job.
+	DiskKeys int
+	// Run is the job body.  It must honor ctx — the pdm layer turns a
+	// bound context into failing I/O, so a sorting Run that uses
+	// SortContext aborts promptly when canceled.
+	Run func(ctx context.Context, env Env) error
+}
+
+// Job is a handle on one submitted job.
+type Job struct {
+	id       int
+	label    string
+	memKeys  int
+	diskKeys int
+	run      func(ctx context.Context, env Env) error
+	done     chan struct{}
+
+	mu              sync.Mutex
+	state           State
+	cancelRequested bool
+	cancel          context.CancelFunc
+	err             error
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+}
+
+// ID returns the job's scheduler-assigned identifier.
+func (j *Job) ID() int { return j.id }
+
+// Label returns the submit-time tag.
+func (j *Job) Label() string { return j.label }
+
+// MemKeys returns the job's internal-memory envelope.
+func (j *Job) MemKeys() int { return j.memKeys }
+
+// DiskKeys returns the job's scratch envelope.
+func (j *Job) DiskKeys() int { return j.diskKeys }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error (nil while not finished or Done).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Times returns the submit, start, and finish timestamps (zero when the
+// job has not reached the corresponding transition).
+func (j *Job) Times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is canceled, returning the
+// job's terminal error (nil for Done).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel requests cancellation: a queued job is dropped at the next
+// admission step without ever holding resources; a running job has its
+// context canceled.  Idempotent; a no-op on finished jobs.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	j.cancelRequested = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Stats is a snapshot of the scheduler's aggregate state.
+type Stats struct {
+	Submitted int
+	Completed int
+	Failed    int
+	Canceled  int
+	Queued    int
+	Running   int
+
+	MemInUse     int
+	MemCapacity  int
+	DiskInUse    int
+	DiskCapacity int
+	Workers      int
+}
+
+// Scheduler admits and runs jobs against the global budgets.
+type Scheduler struct {
+	cfg Config
+	lim *par.Limiter
+	mem *pdm.Arena // global internal-memory ledger
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*Job
+	jobs      map[int]*Job
+	nextID    int
+	diskInUse int
+	running   int
+	completed int
+	failed    int
+	canceled  int
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a scheduler with the given budgets.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.MemKeys <= 0 {
+		return nil, fmt.Errorf("sched: MemKeys = %d, want > 0", cfg.MemKeys)
+	}
+	if cfg.DiskKeys == 0 {
+		cfg.DiskKeys = 64 * cfg.MemKeys
+	}
+	if cfg.DiskKeys < 0 {
+		return nil, fmt.Errorf("sched: DiskKeys = %d, want >= 0", cfg.DiskKeys)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 1024
+	}
+	s := &Scheduler{
+		cfg:  cfg,
+		lim:  par.NewLimiter(cfg.Workers),
+		mem:  pdm.NewArena(cfg.MemKeys),
+		jobs: make(map[int]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.admit()
+	return s, nil
+}
+
+// Limiter returns the shared compute budget (for harnesses that build
+// machines outside the scheduler but want to share its width).
+func (s *Scheduler) Limiter() *par.Limiter { return s.lim }
+
+// Ledger returns the global internal-memory ledger arena.
+func (s *Scheduler) Ledger() *pdm.Arena { return s.mem }
+
+// Submit enqueues a job.  It fails fast with ErrTooLarge for envelopes
+// that could never fit and with ErrQueueFull when the queue is at
+// capacity; otherwise the job waits its FIFO turn.
+func (s *Scheduler) Submit(req Request) (*Job, error) {
+	if req.Run == nil {
+		return nil, errors.New("sched: Request.Run is nil")
+	}
+	if req.MemKeys <= 0 || req.DiskKeys < 0 {
+		return nil, fmt.Errorf("sched: bad envelope: mem %d keys, disk %d keys", req.MemKeys, req.DiskKeys)
+	}
+	if req.MemKeys > s.cfg.MemKeys || req.DiskKeys > s.cfg.DiskKeys {
+		return nil, fmt.Errorf("%w: mem %d/%d keys, disk %d/%d keys",
+			ErrTooLarge, req.MemKeys, s.cfg.MemKeys, req.DiskKeys, s.cfg.DiskKeys)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j := &Job{
+		id:        s.nextID,
+		label:     req.Label,
+		memKeys:   req.MemKeys,
+		diskKeys:  req.DiskKeys,
+		run:       req.Run,
+		done:      make(chan struct{}),
+		state:     Queued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.queue = append(s.queue, j)
+	s.cond.Broadcast()
+	return j, nil
+}
+
+// Job returns the handle for id.
+func (s *Scheduler) Job(id int) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job handle in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for id := 1; id <= s.nextID; id++ {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel cancels the job with the given id, reporting whether it exists.
+func (s *Scheduler) Cancel(id int) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.Cancel()
+	// Wake the admitter so a canceled head leaves the queue promptly.
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return true
+}
+
+// Stats returns a snapshot of the aggregate state.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted:    s.nextID,
+		Completed:    s.completed,
+		Failed:       s.failed,
+		Canceled:     s.canceled,
+		Queued:       len(s.queue),
+		Running:      s.running,
+		MemInUse:     s.mem.InUse(),
+		MemCapacity:  s.mem.Capacity(),
+		DiskInUse:    s.diskInUse,
+		DiskCapacity: s.cfg.DiskKeys,
+		Workers:      s.cfg.Workers,
+	}
+}
+
+// Close stops admission, cancels every remaining job, and waits for the
+// running ones to finish.  It is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// admit is the admission goroutine: strict FIFO with head-of-line
+// blocking on the budgets.
+func (s *Scheduler) admit() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.closed {
+			if len(s.queue) == 0 {
+				s.cond.Wait()
+				continue
+			}
+			j := s.queue[0]
+			j.mu.Lock()
+			dropped := j.cancelRequested
+			j.mu.Unlock()
+			if dropped {
+				s.queue = s.queue[1:]
+				s.canceled++
+				s.finish(j, Canceled, context.Canceled)
+				continue
+			}
+			if s.fits(j) {
+				break
+			}
+			s.cond.Wait()
+		}
+		if s.closed {
+			// Drain: everything still queued is canceled without ever
+			// holding resources.
+			for _, j := range s.queue {
+				s.canceled++
+				s.finish(j, Canceled, context.Canceled)
+			}
+			s.queue = nil
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		// Only this goroutine reserves, so fits() cannot go stale between
+		// the check and the reservation.
+		if err := s.mem.Reserve(j.memKeys); err != nil {
+			panic(fmt.Sprintf("sched: ledger reservation failed after fits(): %v", err))
+		}
+		s.diskInUse += j.diskKeys
+		s.running++
+		s.wg.Add(1)
+		go s.runJob(j)
+	}
+}
+
+// fits reports whether the head job's envelope fits the free budgets.
+// s.mu must be held.
+func (s *Scheduler) fits(j *Job) bool {
+	return s.mem.InUse()+j.memKeys <= s.mem.Capacity() &&
+		s.diskInUse+j.diskKeys <= s.cfg.DiskKeys
+}
+
+// finish moves a never-admitted job to a terminal state.  s.mu must be
+// held (the job holds no resources, so nothing is released).
+func (s *Scheduler) finish(j *Job, state State, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// runJob executes one admitted job and releases its envelope.
+func (s *Scheduler) runJob(j *Job) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	j.mu.Lock()
+	if j.cancelRequested {
+		j.mu.Unlock()
+		s.release(j, Canceled, context.Canceled, "")
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	dir := ""
+	var err error
+	if s.cfg.Dir != "" {
+		dir = filepath.Join(s.cfg.Dir, fmt.Sprintf("job-%04d", j.id))
+		err = os.MkdirAll(dir, 0o755)
+	}
+	if err == nil {
+		err = j.run(ctx, Env{JobID: j.id, Limiter: s.lim, Workers: s.cfg.Workers, Dir: dir})
+	}
+	state := Done
+	if err != nil {
+		state = Failed
+		j.mu.Lock()
+		if j.cancelRequested {
+			state = Canceled
+		}
+		j.mu.Unlock()
+	}
+	s.release(j, state, err, dir)
+}
+
+// release returns an admitted job's envelope (removing its scratch
+// directory first) and records its terminal state.
+func (s *Scheduler) release(j *Job, state State, err error, dir string) {
+	if dir != "" {
+		os.RemoveAll(dir) //nolint:errcheck // best-effort scratch cleanup
+	}
+	s.mem.Release(j.memKeys)
+	s.mu.Lock()
+	s.diskInUse -= j.diskKeys
+	s.running--
+	switch state {
+	case Done:
+		s.completed++
+	case Failed:
+		s.failed++
+	case Canceled:
+		s.canceled++
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	j.cancel = nil
+	j.mu.Unlock()
+	close(j.done)
+}

@@ -221,6 +221,13 @@ func (r *Reader) Fill(bufs [][]int64) error {
 	if r.err != nil {
 		return r.err
 	}
+	// A canceled array context aborts here even when the chunk is already
+	// staged: the prefetched data was never charged, so the accounting
+	// still matches an aborted synchronous execution.
+	if err := r.a.CtxErr(); err != nil {
+		r.err = err
+		return err
+	}
 	if r.next >= r.chunks {
 		return ErrExhausted
 	}

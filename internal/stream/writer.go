@@ -139,6 +139,13 @@ func (w *Writer) Write(addrs []pdm.BlockAddr, bufs [][]int64) error {
 	if w.err != nil {
 		return w.err
 	}
+	// Abort before charging when the array's context is canceled — the
+	// write-behind path must reject exactly where the synchronous WriteV
+	// would, leaving no accounting trace for the rejected request.
+	if err := w.a.CtxErr(); err != nil {
+		w.err = err
+		return err
+	}
 	if err := w.flusherErr(); err != nil {
 		w.err = err
 		return err

@@ -10,7 +10,9 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
+	"sort"
 )
 
 // Perm returns a uniformly random permutation of 0..n-1 as int64 keys.
@@ -130,6 +132,57 @@ func Zipf(n int, s float64, imax uint64, seed int64) []int64 {
 	a := make([]int64, n)
 	for i := range a {
 		a[i] = int64(z.Uint64())
+	}
+	return a
+}
+
+// SortedRuns returns a permutation of 0..n-1 arranged as consecutive
+// pre-sorted runs of runLen keys (the last run may be shorter): each run
+// is ascending, its contents a random subset of the key space.  This is
+// the shape of service inputs that arrive as concatenations of already-
+// sorted batches — flushed memtables, log segments, per-shard partial
+// results — and it exercises the run-formation passes on input whose runs
+// are locally sorted but globally interleaved.
+func SortedRuns(n, runLen int, seed int64) []int64 {
+	a := Perm(n, seed)
+	if runLen < 2 {
+		runLen = 2
+	}
+	for w := 0; w < n; w += runLen {
+		end := w + runLen
+		if end > n {
+			end = n
+		}
+		win := a[w:end]
+		sort.Slice(win, func(i, j int) bool { return win[i] < win[j] })
+	}
+	return a
+}
+
+// ZipfSkewed returns n keys drawn Zipf(s)-style from a set of distinct
+// values that are themselves scattered uniformly through the int64 key
+// space — the hot-key skew of service traffic (a handful of keys dominate
+// the stream) without Zipf's clustering of the hot values near zero, so
+// duplicates of one hot key land together under any comparison sort while
+// the hot keys themselves are spread across the output.  Exponents s
+// outside Zipf's s > 1 domain (including NaN) clamp to 1.2, so the
+// generator is total over untrusted service input.
+func ZipfSkewed(n int, s float64, distinct int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	if !(s > 1) {
+		s = 1.2
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	vals := make([]int64, distinct)
+	for i := range vals {
+		vals[i] = rng.Int63n(math.MaxInt64) // < MaxInt64: never the pad sentinel
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(distinct-1))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = vals[z.Uint64()]
 	}
 	return a
 }

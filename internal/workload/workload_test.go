@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"slices"
 	"testing"
 	"testing/quick"
@@ -160,5 +161,92 @@ func TestGeneratorsQuickPermutationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSortedRuns(t *testing.T) {
+	const n, runLen = 1000, 64
+	a := SortedRuns(n, runLen, 3)
+	if !isPermutationOfRange(a) {
+		t.Fatal("SortedRuns not a permutation")
+	}
+	for w := 0; w < n; w += runLen {
+		end := w + runLen
+		if end > n {
+			end = n
+		}
+		if !slices.IsSorted(a[w:end]) {
+			t.Fatalf("run at %d not sorted", w)
+		}
+	}
+	if slices.IsSorted(a) {
+		t.Fatal("SortedRuns came out globally sorted — runs not interleaved")
+	}
+	// Determinism and seed sensitivity.
+	if !slices.Equal(a, SortedRuns(n, runLen, 3)) {
+		t.Fatal("SortedRuns not reproducible")
+	}
+	if slices.Equal(a, SortedRuns(n, runLen, 4)) {
+		t.Fatal("SortedRuns ignores the seed")
+	}
+	// Degenerate run lengths clamp instead of failing.
+	if got := SortedRuns(10, 0, 1); !isPermutationOfRange(got) {
+		t.Fatalf("runLen 0 = %v", got)
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	const n, distinct = 20000, 64
+	a := ZipfSkewed(n, 1.2, distinct, 5)
+	if len(a) != n {
+		t.Fatalf("len = %d", len(a))
+	}
+	counts := make(map[int64]int)
+	for _, k := range a {
+		if k < 0 || k == math.MaxInt64 {
+			t.Fatalf("key %d outside the sortable range", k)
+		}
+		counts[k]++
+	}
+	if len(counts) > distinct {
+		t.Fatalf("%d distinct values, want <= %d", len(counts), distinct)
+	}
+	// Hot-key skew: the most frequent key must dominate far beyond the
+	// uniform share (n/distinct ≈ 312; Zipf(1.2) gives the top key a
+	// constant fraction of the stream).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*n/distinct {
+		t.Fatalf("hottest key has %d of %d draws — no skew", max, n)
+	}
+	// The hot values are scattered, not clustered at the bottom of the
+	// key space: with values drawn uniformly from [0, MaxInt64) the
+	// minimum present key should be enormous by permutation standards.
+	min := int64(math.MaxInt64)
+	for k := range counts {
+		if k < min {
+			min = k
+		}
+	}
+	if min < int64(n) {
+		t.Fatalf("minimum key %d — hot set clustered near zero", min)
+	}
+	if !slices.Equal(a, ZipfSkewed(n, 1.2, distinct, 5)) {
+		t.Fatal("ZipfSkewed not reproducible")
+	}
+}
+
+func TestZipfSkewedClampsExponent(t *testing.T) {
+	// rand.NewZipf requires s > 1; out-of-domain exponents (service
+	// input!) must clamp instead of panicking.
+	for _, s := range []float64{1.0, 0, -3, math.NaN()} {
+		a := ZipfSkewed(1000, s, 16, 1)
+		if len(a) != 1000 {
+			t.Fatalf("s=%v: len %d", s, len(a))
+		}
 	}
 }

@@ -21,9 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/memsort"
+	"repro/internal/par"
 	"repro/internal/pdm"
 )
 
@@ -82,6 +84,33 @@ func (alg Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm maps the CLI/service short names (auto, mesh3, mesh2e,
+// lmm3, exp2, exp3, seven, six) to Algorithm values.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "auto", "":
+		return Auto, nil
+	case "mesh3":
+		return ThreePassMesh, nil
+	case "mesh2e":
+		return TwoPassMeshExpected, nil
+	case "lmm3":
+		return ThreePassLMM, nil
+	case "exp2":
+		return TwoPassExpected, nil
+	case "exp3":
+		return ThreePassExpected, nil
+	case "seven":
+		return SevenPass, nil
+	case "six":
+		return SixPassExpected, nil
+	case "sevenmesh":
+		return SevenPassMesh, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown algorithm %q (want auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh)", name)
+	}
+}
+
 // MachineConfig describes the simulated PDM.
 type MachineConfig struct {
 	// Memory is the internal memory M in keys; it must be a perfect square
@@ -109,6 +138,12 @@ type MachineConfig struct {
 	// and I/O traces are bit-identical for any worker count — parallelism
 	// changes wall-clock only — and Report gains compute metrics.
 	Workers int
+	// BlockLatency, when positive, decorates every disk with a fixed
+	// per-block service time (pdm.LatencyDisk), modeling positioning and
+	// transfer latency on top of either backend.  Pass accounting is
+	// unaffected; wall-clock slows, which the scheduler tests use to
+	// exercise cancellation promptness and the benchmarks to show overlap.
+	BlockLatency time.Duration
 }
 
 // PipelineConfig sizes the streaming I/O layer.  Depths are in stripes
@@ -136,9 +171,47 @@ var ErrKeyRange = errors.New("repro: keys must be smaller than MaxInt64")
 
 // NewMachine builds a Machine from cfg.
 func NewMachine(cfg MachineConfig) (*Machine, error) {
+	return newMachine(cfg, nil)
+}
+
+// newMachine is NewMachine with the worker pool optionally attached to a
+// shared cross-job limiter — the constructor the scheduler builds per-job
+// machines with.
+func newMachine(cfg MachineConfig, lim *par.Limiter) (*Machine, error) {
+	pcfg, alpha, err := resolveConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pcfg.Limiter = lim
+	var disks []pdm.Disk
+	if cfg.Dir != "" {
+		disks, err = pdm.NewFileDisks(cfg.Dir, pcfg.D, pcfg.B)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		disks = pdm.NewMemDisks(pcfg.D, pcfg.B)
+	}
+	if cfg.BlockLatency > 0 {
+		for i, d := range disks {
+			disks[i] = pdm.LatencyDisk{Disk: d, PerBlock: cfg.BlockLatency}
+		}
+	}
+	a, err := pdm.NewWithDisks(pcfg, disks)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{a: a, alpha: alpha}, nil
+}
+
+// resolveConfig validates cfg and resolves it to the pdm configuration
+// (without backend-specific fields) plus the effective alpha.  The
+// scheduler uses it at submit time to size a job's memory envelope before
+// any resources exist.
+func resolveConfig(cfg MachineConfig) (pdm.Config, float64, error) {
 	b := memsort.Isqrt(cfg.Memory)
 	if b*b != cfg.Memory {
-		return nil, fmt.Errorf("repro: Memory = %d is not a perfect square", cfg.Memory)
+		return pdm.Config{}, 0, fmt.Errorf("repro: Memory = %d is not a perfect square", cfg.Memory)
 	}
 	d := cfg.Disks
 	if d == 0 {
@@ -148,31 +221,18 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		}
 	}
 	if b%d != 0 {
-		return nil, fmt.Errorf("repro: Disks = %d does not divide sqrt(Memory) = %d", d, b)
+		return pdm.Config{}, 0, fmt.Errorf("repro: Disks = %d does not divide sqrt(Memory) = %d", d, b)
 	}
 	alpha := cfg.Alpha
 	if alpha == 0 {
 		alpha = 1
 	}
-	pcfg := pdm.Config{D: d, B: b, Mem: cfg.Memory,
+	return pdm.Config{D: d, B: b, Mem: cfg.Memory,
 		Pipeline: pdm.PipelineConfig{
 			Prefetch:    cfg.Pipeline.Prefetch,
 			WriteBehind: cfg.Pipeline.WriteBehind,
 		},
-		Workers: cfg.Workers}
-	var (
-		a   *pdm.Array
-		err error
-	)
-	if cfg.Dir != "" {
-		a, err = pdm.NewFileArray(pcfg, cfg.Dir)
-	} else {
-		a, err = pdm.New(pcfg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &Machine{a: a, alpha: alpha}, nil
+		Workers: cfg.Workers}, alpha, nil
 }
 
 // Array exposes the underlying PDM array for harnesses that need direct
@@ -242,20 +302,25 @@ func (r *Report) pipelineMetrics(io pdm.Stats, workers int) {
 // algorithms, the largest size whose Lemma 4.2 window still fits, i.e. the
 // reliable regime at the machine's α).
 func (m *Machine) Capacity(alg Algorithm) int {
-	mem := m.a.Mem()
+	return capacityFor(m.a.Mem(), m.alpha, alg)
+}
+
+// capacityFor is Capacity as a pure function of the geometry, shared with
+// the scheduler's submit-time planning.
+func capacityFor(mem int, alpha float64, alg Algorithm) int {
 	sq := memsort.Isqrt(mem)
 	switch alg {
 	case ThreePassMesh, ThreePassLMM:
 		return mem * sq
 	case TwoPassExpected, TwoPassMeshExpected:
-		return core.ExpectedTwoPassRuns(mem, m.alpha) * mem
+		return core.ExpectedTwoPassRuns(mem, alpha) * mem
 	case ThreePassExpected:
 		l := largestGoodL(mem, sq, func(l int) bool {
-			return l*l*mem <= core.ExpectedThreePassCapacity(mem, m.alpha)
+			return l*l*mem <= core.ExpectedThreePassCapacity(mem, alpha)
 		})
 		return l * l * mem
 	case SixPassExpected:
-		n1 := core.ExpectedTwoPassRuns(mem, m.alpha)
+		n1 := core.ExpectedTwoPassRuns(mem, alpha)
 		l := largestGoodL(mem, sq, func(l int) bool { return l <= n1 })
 		return l * l * mem
 	case SevenPass, SevenPassMesh, Auto:
@@ -277,16 +342,21 @@ func largestGoodL(mem, sq int, ok func(int) bool) int {
 
 // Plan returns the algorithm Auto would choose for n keys.
 func (m *Machine) Plan(n int) Algorithm {
+	return planFor(m.a.Mem(), m.alpha, n)
+}
+
+// planFor is Plan as a pure function of the geometry.
+func planFor(mem int, alpha float64, n int) Algorithm {
 	switch {
-	case n <= m.a.Mem():
+	case n <= mem:
 		return ThreePassLMM // one run; degenerates to a single load-sort-store
-	case n <= m.Capacity(TwoPassExpected):
+	case n <= capacityFor(mem, alpha, TwoPassExpected):
 		return TwoPassExpected
-	case n <= m.Capacity(ThreePassLMM):
+	case n <= capacityFor(mem, alpha, ThreePassLMM):
 		return ThreePassLMM
-	case n <= m.Capacity(ThreePassExpected):
+	case n <= capacityFor(mem, alpha, ThreePassExpected):
 		return ThreePassExpected
-	case n <= m.Capacity(SixPassExpected):
+	case n <= capacityFor(mem, alpha, SixPassExpected):
 		return SixPassExpected
 	default:
 		return SevenPass
@@ -420,7 +490,12 @@ func (m *Machine) SortInts(keys []int64, universe int64) (*Report, error) {
 // padFor returns the smallest on-disk length ≥ n satisfying the
 // algorithm's geometry.
 func (m *Machine) padFor(alg Algorithm, n int) (int, error) {
-	mem := m.a.Mem()
+	return padForSize(m.a.Mem(), alg, n)
+}
+
+// padForSize is padFor as a pure function of the geometry, shared with the
+// scheduler's submit-time disk-envelope sizing.
+func padForSize(mem int, alg Algorithm, n int) (int, error) {
 	sq := memsort.Isqrt(mem)
 	switch alg {
 	case ThreePassMesh, ThreePassLMM, TwoPassExpected, TwoPassMeshExpected:

@@ -1,0 +1,575 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/memsort"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Scheduler sentinel errors, re-exported from the engine so service
+// callers can classify rejections without reaching into internal/.
+var (
+	// ErrQueueFull is Submit's backpressure signal.
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrSchedulerClosed is returned by Submit after Close.
+	ErrSchedulerClosed = sched.ErrClosed
+	// ErrJobTooLarge marks a job whose envelope can never fit the budget.
+	ErrJobTooLarge = sched.ErrTooLarge
+)
+
+// SchedulerConfig sizes a Scheduler: the global budgets every concurrent
+// sort job is admitted against, and the per-job defaults.
+type SchedulerConfig struct {
+	// Memory is the global internal-memory budget in keys.  Every running
+	// job's whole arena capacity (its machine's M times the slack, plus
+	// staging) is carved from this ledger, so the sum over concurrent jobs
+	// never exceeds it.  Required.
+	Memory int
+	// DiskBudget is the global scratch budget in keys; zero selects
+	// 64·Memory.
+	DiskBudget int
+	// Workers is the global compute budget: one par limiter shared by
+	// every job's worker pool.  Zero selects GOMAXPROCS.
+	Workers int
+	// JobMemory is the default per-job internal memory M in keys (a
+	// perfect square); zero selects 4096.  A JobSpec may override it.
+	JobMemory int
+	// Dir, when non-empty, backs each job's disks with real files under
+	// Dir/job-NNNN (created at admission, removed when the job finishes);
+	// otherwise jobs run on in-memory disks.
+	Dir string
+	// MaxQueue bounds the admission queue; zero selects 1024.
+	MaxQueue int
+	// Alpha is the confidence parameter passed to each job's machine.
+	Alpha float64
+	// Pipeline is the default per-job streaming depth.
+	Pipeline PipelineConfig
+}
+
+// WorkloadSpec asks the service to generate a job's input instead of
+// shipping keys inline, naming a generator from the workload suite.
+type WorkloadSpec struct {
+	// Kind selects the distribution: "perm" (random permutation),
+	// "uniform", "zipf" (skewed duplicates over a scattered hot-key set),
+	// "sortedruns" (concatenation of pre-sorted runs), "sorted",
+	// "reverse", "nearlysorted", "fewdistinct", or "organ".
+	Kind string `json:"kind"`
+	// N is the number of keys.
+	N int `json:"n"`
+	// Seed makes the input reproducible.
+	Seed int64 `json:"seed"`
+	// S is the Zipf exponent for "zipf" (0 selects 1.2).
+	S float64 `json:"s,omitempty"`
+	// Distinct bounds the distinct values for "zipf" and "fewdistinct"
+	// (0 selects N/16+1).
+	Distinct int `json:"distinct,omitempty"`
+	// RunLen is the presorted-run length for "sortedruns" and the window
+	// for "nearlysorted" (0 selects √N, min 2).
+	RunLen int `json:"runlen,omitempty"`
+}
+
+// Generate materializes the described input.
+func (w *WorkloadSpec) Generate() ([]int64, error) {
+	if w.N <= 0 {
+		return nil, fmt.Errorf("repro: workload n = %d, want > 0", w.N)
+	}
+	distinct := w.Distinct
+	if distinct <= 0 {
+		distinct = w.N/16 + 1
+	}
+	runLen := w.RunLen
+	if runLen <= 0 {
+		runLen = memsort.Isqrt(w.N)
+		if runLen < 2 {
+			runLen = 2
+		}
+	}
+	s := w.S
+	if !(s > 1) {
+		s = 1.2 // rand.NewZipf requires s > 1; clamp untrusted input
+	}
+	switch w.Kind {
+	case "perm", "":
+		return workload.Perm(w.N, w.Seed), nil
+	case "uniform":
+		return workload.Uniform(w.N, -1<<40, 1<<40, w.Seed), nil
+	case "zipf":
+		return workload.ZipfSkewed(w.N, s, distinct, w.Seed), nil
+	case "sortedruns":
+		return workload.SortedRuns(w.N, runLen, w.Seed), nil
+	case "sorted":
+		return workload.Sorted(w.N), nil
+	case "reverse":
+		return workload.ReverseSorted(w.N), nil
+	case "nearlysorted":
+		return workload.NearlySorted(w.N, runLen, w.Seed), nil
+	case "fewdistinct":
+		return workload.FewDistinct(w.N, distinct, w.Seed), nil
+	case "organ":
+		return workload.Organ(w.N), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown workload kind %q", w.Kind)
+	}
+}
+
+// JobSpec describes one sort job.
+type JobSpec struct {
+	// Keys is the inline input.  The scheduler takes ownership and sorts
+	// it in place (no private copy), so callers must not touch the slice
+	// until the job finishes.  Exactly one of Keys and Workload is set.
+	Keys []int64 `json:"keys,omitempty"`
+	// Workload generates the input server-side.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Algorithm selects the paper algorithm (Auto plans from N).  Ignored
+	// when Universe is set.
+	Algorithm Algorithm `json:"-"`
+	// Universe, when positive, sorts with the Section 7 RadixSort over
+	// [0, Universe) instead of a comparison algorithm.
+	Universe int64 `json:"universe,omitempty"`
+	// Memory and Disks give the job its machine geometry (0 = scheduler
+	// defaults).
+	Memory int `json:"memory,omitempty"`
+	Disks  int `json:"disks,omitempty"`
+	// Workers is the job's fan-out width (0 = the scheduler's Workers);
+	// execution is arbitrated by the shared limiter either way.
+	Workers int `json:"workers,omitempty"`
+	// Pipeline overrides the scheduler's default streaming depth.
+	Pipeline *PipelineConfig `json:"pipeline,omitempty"`
+	// BlockLatency models per-block device latency on the job's disks.
+	BlockLatency time.Duration `json:"-"`
+	// KeepKeys retains the sorted output for SortedKeys until the
+	// scheduler is closed.
+	KeepKeys bool `json:"keepKeys,omitempty"`
+	// Label tags the job in status reports.
+	Label string `json:"label,omitempty"`
+}
+
+// JobState is a job's lifecycle position as the service reports it.
+type JobState string
+
+// The job states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	ID        int      `json:"id"`
+	Label     string   `json:"label,omitempty"`
+	State     JobState `json:"state"`
+	Algorithm string   `json:"algorithm"`
+	N         int      `json:"n"`
+	Error     string   `json:"error,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+
+	// Report is the final sorting report (Done jobs only).
+	Report *Report `json:"report,omitempty"`
+
+	// MemReserved and DiskReserved are the admitted envelope;
+	// DiskFootprint is the high-water scratch the job actually touched,
+	// and ArenaLeak the job machine's arena in-use count at exit — always
+	// zero, including for canceled jobs, or the envelope accounting is
+	// broken.
+	MemReserved   int `json:"memReserved"`
+	DiskReserved  int `json:"diskReserved"`
+	DiskFootprint int `json:"diskFootprint,omitempty"`
+	ArenaLeak     int `json:"arenaLeak,omitempty"`
+}
+
+// SchedStats aggregates the scheduler's state and the finished jobs'
+// reports for the service's stats and metrics endpoints.
+type SchedStats struct {
+	sched.Stats
+
+	// UptimeSeconds is the scheduler's age; JobsPerSecond is Completed
+	// over uptime.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	JobsPerSecond float64 `json:"jobsPerSecond"`
+
+	// KeysSorted sums N over completed jobs; PassesWeighted is the
+	// padded-N-weighted average pass count.
+	KeysSorted     int64   `json:"keysSorted"`
+	PassesWeighted float64 `json:"passesWeighted"`
+
+	// Aggregated pipeline and compute observability over completed jobs.
+	PrefetchHits      int64   `json:"prefetchHits"`
+	PrefetchStalls    int64   `json:"prefetchStalls"`
+	WriteStalls       int64   `json:"writeStalls"`
+	ComputeSeconds    float64 `json:"computeSeconds"`
+	WorkerUtilization float64 `json:"workerUtilization"`
+}
+
+// Scheduler runs many sort jobs concurrently against shared machine
+// budgets: each admitted job gets its own Machine whose arena capacity is
+// reserved on the global memory ledger, whose disks live in a per-job
+// scratch directory (when file-backed), and whose worker pool shares the
+// global compute limiter.  Admission is FIFO with backpressure; see
+// internal/sched for the engine.
+type Scheduler struct {
+	cfg SchedulerConfig
+	eng *sched.Scheduler
+	t0  time.Time
+
+	mu   sync.Mutex
+	jobs map[int]*schedJob
+	agg  aggregate
+}
+
+// aggregate accumulates completed-job report sums under Scheduler.mu.
+type aggregate struct {
+	keysSorted     int64
+	passesDotN     float64 // Σ passes·paddedN
+	paddedN        int64
+	prefetchHits   int64
+	prefetchStalls int64
+	writeStalls    int64
+	computeNanos   int64
+	busyNanos      int64
+	wallNanos      int64
+}
+
+// schedJob pairs the engine handle with the facade-side result state.
+type schedJob struct {
+	spec   JobSpec
+	alg    Algorithm
+	n      int
+	handle *sched.Job
+
+	mu        sync.Mutex
+	report    *Report
+	keys      []int64
+	footprint int
+	arenaLeak int
+}
+
+// NewScheduler starts a Scheduler.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	if cfg.JobMemory == 0 {
+		cfg.JobMemory = 4096
+	}
+	if b := memsort.Isqrt(cfg.JobMemory); b*b != cfg.JobMemory {
+		return nil, fmt.Errorf("repro: JobMemory = %d is not a perfect square", cfg.JobMemory)
+	}
+	eng, err := sched.New(sched.Config{
+		MemKeys:  cfg.Memory,
+		DiskKeys: cfg.DiskBudget,
+		Workers:  cfg.Workers,
+		Dir:      cfg.Dir,
+		MaxQueue: cfg.MaxQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg, eng: eng, t0: time.Now(), jobs: make(map[int]*schedJob)}, nil
+}
+
+// Submit enqueues a job and returns its id.  The job's memory envelope is
+// its machine's whole arena capacity and its disk envelope a multiple of
+// the padded input; admission waits (FIFO) until both fit the global
+// budgets.  Backpressure surfaces as sched.ErrQueueFull.
+func (s *Scheduler) Submit(spec JobSpec) (int, error) {
+	n := len(spec.Keys)
+	if spec.Workload != nil {
+		if n > 0 {
+			return 0, fmt.Errorf("repro: JobSpec has both inline keys and a workload")
+		}
+		if _, err := (&WorkloadSpec{Kind: spec.Workload.Kind, N: 1}).Generate(); err != nil {
+			return 0, err // unknown kind, reported at submit time
+		}
+		n = spec.Workload.N
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("repro: empty job (no keys, no workload)")
+	}
+	mc := MachineConfig{
+		Memory:       spec.Memory,
+		Disks:        spec.Disks,
+		Alpha:        s.cfg.Alpha,
+		Workers:      spec.Workers,
+		Pipeline:     s.cfg.Pipeline,
+		BlockLatency: spec.BlockLatency,
+	}
+	if mc.Memory == 0 {
+		mc.Memory = s.cfg.JobMemory
+	}
+	if spec.Pipeline != nil {
+		mc.Pipeline = *spec.Pipeline
+	}
+	pcfg, alpha, err := resolveConfig(mc)
+	if err != nil {
+		return 0, err
+	}
+	if spec.Universe < 0 {
+		return 0, fmt.Errorf("repro: universe %d, want > 0", spec.Universe)
+	}
+	alg := spec.Algorithm
+	var padded int
+	if spec.Universe > 0 {
+		if spec.Universe > math.MaxInt64-1 {
+			return 0, fmt.Errorf("repro: universe %d out of range", spec.Universe)
+		}
+		padded = memsort.CeilDiv(n, pcfg.B) * pcfg.B
+	} else {
+		if alg == Auto {
+			alg = planFor(pcfg.Mem, alpha, n)
+		}
+		padded, err = padForSize(pcfg.Mem, alg, n)
+		if err != nil {
+			return 0, err
+		}
+	}
+	j := &schedJob{spec: spec, alg: alg, n: n}
+	handle, err := s.eng.Submit(sched.Request{
+		Label:    spec.Label,
+		MemKeys:  pcfg.ArenaCapacity(),
+		DiskKeys: diskEnvelope(alg, spec.Universe > 0, padded, pcfg.D*pcfg.B),
+		Run: func(ctx context.Context, env sched.Env) error {
+			return s.runJob(ctx, env, j, mc)
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	j.handle = handle
+	s.mu.Lock()
+	s.jobs[handle.ID()] = j
+	s.mu.Unlock()
+	return handle.ID(), nil
+}
+
+// diskEnvelope sizes a job's scratch reservation.  The three-pass family
+// keeps at most the input, one generation of runs, one of merged
+// sequences, and the output alive at once (measured high-water ≤ 4×
+// padded); the superrun-recursive family — the seven-pass variants, the
+// expected six-pass, and the expected three-pass with its deterministic
+// fallback — peaks at 7× padded.  One extra padded length of headroom on
+// top of each measured peak, plus a stripe of allocator slack, makes the
+// reservation a true bound: the high-water DiskFootprint in JobStatus is
+// checked against it in the scheduler tests.
+func diskEnvelope(alg Algorithm, radix bool, padded, stripe int) int {
+	mult := 6
+	if !radix {
+		switch alg {
+		case SevenPass, SevenPassMesh, SixPassExpected, ThreePassExpected:
+			mult = 8
+		}
+	}
+	return mult*padded + 2*stripe
+}
+
+// runJob is the job body executed by the engine once admitted.
+func (s *Scheduler) runJob(ctx context.Context, env sched.Env, j *schedJob, mc MachineConfig) error {
+	keys := j.spec.Keys
+	if j.spec.Workload != nil {
+		var err error
+		keys, err = j.spec.Workload.Generate()
+		if err != nil {
+			return err
+		}
+	}
+	mc.Dir = env.Dir
+	if mc.Workers == 0 {
+		mc.Workers = env.Workers
+	}
+	m, err := newMachine(mc, env.Limiter)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	var rep *Report
+	if j.spec.Universe > 0 {
+		rep, err = m.SortIntsContext(ctx, keys, j.spec.Universe)
+	} else {
+		rep, err = m.SortContext(ctx, keys, j.alg)
+	}
+	foot := m.Array().DiskFootprint()
+	leak := m.Array().Arena().InUse()
+	j.mu.Lock()
+	j.footprint = foot
+	j.arenaLeak = leak
+	if err == nil {
+		j.report = rep
+		if j.spec.KeepKeys {
+			j.keys = keys
+		}
+	}
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if leak != 0 {
+		return fmt.Errorf("repro: job %d leaked %d arena keys", env.JobID, leak)
+	}
+	s.mu.Lock()
+	s.agg.keysSorted += int64(rep.N)
+	s.agg.passesDotN += rep.Passes * float64(rep.PaddedN)
+	s.agg.paddedN += int64(rep.PaddedN)
+	s.agg.prefetchHits += rep.PrefetchHits
+	s.agg.prefetchStalls += rep.PrefetchStalls
+	s.agg.writeStalls += rep.WriteStalls
+	s.agg.computeNanos += int64(rep.ComputeSeconds * 1e9)
+	s.agg.wallNanos += rep.IO.ComputeWallNanos
+	s.agg.busyNanos += rep.IO.ComputeBusyNanos
+	s.mu.Unlock()
+	return nil
+}
+
+// Status returns a snapshot of the job with the given id.
+func (s *Scheduler) Status(id int) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusOf(j), true
+}
+
+// Jobs returns a snapshot of every job in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	handles := make([]*schedJob, 0, len(s.jobs))
+	for _, h := range s.eng.Jobs() {
+		if j, ok := s.jobs[h.ID()]; ok {
+			handles = append(handles, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(handles))
+	for i, j := range handles {
+		out[i] = s.statusOf(j)
+	}
+	return out
+}
+
+func (s *Scheduler) statusOf(j *schedJob) JobStatus {
+	h := j.handle
+	submitted, started, finished := h.Times()
+	st := JobStatus{
+		ID:           h.ID(),
+		Label:        h.Label(),
+		N:            j.n,
+		Submitted:    submitted,
+		Started:      started,
+		Finished:     finished,
+		MemReserved:  h.MemKeys(),
+		DiskReserved: h.DiskKeys(),
+	}
+	if j.spec.Universe > 0 {
+		st.Algorithm = "RadixSort"
+	} else {
+		st.Algorithm = j.alg.String()
+	}
+	switch h.State() {
+	case sched.Queued:
+		st.State = JobQueued
+	case sched.Running:
+		st.State = JobRunning
+	case sched.Done:
+		st.State = JobDone
+	case sched.Failed:
+		st.State = JobFailed
+	case sched.Canceled:
+		st.State = JobCanceled
+	}
+	if err := h.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	j.mu.Lock()
+	st.Report = j.report
+	st.DiskFootprint = j.footprint
+	st.ArenaLeak = j.arenaLeak
+	j.mu.Unlock()
+	return st
+}
+
+// Cancel cancels the job, reporting whether id exists.  A queued job is
+// dropped without ever holding resources; a running one aborts at its
+// next I/O or cleanup chunk and releases its whole envelope.
+func (s *Scheduler) Cancel(id int) bool {
+	return s.eng.Cancel(id)
+}
+
+// Wait blocks until the job finishes (or ctx is canceled) and returns its
+// final status.
+func (s *Scheduler) Wait(ctx context.Context, id int) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("repro: unknown job %d", id)
+	}
+	if err := j.handle.Wait(ctx); err != nil && ctx.Err() != nil {
+		return JobStatus{}, err
+	}
+	return s.statusOf(j), nil
+}
+
+// SortedKeys returns the retained sorted output of a completed job
+// submitted with KeepKeys.
+func (s *Scheduler) SortedKeys(id int) ([]int64, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown job %d", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.report == nil {
+		return nil, fmt.Errorf("repro: job %d has no result (state %s)", id, j.handle.State())
+	}
+	if j.keys == nil {
+		return nil, fmt.Errorf("repro: job %d was not submitted with KeepKeys", id)
+	}
+	return j.keys, nil
+}
+
+// Stats returns the aggregate scheduler statistics.
+func (s *Scheduler) Stats() SchedStats {
+	up := time.Since(s.t0).Seconds()
+	st := SchedStats{Stats: s.eng.Stats(), UptimeSeconds: up}
+	s.mu.Lock()
+	agg := s.agg
+	s.mu.Unlock()
+	if up > 0 {
+		st.JobsPerSecond = float64(st.Completed) / up
+	}
+	st.KeysSorted = agg.keysSorted
+	if agg.paddedN > 0 {
+		st.PassesWeighted = agg.passesDotN / float64(agg.paddedN)
+	}
+	st.PrefetchHits = agg.prefetchHits
+	st.PrefetchStalls = agg.prefetchStalls
+	st.WriteStalls = agg.writeStalls
+	st.ComputeSeconds = float64(agg.computeNanos) / 1e9
+	if agg.wallNanos > 0 && st.Workers > 0 {
+		u := float64(agg.busyNanos) / (float64(agg.wallNanos) * float64(st.Workers))
+		if u > 1 {
+			u = 1
+		}
+		st.WorkerUtilization = u
+	} else {
+		st.WorkerUtilization = 1
+	}
+	return st
+}
+
+// Close stops admission, cancels every remaining job, and waits for the
+// running ones to drain.
+func (s *Scheduler) Close() {
+	s.eng.Close()
+}

@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"context"
+)
+
+// SortContext is Sort bound to ctx: once ctx is canceled the run aborts at
+// the next I/O request or cleanup chunk — the pdm layer rejects every
+// subsequent transfer with an error wrapping ctx.Err() — with the arena
+// fully drained (every pass helper releases its buffers on the error
+// path), so a canceled job's memory envelope is immediately reusable.
+// Accounting for the completed prefix stays identical to an unpipelined
+// run aborted at the same point.
+//
+// A Machine runs one sort at a time; the binding lasts for this call only.
+func (m *Machine) SortContext(ctx context.Context, keys []int64, alg Algorithm) (*Report, error) {
+	m.a.BindContext(ctx)
+	defer m.a.BindContext(nil)
+	return m.Sort(keys, alg)
+}
+
+// SortIntsContext is SortInts bound to ctx, with the same abort semantics
+// as SortContext.
+func (m *Machine) SortIntsContext(ctx context.Context, keys []int64, universe int64) (*Report, error) {
+	m.a.BindContext(ctx)
+	defer m.a.BindContext(nil)
+	return m.SortInts(keys, universe)
+}
