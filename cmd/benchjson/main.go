@@ -1,11 +1,12 @@
 // Command benchjson measures the repository's headline performance —
-// end-to-end sort throughput per algorithm and scheduler jobs/sec under a
-// concurrent mixed batch — and writes the results as one JSON document
-// (BENCH_pr3.json by default).  CI runs it on every push and uploads the
-// file as an artifact, so the perf trajectory of the reproduction is
-// recorded per commit instead of living only in benchmark logs.
+// end-to-end sort throughput per algorithm, scheduler jobs/sec under a
+// concurrent mixed batch, and full-record sort throughput across payload
+// widths — and writes the results as one JSON document (BENCH_pr4.json by
+// default).  CI runs it on every push and uploads the file as an
+// artifact, so the perf trajectory of the reproduction is recorded per
+// commit instead of living only in benchmark logs.
 //
-//	benchjson [-out BENCH_pr3.json] [-n 262144] [-mem 4096] [-jobs 12] [-workers 0]
+//	benchjson [-out BENCH_pr4.json] [-n 262144] [-mem 4096] [-jobs 12] [-workers 0]
 package main
 
 import (
@@ -42,6 +43,20 @@ type schedulerBench struct {
 	Passes      float64 `json:"passesWeighted"`
 }
 
+// recordsBench is one full-record sort measurement: keys plus byte
+// payloads through SortRecords and the external permutation pass.
+type recordsBench struct {
+	Name          string  `json:"name"`
+	N             int     `json:"n"`
+	MinBytes      int     `json:"minBytes"`
+	MaxBytes      int     `json:"maxBytes"`
+	PayloadWords  int     `json:"payloadWords"`
+	KeyPasses     float64 `json:"keyPasses"`
+	PermutePasses float64 `json:"permutePasses"`
+	WallSeconds   float64 `json:"wallSeconds"`
+	RecordsPerSec float64 `json:"recordsPerSec"`
+}
+
 // document is the artifact schema.
 type document struct {
 	Timestamp string         `json:"timestamp"`
@@ -49,10 +64,11 @@ type document struct {
 	NumCPU    int            `json:"numCPU"`
 	EndToEnd  []endToEnd     `json:"endToEnd"`
 	Scheduler schedulerBench `json:"scheduler"`
+	Records   []recordsBench `json:"records"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output file")
+	out := flag.String("out", "BENCH_pr4.json", "output file")
 	n := flag.Int("n", 1<<18, "keys per end-to-end sort")
 	mem := flag.Int("mem", 4096, "internal memory M in keys (perfect square)")
 	jobs := flag.Int("jobs", 12, "jobs in the scheduler batch")
@@ -86,6 +102,20 @@ func run(out string, n, mem, jobs, workers int) error {
 	}
 	doc.Scheduler = sb
 
+	// Full-record throughput across payload widths: fixed narrow, fixed
+	// wide, and variable.
+	for _, rc := range []recordsBench{
+		{Name: "fixed-8B", MinBytes: 8, MaxBytes: 8},
+		{Name: "fixed-64B", MinBytes: 64, MaxBytes: 64},
+		{Name: "variable-0-32B", MinBytes: 0, MaxBytes: 32},
+	} {
+		res, err := recordsOnce(rc, n/4, mem, workers)
+		if err != nil {
+			return fmt.Errorf("records %s: %w", rc.Name, err)
+		}
+		doc.Records = append(doc.Records, res)
+	}
+
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -94,9 +124,44 @@ func run(out string, n, mem, jobs, workers int) error {
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec)\n",
-		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec)
+	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series)\n",
+		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records))
 	return nil
+}
+
+// recordsOnce measures one full-record sort (keys + generated payloads)
+// end to end, including the permutation pass.
+func recordsOnce(rc recordsBench, n, mem, workers int) (recordsBench, error) {
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Memory:   mem,
+		Workers:  workers,
+		Pipeline: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		return rc, err
+	}
+	defer m.Close()
+	if capacity := m.Capacity(repro.Auto); n > capacity {
+		n = capacity
+	}
+	keys, err := (&repro.WorkloadSpec{Kind: "uniform", N: n, Seed: 1}).Generate()
+	if err != nil {
+		return rc, err
+	}
+	payloads := (&repro.PayloadSpec{MinBytes: rc.MinBytes, MaxBytes: rc.MaxBytes}).Materialize(n, 1)
+	t0 := time.Now()
+	rep, err := m.SortRecords(keys, payloads, repro.Auto)
+	if err != nil {
+		return rc, err
+	}
+	wall := time.Since(t0).Seconds()
+	rc.N = n
+	rc.PayloadWords = rep.PayloadWords
+	rc.KeyPasses = rep.Passes
+	rc.PermutePasses = rep.PermutePasses
+	rc.WallSeconds = wall
+	rc.RecordsPerSec = float64(n) / wall
+	return rc, nil
 }
 
 func sortOnce(algName string, n, mem, workers int) (endToEnd, error) {

@@ -2,13 +2,20 @@
 // admits concurrent sort jobs against global memory, disk, and worker
 // budgets, and this daemon exposes its job API as JSON endpoints.
 //
-//	POST /jobs              submit a job (inline keys or a workload spec)
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         poll one job's status (report when done)
-//	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /jobs/{id}/keys    fetch the sorted output (keepKeys jobs only)
-//	GET  /stats             aggregate scheduler statistics as JSON
-//	GET  /metrics           the same in Prometheus text format
+//	POST /jobs               submit a job (inline keys, optionally with
+//	                         per-record payloads, or a workload spec)
+//	GET  /jobs               list all jobs
+//	GET  /jobs/{id}          poll one job's status (report when done)
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+//	GET  /jobs/{id}/keys     fetch the sorted keys (keepKeys jobs only)
+//	GET  /jobs/{id}/records  fetch sorted keys + payloads (records jobs)
+//	GET  /stats              aggregate scheduler statistics as JSON
+//	GET  /metrics            the same in Prometheus text format
+//
+// Both output endpoints paginate with ?offset=N&limit=M: limit clamps
+// overflow-safely to the remaining records, while an offset beyond the
+// record count is a 400 — so a client paging with a stale total can tell
+// "end of data" (an empty 200 page at offset == n) from a bad request.
 //
 // Example session:
 //
@@ -82,7 +89,10 @@ func main() {
 
 // submitRequest is the POST /jobs body.
 type submitRequest struct {
-	Keys     []int64             `json:"keys,omitempty"`
+	Keys []int64 `json:"keys,omitempty"`
+	// Payloads (base64-encoded byte strings, one per key) make the job a
+	// full-record sort; so does a workload with a "payload" spec.
+	Payloads [][]byte            `json:"payloads,omitempty"`
 	Workload *repro.WorkloadSpec `json:"workload,omitempty"`
 	// Alg names the algorithm (auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|
 	// six|sevenmesh); "radix" selects the Section 7 RadixSort, whose key
@@ -118,6 +128,7 @@ func newServer(sch *repro.Scheduler, maxBody int64) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.status)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
 	mux.HandleFunc("GET /jobs/{id}/keys", s.keys)
+	mux.HandleFunc("GET /jobs/{id}/records", s.records)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
@@ -150,6 +161,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec := repro.JobSpec{
 		Keys:         req.Keys,
+		Payloads:     req.Payloads,
 		Workload:     req.Workload,
 		Universe:     req.Universe,
 		Memory:       req.Memory,
@@ -231,6 +243,37 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// pageBounds parses and validates ?offset=N&limit=M against n records.
+// The limit clamps overflow-safely to the remaining records (a huge limit
+// must not overflow offset+limit into a negative slice bound), but an
+// offset beyond n is a 400: silently rewriting it would hand a client
+// paging with a stale total an empty 200 page indistinguishable from the
+// end of the data.  offset == n is valid and yields the empty final page.
+func pageBounds(w http.ResponseWriter, r *http.Request, n int) (offset, limit int, ok bool) {
+	offset, limit = 0, n
+	var err error
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
+			return 0, 0, false
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return 0, 0, false
+		}
+	}
+	if offset < 0 || offset > n {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("offset %d outside [0, %d]", offset, n))
+		return 0, 0, false
+	}
+	if limit < 0 || limit > n-offset {
+		limit = n - offset
+	}
+	return offset, limit, true
+}
+
 func (s *server) keys(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.jobID(w, r)
 	if !ok {
@@ -241,32 +284,39 @@ func (s *server) keys(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	// Optional slicing for large outputs: ?offset=N&limit=M.  Both are
-	// clamped into [0, len(keys)] BEFORE the end arithmetic — a huge
-	// limit must not overflow offset+limit into a negative slice bound.
-	offset, limit := 0, len(keys)
-	if v := r.URL.Query().Get("offset"); v != "" {
-		if offset, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
-			return
-		}
-	}
-	if v := r.URL.Query().Get("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
-			return
-		}
-	}
-	if offset < 0 || offset > len(keys) {
-		offset = len(keys)
-	}
-	if limit < 0 || limit > len(keys)-offset {
-		limit = len(keys) - offset
+	offset, limit, ok := pageBounds(w, r, len(keys))
+	if !ok {
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"n":      len(keys),
 		"offset": offset,
 		"keys":   keys[offset : offset+limit],
+	})
+}
+
+// records serves a completed records job's sorted output — keys paired
+// with base64-encoded payloads — with the same pagination contract as
+// keys.
+func (s *server) records(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	keys, payloads, err := s.sch.SortedRecords(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	offset, limit, ok := pageBounds(w, r, len(keys))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":        len(keys),
+		"offset":   offset,
+		"keys":     keys[offset : offset+limit],
+		"payloads": payloads[offset : offset+limit],
 	})
 }
 
@@ -295,6 +345,7 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	p("pdmd_disk_keys{kind=\"in_use\"} %d\n", st.DiskInUse)
 	p("pdmd_disk_keys{kind=\"capacity\"} %d\n", st.DiskCapacity)
 	p("# TYPE pdmd_workers gauge\npdmd_workers %d\n", st.Workers)
+	p("# TYPE pdmd_scratch_cleanup_failures_total counter\npdmd_scratch_cleanup_failures_total %d\n", st.CleanupFailures)
 	p("# TYPE pdmd_keys_sorted_total counter\npdmd_keys_sorted_total %d\n", st.KeysSorted)
 	p("# TYPE pdmd_passes_weighted_avg gauge\npdmd_passes_weighted_avg %g\n", st.PassesWeighted)
 	p("# TYPE pdmd_prefetch_chunks_total counter\n")

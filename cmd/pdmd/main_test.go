@@ -263,12 +263,19 @@ func TestSubmitRejections(t *testing.T) {
 	pollUntil(t, ts.URL, sid, repro.JobDone)
 }
 
-// TestKeysSliceBounds covers the offset/limit clamping: extreme values
-// must clamp, never panic the handler.
-func TestKeysSliceBounds(t *testing.T) {
+// TestPaginationSemantics is the table-driven contract of both output
+// endpoints (n = 2048 records): the limit clamps overflow-safely, the
+// final empty page at offset == n is a 200 (end of data), and an offset
+// beyond n — what a client with a stale total sends — is a 400, never a
+// silently rewritten empty page.
+func TestPaginationSemantics(t *testing.T) {
 	ts, _ := testServer(t)
+	const n = 2048
 	_, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
-		"workload": map[string]any{"kind": "perm", "n": 2048, "seed": 1},
+		"workload": map[string]any{
+			"kind": "perm", "n": n, "seed": 1,
+			"payload": map[string]any{"minBytes": 4, "maxBytes": 12},
+		},
 		"alg":      "lmm3",
 		"keepKeys": true,
 	})
@@ -277,37 +284,130 @@ func TestKeysSliceBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	pollUntil(t, ts.URL, id, repro.JobDone)
-	for _, q := range []string{
-		"offset=1&limit=9223372036854775807", // end would overflow
-		"offset=99999&limit=10",              // offset past the end
-		"offset=-5&limit=-5",                 // negative both
-		"offset=2040&limit=999",              // limit past the end
-	} {
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys?%s", ts.URL, id, q))
+	cases := []struct {
+		query    string
+		wantCode int
+		wantLen  int // page length when wantCode is 200
+	}{
+		{"", http.StatusOK, n},
+		{"offset=100&limit=10", http.StatusOK, 10},
+		{"offset=1&limit=9223372036854775807", http.StatusOK, n - 1}, // end would overflow: clamp
+		{"offset=2040&limit=999", http.StatusOK, 8},                  // limit past the end: clamp
+		{"limit=-5", http.StatusOK, n},                               // negative limit: clamp
+		{fmt.Sprintf("offset=%d", n), http.StatusOK, 0},              // exactly the end: empty final page
+		{fmt.Sprintf("offset=%d&limit=10", n+1), http.StatusBadRequest, 0},
+		{"offset=99999&limit=10", http.StatusBadRequest, 0},
+		{"offset=-5", http.StatusBadRequest, 0},
+		{"offset=99999999999999999999", http.StatusBadRequest, 0}, // unparsable
+		{"limit=banana", http.StatusBadRequest, 0},
+	}
+	for _, endpoint := range []string{"keys", "records"} {
+		for _, tc := range cases {
+			url := fmt.Sprintf("%s/jobs/%d/%s?%s", ts.URL, id, endpoint, tc.query)
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out struct {
+				N        int      `json:"n"`
+				Offset   int      `json:"offset"`
+				Keys     []int64  `json:"keys"`
+				Payloads [][]byte `json:"payloads"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("%s?%s: %v", endpoint, tc.query, err)
+			}
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("%s?%s = %d, want %d", endpoint, tc.query, resp.StatusCode, tc.wantCode)
+			}
+			if tc.wantCode != http.StatusOK {
+				continue
+			}
+			if out.N != n || len(out.Keys) != tc.wantLen {
+				t.Fatalf("%s?%s: n=%d, page=%d keys, want %d of %d", endpoint, tc.query, out.N, len(out.Keys), tc.wantLen, n)
+			}
+			if endpoint == "records" && len(out.Payloads) != tc.wantLen {
+				t.Fatalf("records?%s: %d payloads for %d keys", tc.query, len(out.Payloads), tc.wantLen)
+			}
+		}
+	}
+}
+
+// TestRecordsJobEndToEnd submits inline keys with byte payloads, polls to
+// completion, and checks the paginated records endpoint returns the
+// records sorted by key with their payloads still attached.
+func TestRecordsJobEndToEnd(t *testing.T) {
+	ts, _ := testServer(t)
+	n := 500
+	keys := make([]int64, n)
+	payloads := make([][]byte, n)
+	for i := range keys {
+		keys[i] = int64((i * 7919) % 101) // duplicates exercise stability
+		payloads[i] = []byte(fmt.Sprintf("k%03d-r%04d", keys[i], i))
+	}
+	resp, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"keys":     keys,
+		"payloads": payloads,
+		"alg":      "lmm3",
+		"keepKeys": true,
+		"label":    "records-e2e",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %v", resp.StatusCode, obj)
+	}
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	st := pollUntil(t, ts.URL, id, repro.JobDone)
+	if st.Report == nil || st.Report.PermutePasses <= 0 || st.Report.PayloadWords == 0 {
+		t.Fatalf("records job report missing permutation accounting: %+v", st.Report)
+	}
+	// Page through the whole output and verify sortedness + pairing.
+	var gotKeys []int64
+	var gotPayloads [][]byte
+	for off := 0; ; {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/records?offset=%d&limit=128", ts.URL, id, off))
 		if err != nil {
 			t.Fatal(err)
 		}
-		var out struct {
-			N    int     `json:"n"`
-			Keys []int64 `json:"keys"`
+		var page struct {
+			N        int      `json:"n"`
+			Keys     []int64  `json:"keys"`
+			Payloads [][]byte `json:"payloads"`
 		}
-		err = json.NewDecoder(resp.Body).Decode(&out)
+		err = json.NewDecoder(resp.Body).Decode(&page)
 		resp.Body.Close()
-		if err != nil {
-			t.Fatalf("?%s: %v", q, err)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("records page at %d: code %d, err %v", off, resp.StatusCode, err)
 		}
-		if resp.StatusCode != http.StatusOK || out.N != 2048 {
-			t.Fatalf("?%s = %d, n=%d", q, resp.StatusCode, out.N)
+		if len(page.Keys) == 0 {
+			break
+		}
+		gotKeys = append(gotKeys, page.Keys...)
+		gotPayloads = append(gotPayloads, page.Payloads...)
+		off += len(page.Keys)
+	}
+	if len(gotKeys) != n || !slices.IsSorted(gotKeys) {
+		t.Fatalf("paged %d keys, sorted=%v", len(gotKeys), slices.IsSorted(gotKeys))
+	}
+	for i := range gotKeys {
+		var k, r int
+		if _, err := fmt.Sscanf(string(gotPayloads[i]), "k%03d-r%04d", &k, &r); err != nil {
+			t.Fatalf("payload %d corrupt: %q", i, gotPayloads[i])
+		}
+		if int64(k) != gotKeys[i] {
+			t.Fatalf("record %d: payload %q rode with key %d", i, gotPayloads[i], gotKeys[i])
 		}
 	}
-	// Unparsable values are 400s.
-	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys?offset=99999999999999999999", ts.URL, id))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("overflowing offset = %d, want 400", resp.StatusCode)
+	// The radix path must reject payloads: a records sort is comparison-based.
+	resp2, _ := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"keys": []int64{1, 2}, "payloads": [][]byte{{1}, {2}}, "alg": "radix",
+	})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("radix records job = %d, want 400", resp2.StatusCode)
 	}
 }
 

@@ -1,7 +1,6 @@
-// Command pdmsort sorts a binary file of little-endian int64 keys on a
-// simulated Parallel Disk Model backed by real files (one per disk, with
-// one goroutine per disk performing the parallel I/O), using the paper's
-// algorithms.
+// Command pdmsort sorts a file on a simulated Parallel Disk Model backed
+// by real files (one per disk, with one goroutine per disk performing the
+// parallel I/O), using the paper's algorithms.
 //
 // Usage:
 //
@@ -9,11 +8,19 @@
 //	        [-alg auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix] \
 //	        [-universe 4294967296] [-scratch DIR] [-gen N] [-seed 1] \
 //	        [-prefetch 2] [-writebehind 2] [-workers 0]
+//	pdmsort -csv table.csv -keycol 0 [-sep ,] [-out sorted.csv] ...
 //
-// With -gen N (and no -in), pdmsort first generates N random keys.
-// The exit report prints the measured pass counts — the paper's currency.
-// Unknown algorithm names and invalid flag combinations exit 2 with a
-// usage message before any work happens.
+// With -in, the input is a binary file of little-endian int64 keys.  With
+// -csv, the input is a delimited text file sorted stably by an integer key
+// column: every line is a full record whose bytes ride through the
+// external permutation pass (Machine.SortRecords) — the end-to-end "sort a
+// file by key" scenario.  Fields are split naively on -sep (no RFC-4180
+// quoting), keeping every output line byte-identical to its input line.
+// With -gen N (and no input file), pdmsort first generates N random
+// keys.  The exit report prints the measured pass
+// counts — the paper's currency — including the payload permutation's
+// passes for record sorts.  Unknown algorithm names and invalid flag
+// combinations exit 2 with a usage message before any work happens.
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro"
 )
@@ -34,23 +43,44 @@ type usageError struct{ err error }
 func (e usageError) Error() string { return e.err.Error() }
 func (e usageError) Unwrap() error { return e.err }
 
+// options collects the resolved flags.
+type options struct {
+	in       string
+	csv      string
+	keyCol   int
+	sep      string
+	out      string
+	mem      int
+	disks    int
+	alg      string
+	universe int64
+	scratch  string
+	gen      int
+	seed     int64
+	pipe     repro.PipelineConfig
+	workers  int
+}
+
 func main() {
-	in := flag.String("in", "", "input file of little-endian int64 keys")
-	out := flag.String("out", "", "output file (defaults to <in>.sorted)")
-	mem := flag.Int("mem", 65536, "internal memory M in keys (perfect square)")
-	disks := flag.Int("disks", 0, "number of disks D (0 = sqrt(M)/4)")
-	algName := flag.String("alg", "auto", "algorithm: auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix")
-	universe := flag.Int64("universe", 1<<32, "key universe for -alg radix")
-	scratch := flag.String("scratch", "", "directory for the disk files (default: temp dir)")
-	gen := flag.Int("gen", 0, "generate this many random keys instead of reading -in")
-	seed := flag.Int64("seed", 1, "seed for -gen")
-	prefetch := flag.Int("prefetch", 2, "prefetch depth in stripes (0 = synchronous reads)")
-	writeBehind := flag.Int("writebehind", 2, "write-behind depth in stripes (0 = synchronous writes)")
-	workers := flag.Int("workers", 0, "compute worker pool width (0 = GOMAXPROCS; output is identical for any value)")
+	var o options
+	flag.StringVar(&o.in, "in", "", "input file of little-endian int64 keys")
+	flag.StringVar(&o.csv, "csv", "", "delimited text file to sort by an integer key column")
+	flag.IntVar(&o.keyCol, "keycol", 0, "zero-based key column for -csv")
+	flag.StringVar(&o.sep, "sep", ",", "field separator for -csv (lines are split naively: RFC-4180 quoting is not interpreted)")
+	flag.StringVar(&o.out, "out", "", "output file (defaults to <input>.sorted)")
+	flag.IntVar(&o.mem, "mem", 65536, "internal memory M in keys (perfect square)")
+	flag.IntVar(&o.disks, "disks", 0, "number of disks D (0 = sqrt(M)/4)")
+	flag.StringVar(&o.alg, "alg", "auto", "algorithm: auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix")
+	flag.Int64Var(&o.universe, "universe", 1<<32, "key universe for -alg radix")
+	flag.StringVar(&o.scratch, "scratch", "", "directory for the disk files (default: temp dir)")
+	flag.IntVar(&o.gen, "gen", 0, "generate this many random keys instead of reading -in")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for -gen")
+	flag.IntVar(&o.pipe.Prefetch, "prefetch", 2, "prefetch depth in stripes (0 = synchronous reads)")
+	flag.IntVar(&o.pipe.WriteBehind, "writebehind", 2, "write-behind depth in stripes (0 = synchronous writes)")
+	flag.IntVar(&o.workers, "workers", 0, "compute worker pool width (0 = GOMAXPROCS; output is identical for any value)")
 	flag.Parse()
 
-	pipe := repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind}
-	if err := run(*in, *out, *mem, *disks, *algName, *universe, *scratch, *gen, *seed, pipe, *workers); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "pdmsort: %v\n", err)
 		var ue usageError
 		if errors.As(err, &ue) {
@@ -64,55 +94,89 @@ func main() {
 
 // validate rejects unusable flag combinations before any work (file I/O,
 // key generation, machine construction) happens.
-func validate(in string, mem, disks int, algName string, universe int64, gen int, pipe repro.PipelineConfig, workers int) error {
-	if algName != "radix" {
-		if _, err := repro.ParseAlgorithm(algName); err != nil {
+func validate(o options) error {
+	if o.alg != "radix" {
+		if _, err := repro.ParseAlgorithm(o.alg); err != nil {
 			return usageError{fmt.Errorf("-alg: %w", err)}
 		}
 	}
+	inputs := 0
+	if o.in != "" {
+		inputs++
+	}
+	if o.csv != "" {
+		inputs++
+	}
+	if o.gen > 0 {
+		inputs++
+	}
 	switch {
-	case gen < 0:
-		return usageError{fmt.Errorf("-gen %d: want a positive count", gen)}
-	case gen > 0 && in != "":
-		return usageError{errors.New("-gen and -in are mutually exclusive")}
-	case gen == 0 && in == "":
-		return usageError{errors.New("need -in FILE or -gen N")}
-	case universe <= 0 && (algName == "radix" || gen > 0):
-		return usageError{fmt.Errorf("-universe %d: want > 0", universe)}
-	case mem <= 0:
-		return usageError{fmt.Errorf("-mem %d: want > 0", mem)}
-	case disks < 0:
-		return usageError{fmt.Errorf("-disks %d: want >= 0", disks)}
-	case pipe.Prefetch < 0 || pipe.WriteBehind < 0:
-		return usageError{fmt.Errorf("-prefetch %d / -writebehind %d: want >= 0", pipe.Prefetch, pipe.WriteBehind)}
-	case workers < 0:
-		return usageError{fmt.Errorf("-workers %d: want >= 0", workers)}
+	case o.gen < 0:
+		return usageError{fmt.Errorf("-gen %d: want a positive count", o.gen)}
+	case inputs > 1:
+		return usageError{errors.New("-in, -csv, and -gen are mutually exclusive")}
+	case inputs == 0:
+		return usageError{errors.New("need -in FILE, -csv FILE, or -gen N")}
+	case o.csv != "" && o.alg == "radix":
+		return usageError{errors.New("-csv sorts full records, which needs a comparison algorithm, not radix")}
+	case o.csv != "" && o.keyCol < 0:
+		return usageError{fmt.Errorf("-keycol %d: want >= 0", o.keyCol)}
+	case o.csv != "" && o.sep == "":
+		return usageError{errors.New("-sep must not be empty")}
+	case o.universe <= 0 && (o.alg == "radix" || o.gen > 0):
+		return usageError{fmt.Errorf("-universe %d: want > 0", o.universe)}
+	case o.mem <= 0:
+		return usageError{fmt.Errorf("-mem %d: want > 0", o.mem)}
+	case o.disks < 0:
+		return usageError{fmt.Errorf("-disks %d: want >= 0", o.disks)}
+	case o.pipe.Prefetch < 0 || o.pipe.WriteBehind < 0:
+		return usageError{fmt.Errorf("-prefetch %d / -writebehind %d: want >= 0", o.pipe.Prefetch, o.pipe.WriteBehind)}
+	case o.workers < 0:
+		return usageError{fmt.Errorf("-workers %d: want >= 0", o.workers)}
 	}
 	return nil
 }
 
-func run(in, out string, mem, disks int, algName string, universe int64, scratch string, gen int, seed int64, pipe repro.PipelineConfig, workers int) error {
-	if err := validate(in, mem, disks, algName, universe, gen, pipe, workers); err != nil {
+func run(o options) error {
+	if err := validate(o); err != nil {
 		return err
 	}
+	// The input is read (or generated) before any machine setup, so a bad
+	// input file fails without creating disk files in the scratch dir.
 	var keys []int64
-	if gen > 0 {
-		keys = make([]int64, gen)
-		rng := rand.New(rand.NewSource(seed))
+	var lines [][]byte // CSV records; nil for key-only sorts
+	var trailingNL bool
+	in := o.in
+	var err error
+	switch {
+	case o.csv != "":
+		in = o.csv
+		keys, lines, trailingNL, err = readCSV(o.csv, o.keyCol, o.sep)
+		if err != nil {
+			return err
+		}
+		if len(keys) == 0 {
+			return fmt.Errorf("%s: no records", o.csv)
+		}
+	case o.gen > 0:
+		keys = make([]int64, o.gen)
+		rng := rand.New(rand.NewSource(o.seed))
 		for i := range keys {
-			keys[i] = rng.Int63n(universe)
+			keys[i] = rng.Int63n(o.universe)
 		}
 		in = "generated.bin"
-	} else {
-		var err error
+	default:
 		keys, err = readKeys(in)
 		if err != nil {
 			return err
 		}
 	}
+	out := o.out
 	if out == "" {
 		out = in + ".sorted"
 	}
+
+	scratch := o.scratch
 	if scratch == "" {
 		dir, err := os.MkdirTemp("", "pdmsort-disks-")
 		if err != nil {
@@ -121,18 +185,29 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 		defer os.RemoveAll(dir)
 		scratch = dir
 	}
-
-	m, err := repro.NewMachine(repro.MachineConfig{Memory: mem, Disks: disks, Dir: scratch, Pipeline: pipe, Workers: workers})
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Memory: o.mem, Disks: o.disks, Dir: scratch, Pipeline: o.pipe, Workers: o.workers,
+	})
 	if err != nil {
 		return err
 	}
 	defer m.Close()
 
 	var rep *repro.Report
-	if algName == "radix" {
-		rep, err = m.SortInts(keys, universe)
-	} else {
-		alg, aerr := parseAlg(algName) // cannot fail: validate ran first
+	switch {
+	case o.csv != "":
+		// Every line is one record whose whole byte content is the
+		// payload, so the permutation pass moves the actual file data
+		// through the simulated disks.
+		alg, aerr := parseAlg(o.alg) // cannot fail: validate ran first
+		if aerr != nil {
+			return aerr
+		}
+		rep, err = m.SortRecords(keys, lines, alg)
+	case o.alg == "radix":
+		rep, err = m.SortInts(keys, o.universe)
+	default:
+		alg, aerr := parseAlg(o.alg)
 		if aerr != nil {
 			return aerr
 		}
@@ -141,15 +216,32 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 	if err != nil {
 		return err
 	}
-	if err := writeKeys(out, keys); err != nil {
+	if o.csv != "" {
+		err = writeLines(out, lines, trailingNL)
+	} else {
+		err = writeKeys(out, keys)
+	}
+	if err != nil {
 		return err
 	}
+	printReport(rep, out)
+	return nil
+}
+
+func printReport(rep *repro.Report, out string) {
 	fmt.Printf("sorted %d keys with %s: %.3f read passes, %.3f write passes",
 		rep.N, rep.Algorithm, rep.ReadPasses, rep.WritePasses)
 	if rep.FellBack {
 		fmt.Printf(" (fell back to the deterministic algorithm)")
 	}
+	if rep.KeyRounds > 1 {
+		fmt.Printf(" (%d key rounds)", rep.KeyRounds)
+	}
 	fmt.Printf("\nI/O: %s\n", rep.IO)
+	if rep.PayloadWords > 0 {
+		fmt.Printf("records: moved %d payload words in %.3f permutation passes\n",
+			rep.PayloadWords, rep.PermutePasses)
+	}
 	if rep.PrefetchHits+rep.PrefetchStalls > 0 {
 		fmt.Printf("pipeline: %.0f%% of streamed reads overlapped (%d hits, %d stalls, %d write stalls)\n",
 			100*rep.Overlap, rep.PrefetchHits, rep.PrefetchStalls, rep.WriteStalls)
@@ -161,13 +253,62 @@ func run(in, out string, mem, disks int, algName string, universe int64, scratch
 		fmt.Printf("compute: serial (workers=%d, nothing crossed the parallel grain)\n", rep.Workers)
 	}
 	fmt.Printf("output: %s\n", out)
-	return nil
 }
 
 // parseAlg delegates to the facade's shared name table (pdmd uses the
 // same one, so the CLI and the service accept identical spellings).
 func parseAlg(name string) (repro.Algorithm, error) {
 	return repro.ParseAlgorithm(name)
+}
+
+// readCSV parses the file into one record per line: the integer key from
+// the requested column and the raw line bytes as the payload.  It reports
+// whether the file ended with a newline so the output reproduces it.
+//
+// Lines are split naively on the separator — RFC-4180 quoting is NOT
+// interpreted, because the payload must be the line's exact bytes (an
+// encoding/csv round trip would re-quote them).  A quoted field
+// containing the separator shifts the key column and fails key parsing
+// with a line-numbered error rather than silently mis-keying.
+func readCSV(path string, keyCol int, sep string) (keys []int64, lines [][]byte, trailingNL bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	text := string(raw)
+	trailingNL = strings.HasSuffix(text, "\n")
+	text = strings.TrimSuffix(text, "\n")
+	if text == "" {
+		return nil, nil, trailingNL, nil
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		fields := strings.Split(strings.TrimSuffix(line, "\r"), sep)
+		if keyCol >= len(fields) {
+			return nil, nil, false, fmt.Errorf("%s:%d: %d fields, key column %d out of range", path, ln+1, len(fields), keyCol)
+		}
+		k, err := strconv.ParseInt(strings.TrimSpace(fields[keyCol]), 10, 64)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("%s:%d: key column %d: %w", path, ln+1, keyCol, err)
+		}
+		keys = append(keys, k)
+		lines = append(lines, []byte(line))
+	}
+	return keys, lines, trailingNL, nil
+}
+
+// writeLines writes the records back as a delimited text file.
+func writeLines(path string, lines [][]byte, trailingNL bool) error {
+	var buf []byte
+	for i, line := range lines {
+		if i > 0 {
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, line...)
+	}
+	if trailingNL {
+		buf = append(buf, '\n')
+	}
+	return os.WriteFile(path, buf, 0o644)
 }
 
 func readKeys(path string) ([]int64, error) {

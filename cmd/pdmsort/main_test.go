@@ -2,9 +2,12 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"slices"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro"
@@ -71,7 +74,8 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.Mkdir(scratch, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, 256, 0, "lmm3", 1<<32, scratch, 0, 1, repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}, 2); err != nil {
+	if err := run(options{in: in, out: out, mem: 256, alg: "lmm3", universe: 1 << 32, scratch: scratch,
+		seed: 1, pipe: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}, workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readKeys(out)
@@ -90,7 +94,8 @@ func TestRunGenerateAndRadix(t *testing.T) {
 	if err := os.Mkdir(scratch, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", out, 256, 4, "radix", 1<<20, scratch, 2000, 7, repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}, 2); err != nil {
+	if err := run(options{out: out, mem: 256, disks: 4, alg: "radix", universe: 1 << 20, scratch: scratch,
+		gen: 2000, seed: 7, pipe: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}, workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readKeys(out)
@@ -103,7 +108,7 @@ func TestRunGenerateAndRadix(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 256, 0, "auto", 1<<20, t.TempDir(), 0, 1, repro.PipelineConfig{}, 0); err == nil {
+	if err := run(options{mem: 256, alg: "auto", universe: 1 << 20, scratch: t.TempDir(), seed: 1, sep: ","}); err == nil {
 		t.Fatal("no input accepted")
 	}
 	dir := t.TempDir()
@@ -111,7 +116,7 @@ func TestRunErrors(t *testing.T) {
 	if err := writeKeys(in, []int64{3, 1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", 256, 0, "bogus", 1<<20, dir, 0, 1, repro.PipelineConfig{}, 0); err == nil {
+	if err := run(options{in: in, mem: 256, alg: "bogus", universe: 1 << 20, scratch: dir, seed: 1, sep: ","}); err == nil {
 		t.Fatal("bogus algorithm accepted")
 	}
 }
@@ -122,31 +127,35 @@ func TestRunErrors(t *testing.T) {
 // read, any key generated, or any machine built.
 func TestValidateRejectsBadFlags(t *testing.T) {
 	ok := repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}
+	base := options{mem: 256, alg: "auto", universe: 1, sep: ",", pipe: ok}
+	with := func(mut func(*options)) options {
+		o := base
+		mut(&o)
+		return o
+	}
 	cases := []struct {
-		name     string
-		in       string
-		mem      int
-		disks    int
-		alg      string
-		universe int64
-		gen      int
-		pipe     repro.PipelineConfig
-		workers  int
+		name string
+		o    options
 	}{
-		{name: "unknown alg", in: "x.bin", mem: 256, alg: "bogus", universe: 1, pipe: ok},
-		{name: "unknown alg with gen", mem: 256, alg: "quick3", universe: 100, gen: 10, pipe: ok},
-		{name: "no input", mem: 256, alg: "auto", universe: 1, pipe: ok},
-		{name: "gen and in conflict", in: "x.bin", mem: 256, alg: "auto", universe: 100, gen: 10, pipe: ok},
-		{name: "negative gen", mem: 256, alg: "auto", universe: 100, gen: -5, pipe: ok},
-		{name: "zero universe radix", in: "x.bin", mem: 256, alg: "radix", universe: 0, pipe: ok},
-		{name: "zero universe gen", mem: 256, alg: "auto", universe: 0, gen: 10, pipe: ok},
-		{name: "zero mem", in: "x.bin", mem: 0, alg: "auto", universe: 1, pipe: ok},
-		{name: "negative disks", in: "x.bin", mem: 256, disks: -1, alg: "auto", universe: 1, pipe: ok},
-		{name: "negative prefetch", in: "x.bin", mem: 256, alg: "auto", universe: 1, pipe: repro.PipelineConfig{Prefetch: -1}},
-		{name: "negative workers", in: "x.bin", mem: 256, alg: "auto", universe: 1, pipe: ok, workers: -2},
+		{"unknown alg", with(func(o *options) { o.in = "x.bin"; o.alg = "bogus" })},
+		{"unknown alg with gen", with(func(o *options) { o.alg = "quick3"; o.universe = 100; o.gen = 10 })},
+		{"no input", base},
+		{"gen and in conflict", with(func(o *options) { o.in = "x.bin"; o.universe = 100; o.gen = 10 })},
+		{"csv and in conflict", with(func(o *options) { o.in = "x.bin"; o.csv = "y.csv" })},
+		{"csv and gen conflict", with(func(o *options) { o.csv = "y.csv"; o.universe = 100; o.gen = 10 })},
+		{"csv with radix", with(func(o *options) { o.csv = "y.csv"; o.alg = "radix" })},
+		{"csv negative keycol", with(func(o *options) { o.csv = "y.csv"; o.keyCol = -1 })},
+		{"csv empty sep", with(func(o *options) { o.csv = "y.csv"; o.sep = "" })},
+		{"negative gen", with(func(o *options) { o.universe = 100; o.gen = -5 })},
+		{"zero universe radix", with(func(o *options) { o.in = "x.bin"; o.alg = "radix"; o.universe = 0 })},
+		{"zero universe gen", with(func(o *options) { o.universe = 0; o.gen = 10 })},
+		{"zero mem", with(func(o *options) { o.in = "x.bin"; o.mem = 0 })},
+		{"negative disks", with(func(o *options) { o.in = "x.bin"; o.disks = -1 })},
+		{"negative prefetch", with(func(o *options) { o.in = "x.bin"; o.pipe = repro.PipelineConfig{Prefetch: -1} })},
+		{"negative workers", with(func(o *options) { o.in = "x.bin"; o.workers = -2 })},
 	}
 	for _, tc := range cases {
-		err := validate(tc.in, tc.mem, tc.disks, tc.alg, tc.universe, tc.gen, tc.pipe, tc.workers)
+		err := validate(tc.o)
 		if err == nil {
 			t.Errorf("%s: accepted", tc.name)
 			continue
@@ -157,17 +166,100 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		}
 	}
 	// Valid combinations pass.
-	if err := validate("x.bin", 256, 0, "sevenmesh", 1, 0, ok, 0); err != nil {
+	if err := validate(with(func(o *options) { o.in = "x.bin"; o.alg = "sevenmesh" })); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
 	}
-	if err := validate("", 256, 4, "radix", 100, 10, ok, 2); err != nil {
+	if err := validate(with(func(o *options) { o.disks = 4; o.alg = "radix"; o.universe = 100; o.gen = 10; o.workers = 2 })); err != nil {
 		t.Fatalf("valid radix gen rejected: %v", err)
+	}
+	if err := validate(with(func(o *options) { o.csv = "y.csv"; o.keyCol = 2 })); err != nil {
+		t.Fatalf("valid csv flags rejected: %v", err)
 	}
 	// run surfaces the usageError without touching the filesystem: the
 	// input file does not exist, yet the algorithm error comes first.
-	err := run("/nonexistent/keys.bin", "", 256, 0, "bogus", 1, "", 0, 1, ok, 0)
+	err := run(with(func(o *options) { o.in = "/nonexistent/keys.bin"; o.alg = "bogus" }))
 	var ue usageError
 	if !errors.As(err, &ue) {
 		t.Fatalf("run returned %v, want a usageError before any I/O", err)
+	}
+}
+
+// TestRunCSVEndToEnd is the first end-to-end "sort a file" scenario: a
+// CSV on disk, sorted stably by its key column through the full-record
+// path, comes back with whole lines intact in key order.
+func TestRunCSVEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "table.csv")
+	out := filepath.Join(dir, "sorted.csv")
+	var b strings.Builder
+	n := 400
+	for i := 0; i < n; i++ {
+		// Key in column 1; duplicates (mod 20) make stability observable
+		// through the row id in column 0.
+		fmt.Fprintf(&b, "row%04d,%d,payload-%04d\n", i, (i*37)%20, i)
+	}
+	if err := os.WriteFile(in, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scratch := filepath.Join(dir, "disks")
+	if err := os.Mkdir(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{csv: in, keyCol: 1, sep: ",", out: out, mem: 256, scratch: scratch,
+		alg: "auto", universe: 1, seed: 1, pipe: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2}, workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("trailing newline lost")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("%d lines out, want %d", len(lines), n)
+	}
+	lastKey := int64(-1)
+	lastRow := ""
+	for _, line := range lines {
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 {
+			t.Fatalf("line %q torn apart", line)
+		}
+		k, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < lastKey {
+			t.Fatalf("keys out of order: %d after %d", k, lastKey)
+		}
+		if k == lastKey && fields[0] <= lastRow {
+			t.Fatalf("stability violated: %s after %s for key %d", fields[0], lastRow, k)
+		}
+		lastKey, lastRow = k, fields[0]
+	}
+	// Bad key column is a runtime error naming the line, not a usage error.
+	if err := os.WriteFile(in, []byte("a,b,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{csv: in, keyCol: 1, sep: ",", mem: 256, scratch: scratch,
+		alg: "auto", universe: 1, seed: 1})
+	if err == nil {
+		t.Fatal("unparsable key column accepted")
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("data error %v misclassified as a usage error", err)
+	}
+	// Key column out of range names the offending line too.
+	if err := os.WriteFile(in, []byte("1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{csv: in, keyCol: 5, sep: ",", mem: 256, scratch: scratch,
+		alg: "auto", universe: 1, seed: 1}); err == nil {
+		t.Fatal("out-of-range key column accepted")
 	}
 }

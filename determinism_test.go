@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"bytes"
+	"math/rand"
 	"slices"
 	"testing"
 
@@ -111,6 +113,58 @@ func TestWorkerCountDeterminismRadix(t *testing.T) {
 	serial := sortWithWorkers(t, 1, keys, sort)
 	parallel := sortWithWorkers(t, 8, keys, sort)
 	assertIdenticalRuns(t, serial, parallel)
+}
+
+// TestWorkerCountDeterminismRecords pits Workers=1 against Workers=8 on
+// the full-record path: sorted keys, permuted payload bytes, pass counts,
+// stats, and the I/O trace — key sort plus permutation — must be
+// bit-identical.
+func TestWorkerCountDeterminismRecords(t *testing.T) {
+	n := 6000
+	keys := workload.Uniform(n, 0, 1<<16, 5) // narrow universe forces ties
+	rng := rand.New(rand.NewSource(31))
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		p := make([]byte, rng.Intn(25))
+		rng.Read(p)
+		payloads[i] = p
+	}
+	type recRun struct {
+		detRun
+		payloads [][]byte
+	}
+	run := func(workers int) recRun {
+		m, err := NewMachine(MachineConfig{Memory: 1024, Workers: workers,
+			Pipeline: PipelineConfig{Prefetch: 2, WriteBehind: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		k := append([]int64(nil), keys...)
+		p := make([][]byte, n)
+		copy(p, payloads)
+		m.Array().EnableTrace()
+		rep, err := m.SortRecords(k, p, Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recRun{
+			detRun:   detRun{out: k, rep: rep, stats: normalizeStats(m.Array().Stats()), trace: m.Array().Trace()},
+			payloads: p,
+		}
+	}
+	serial, parallel := run(1), run(8)
+	assertIdenticalRuns(t, serial.detRun, parallel.detRun)
+	for i := range serial.payloads {
+		if !bytes.Equal(serial.payloads[i], parallel.payloads[i]) {
+			t.Fatalf("payload %d differs between worker counts", i)
+		}
+	}
+	if serial.rep.PermutePasses != parallel.rep.PermutePasses ||
+		serial.rep.PayloadWords != parallel.rep.PayloadWords ||
+		serial.rep.KeyRounds != parallel.rep.KeyRounds {
+		t.Fatalf("records accounting differs: serial %+v, parallel %+v", serial.rep, parallel.rep)
+	}
 }
 
 func TestWorkerCountDeterminismPairs(t *testing.T) {

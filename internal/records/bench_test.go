@@ -1,0 +1,63 @@
+package records
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pdm"
+)
+
+// latencyFileArray models a realistic device: file-backed disks decorated
+// with a fixed per-block service time, the backend where batching and
+// prefetch pay off in wall clock.
+func latencyFileArray(b *testing.B, mem, d, blk int, perBlock time.Duration) *pdm.Array {
+	b.Helper()
+	disks, err := pdm.NewFileDisks(b.TempDir(), d, blk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, dk := range disks {
+		disks[i] = pdm.LatencyDisk{Disk: dk, PerBlock: perBlock}
+	}
+	a, err := pdm.NewWithDisks(pdm.Config{
+		D: d, B: blk, Mem: mem,
+		Pipeline: pdm.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	}, disks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// The paired permutation benchmarks: the distribution pass against the
+// naive per-record gather, on identical latency-modeled file disks.  The
+// ratio is the headline number for the records layer — the naive gather
+// pays one positioning delay per record, the distribution pass one per
+// stripe of every level.
+func benchPermute(b *testing.B, naive bool) {
+	const n = 2000
+	payloads := genPayloads(n, 1, 24, 42)
+	perm := randPerm(n, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := latencyFileArray(b, 1024, 8, 32, 50*time.Microsecond)
+		b.StartTimer()
+		var err error
+		if naive {
+			_, err = NaiveGather(a, payloads, perm)
+		} else {
+			_, err = Permute(a, payloads, perm)
+		}
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkPermuteDistribution(b *testing.B) { benchPermute(b, false) }
+func BenchmarkPermuteNaiveGather(b *testing.B)  { benchPermute(b, true) }

@@ -1,0 +1,860 @@
+// Package records is the full-record layer's external permutation engine:
+// given variable-width byte payloads and a target order, it moves every
+// payload byte through the simulated disks from original order into target
+// order, with all I/O charged in the PDM's currency.
+//
+// The permutation is the classic distribution ("scatter") permutation the
+// model prices at O(sort(N)) I/Os: the payload store is read sequentially
+// once per level and each record is routed toward the memory-sized
+// destination chunk it belongs to, recursing with fanout M/B until a
+// chunk's worth of destinations fits in internal memory, where the records
+// are placed and the chunk is written out sequentially.  Every level is two
+// sequential passes over the payload volume (one read, one write), so the
+// total cost is 2·(levels+1) passes regardless of record width — against
+// which NaiveGather, the obvious per-record random gather, charges one
+// vectored read per record.
+//
+// All reads run through the streaming layer (stream.Reader), so gather and
+// scatter prefetch ahead of the consumer when the array's pipeline is
+// configured; all buffers come from the array's arena, so the layer's true
+// internal-memory footprint is metered like every algorithm's.
+package records
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memsort"
+	"repro/internal/pdm"
+	"repro/internal/stream"
+)
+
+// headerWords is the serialized segment header: absolute destination word
+// offset and word count.
+const headerWords = 2
+
+// Result reports one external permutation.
+type Result struct {
+	// Out holds the re-materialized payloads in target order: Out[j] is the
+	// input payload perm[j], read back from the output store.
+	Out [][]byte
+	// Words is the payload volume in 8-byte words (excluding padding);
+	// PaddedWords is the on-disk store length after padding to the block
+	// size.
+	Words       int
+	PaddedWords int
+	// IO is the I/O this permutation charged (a delta over the array's
+	// statistics).
+	IO pdm.Stats
+	// Passes is the charged I/O in the paper's currency: parallel steps
+	// times the stripe width, over the padded store length.
+	Passes float64
+	// Levels is the distribution depth (0 when one memory chunk covered the
+	// whole output); Fanout is the scatter width used.
+	Levels int
+	// Fanout is the number of partitions each scatter level splits into.
+	Fanout int
+}
+
+// PayloadWords returns the store size, in 8-byte words, of the payloads.
+func PayloadWords(payloads [][]byte) int {
+	w := 0
+	for _, p := range payloads {
+		w += wordsFor(len(p))
+	}
+	return w
+}
+
+func wordsFor(nbytes int) int { return (nbytes + 7) / 8 }
+
+// DiskEnvelope returns a conservative bound, in keys, on the scratch the
+// permutation of n records totalling at most `words` payload words
+// allocates on a machine with internal memory mem and stripe geometry d·b.
+// The bound covers the input and output stores plus every distribution
+// level's partitions (payload data, segment headers, and block padding);
+// the scheduler reserves it for the payload spill of a records job.
+func DiskEnvelope(n, words, mem, d, b int) int {
+	if words <= 0 {
+		return 0
+	}
+	// Disk space is allocated in whole rows of d·b keys, so every stripe
+	// rounds up to the row size.
+	row := d * b
+	padded := memsort.CeilDiv(words, row) * row
+	env := 2 * padded // store + output
+	chunk, maxF := scatterGeometry(mem, b)
+	span := memsort.CeilDiv(padded, chunk) // in chunks
+	for span > 1 {
+		f := span
+		if f > maxF {
+			f = maxF
+		}
+		span = memsort.CeilDiv(span, f)
+		nodes := memsort.CeilDiv(padded, span*chunk)
+		// One level's partitions all live at once in the worst case: the
+		// data, one header per resident segment (at most one per record
+		// plus one per node boundary), and one row of rounding per node.
+		env += words + headerWords*(n+nodes) + nodes*row
+	}
+	return env + row
+}
+
+// scatterGeometry resolves the distribution parameters: the destination
+// chunk size (one internal memory's worth of words) and the scatter fanout
+// (as many single-block partition buffers as fit in one memory).
+func scatterGeometry(mem, b int) (chunk, maxF int) {
+	maxF = mem / b
+	if maxF < 2 {
+		maxF = 2
+	}
+	return mem, maxF
+}
+
+// permuter carries the shared state of one permutation.
+type permuter struct {
+	a     *pdm.Array
+	b     int
+	chunk int
+	maxF  int
+
+	n     int
+	lens  []int // payload byte lengths, original order
+	wlen  []int // payload word lengths, original order
+	perm  []int
+	destw []int // destination word offset of record i (original index)
+
+	// Destination-order extents for analytic partition sizing: starts[j] is
+	// the first output word of sorted position j, nzcnt[j] the number of
+	// non-empty records among sorted positions [0, j).
+	starts []int
+	nzcnt  []int
+
+	words  int
+	padded int
+
+	out    *pdm.Stripe
+	outw   *stream.Writer
+	levels int
+	fanout int
+}
+
+// Permute moves payloads into perm order through the array's charged I/O:
+// perm[j] names the input record that lands at output position j.  The
+// payload store starts on disk (loaded uncharged, like every algorithm's
+// input) and the permuted store is read back uncharged for the returned
+// Result.Out; everything in between — the scatter levels and the final
+// placement — is charged through the normal accounting.
+func Permute(a *pdm.Array, payloads [][]byte, perm []int) (*Result, error) {
+	p, err := newPermuter(a, payloads, perm)
+	if err != nil {
+		return nil, err
+	}
+	if p.words == 0 {
+		res := p.result(pdm.Stats{})
+		return res, p.unload(res)
+	}
+	store, err := p.loadStore(payloads)
+	if err != nil {
+		return nil, err
+	}
+	before := a.Stats()
+	if err := p.runFrom(store); err != nil {
+		return nil, err
+	}
+	res := p.result(a.Stats().Sub(before))
+	if err := p.unload(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// NaiveGather is the permutation baseline the distribution pass is
+// measured against: one vectored read per record, fetching the store
+// blocks covering the record in output order and assembling output chunks
+// in memory.  For records much smaller than a block it re-reads the same
+// store blocks over and over — the access pattern whose cost the paper's
+// model makes visible.
+func NaiveGather(a *pdm.Array, payloads [][]byte, perm []int) (*Result, error) {
+	p, err := newPermuter(a, payloads, perm)
+	if err != nil {
+		return nil, err
+	}
+	if p.words == 0 {
+		res := p.result(pdm.Stats{})
+		return res, p.unload(res)
+	}
+	store, err := p.loadStore(payloads)
+	if err != nil {
+		return nil, err
+	}
+	before := a.Stats()
+	if err := p.gatherFrom(store); err != nil {
+		return nil, err
+	}
+	res := p.result(a.Stats().Sub(before))
+	if err := p.unload(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// gatherFrom reads each record's store blocks with one charged request per
+// record, in output order, flushing assembled output chunks sequentially.
+func (p *permuter) gatherFrom(store *pdm.Stripe) (err error) {
+	defer store.Free()
+	out, err := p.a.NewStripe(p.padded)
+	if err != nil {
+		return err
+	}
+	p.out = out
+	defer func() {
+		if err != nil && p.out != nil {
+			p.out.Free()
+			p.out = nil
+		}
+	}()
+	// srcOff[i] is record i's word offset in the store (original order).
+	srcOff := make([]int, p.n)
+	off := 0
+	for i := 0; i < p.n; i++ {
+		srcOff[i] = off
+		off += p.wlen[i]
+	}
+	maxBlocks := 0
+	for _, w := range p.wlen {
+		if nb := (w + 2*(p.b-1)) / p.b; nb > maxBlocks {
+			maxBlocks = nb
+		}
+	}
+	scratch, err := p.a.Arena().Alloc(maxBlocks * p.b)
+	if err != nil {
+		return err
+	}
+	defer p.a.Arena().Free(scratch)
+	chunkLen := p.a.StripeWidth()
+	chunk, err := p.a.Arena().Alloc(chunkLen)
+	if err != nil {
+		return err
+	}
+	defer p.a.Arena().Free(chunk)
+	flushed := 0
+	flush := func(upTo int) error {
+		for flushed+chunkLen <= upTo {
+			addrs, err := p.out.AddrRange(flushed, chunkLen)
+			if err != nil {
+				return err
+			}
+			if err := p.a.WriteV(addrs, splitFlat(chunk, p.b)); err != nil {
+				return err
+			}
+			for i := range chunk {
+				chunk[i] = 0
+			}
+			flushed += chunkLen
+		}
+		return nil
+	}
+	for j := 0; j < p.n; j++ {
+		i := p.perm[j]
+		if p.wlen[i] == 0 {
+			continue
+		}
+		first := srcOff[i] / p.b
+		last := (srcOff[i] + p.wlen[i] - 1) / p.b
+		nb := last - first + 1
+		addrs := make([]pdm.BlockAddr, nb)
+		for k := range addrs {
+			addrs[k] = store.BlockAddr(first + k)
+		}
+		if err := p.a.ReadV(addrs, splitFlat(scratch[:nb*p.b], p.b)); err != nil {
+			return fmt.Errorf("records: gather of record %d (output position %d): %w", i, j, err)
+		}
+		words := scratch[srcOff[i]-first*p.b : srcOff[i]-first*p.b+p.wlen[i]]
+		for w := 0; w < p.wlen[i]; w++ {
+			d := p.starts[j] + w
+			for d-flushed >= chunkLen {
+				if err := flush(flushed + chunkLen); err != nil {
+					return err
+				}
+			}
+			chunk[d-flushed] = words[w]
+		}
+	}
+	if flushed < p.padded {
+		addrs, err := p.out.AddrRange(flushed, p.padded-flushed)
+		if err != nil {
+			return err
+		}
+		if err := p.a.WriteV(addrs, splitFlat(chunk[:p.padded-flushed], p.b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitFlat(flat []int64, b int) [][]int64 {
+	out := make([][]int64, len(flat)/b)
+	for i := range out {
+		out[i] = flat[i*b : (i+1)*b]
+	}
+	return out
+}
+
+func newPermuter(a *pdm.Array, payloads [][]byte, perm []int) (*permuter, error) {
+	n := len(payloads)
+	if len(perm) != n {
+		return nil, fmt.Errorf("records: %d payloads but %d permutation entries", n, len(perm))
+	}
+	seen := make([]bool, n)
+	for j, i := range perm {
+		if i < 0 || i >= n || seen[i] {
+			return nil, fmt.Errorf("records: perm[%d] = %d is not a permutation of %d records", j, i, n)
+		}
+		seen[i] = true
+	}
+	p := &permuter{a: a, b: a.B(), n: n, perm: perm}
+	p.chunk, p.maxF = scatterGeometry(a.Mem(), a.B())
+	p.lens = make([]int, n)
+	p.wlen = make([]int, n)
+	for i, pl := range payloads {
+		p.lens[i] = len(pl)
+		p.wlen[i] = wordsFor(len(pl))
+	}
+	p.destw = make([]int, n)
+	p.starts = make([]int, n+1)
+	p.nzcnt = make([]int, n+1)
+	off := 0
+	for j, i := range perm {
+		p.starts[j] = off
+		p.nzcnt[j+1] = p.nzcnt[j]
+		if p.wlen[i] > 0 {
+			p.nzcnt[j+1]++
+		}
+		p.destw[i] = off
+		off += p.wlen[i]
+	}
+	p.starts[n] = off
+	p.words = off
+	p.padded = memsort.CeilDiv(off, p.b) * p.b
+	return p, nil
+}
+
+// loadStore materializes the payload bytes as a word store on disk, in
+// original record order, without charging I/O (the input's starting state).
+func (p *permuter) loadStore(payloads [][]byte) (*pdm.Stripe, error) {
+	data := make([]int64, p.padded)
+	off := 0
+	for i, pl := range payloads {
+		packWords(data[off:off+p.wlen[i]], pl)
+		off += p.wlen[i]
+	}
+	st, err := p.a.NewStripe(p.padded)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Load(data); err != nil {
+		st.Free()
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *permuter) result(io pdm.Stats) *Result {
+	res := &Result{
+		Words:       p.words,
+		PaddedWords: p.padded,
+		IO:          io,
+		Levels:      p.levels,
+		Fanout:      p.fanout,
+	}
+	if p.padded > 0 {
+		res.Passes = float64(io.ReadSteps+io.WriteSteps) * float64(p.a.StripeWidth()) / float64(p.padded)
+	}
+	res.Out = make([][]byte, p.n)
+	return res
+}
+
+func (p *permuter) unload(res *Result) error {
+	var flat []int64
+	if p.out != nil {
+		var err error
+		flat, err = p.out.Unload()
+		p.out.Free()
+		p.out = nil
+		if err != nil {
+			return err
+		}
+	}
+	for j, i := range p.perm {
+		out := make([]byte, p.lens[i])
+		if p.wlen[i] > 0 {
+			unpackWords(out, flat[p.starts[j]:p.starts[j]+p.wlen[i]])
+		}
+		res.Out[j] = out
+	}
+	return nil
+}
+
+// runFrom executes the distribution from an already-loaded store stripe.
+func (p *permuter) runFrom(store *pdm.Stripe) (err error) {
+	out, err := p.a.NewStripe(p.padded)
+	if err != nil {
+		store.Free()
+		return err
+	}
+	p.out = out
+	defer func() {
+		if err != nil && p.out != nil {
+			p.out.Free()
+			p.out = nil
+		}
+	}()
+	p.outw, err = stream.NewWriter(p.a)
+	if err != nil {
+		store.Free()
+		return err
+	}
+	defer func() {
+		cerr := p.outw.Close()
+		if err == nil {
+			err = cerr
+		}
+	}()
+	root := &nodeSource{p: p, store: store}
+	if err := p.process(0, p.padded, root, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// process routes the segments of src, all destined for output words
+// [lo, hi), to their final positions: directly when the range fits one
+// memory chunk, through another scatter level otherwise.  It consumes and
+// frees src.  depth is the number of scatter levels above this node; the
+// deepest one reached is the distribution depth reported as
+// Result.Levels.
+func (p *permuter) process(lo, hi int, src *nodeSource, depth int) error {
+	if hi-lo <= p.chunk {
+		return p.place(lo, hi, src)
+	}
+	if depth+1 > p.levels {
+		p.levels = depth + 1
+	}
+	children, err := p.scatter(lo, hi, src)
+	if err != nil {
+		for _, c := range children {
+			if c.stripe != nil {
+				c.stripe.Free()
+			}
+		}
+		return err
+	}
+	for _, c := range children {
+		// Ownership of the partition stripe transfers to the child source,
+		// which frees it when consumed (including on error paths).
+		child := &nodeSource{p: p, stripe: c.stripe, words: c.words}
+		c.stripe = nil
+		if err := p.process(c.lo, c.hi, child, depth+1); err != nil {
+			for _, rest := range children {
+				if rest.stripe != nil {
+					rest.stripe.Free()
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// child is one partition of a scatter level.
+type child struct {
+	lo, hi int
+	stripe *pdm.Stripe
+	words  int // exact serialized words (headers + data)
+
+	buf  []int64 // current block being filled (view into the shared arena buffer)
+	fill int
+	blk  int // next block index within stripe
+}
+
+// nodeWords returns the exact serialized size of the partition holding
+// every record piece destined for output words [lo, hi): the clipped data
+// plus one header per resident segment.
+func (p *permuter) nodeWords(lo, hi int) (words, segments int) {
+	if lo >= p.words {
+		return 0, 0
+	}
+	if hi > p.words {
+		hi = p.words
+	}
+	// Sorted positions whose extent overlaps [lo, hi): extents tile
+	// [0, words) in destination order, so they form one contiguous run.
+	a := sort.Search(p.n, func(j int) bool { return p.starts[j+1] > lo })
+	b := sort.Search(p.n, func(j int) bool { return p.starts[j] >= hi })
+	segments = p.nzcnt[b] - p.nzcnt[a]
+	return (hi - lo) + headerWords*segments, segments
+}
+
+// scatter reads src sequentially and routes every segment into one of the
+// partitions covering [lo, hi), splitting segments at partition
+// boundaries.  Partition block writes are batched into vectored requests
+// of up to D blocks, and each partition stripe is skewed by its index so a
+// mixed batch spreads across the disks.
+func (p *permuter) scatter(lo, hi int, src *nodeSource) (children []*child, err error) {
+	chunks := memsort.CeilDiv(hi-lo, p.chunk)
+	f := chunks
+	if f > p.maxF {
+		f = p.maxF
+	}
+	span := memsort.CeilDiv(chunks, f) * p.chunk
+	// The span rounds up to whole chunks, so fewer children than f may be
+	// needed to cover the range.
+	f = memsort.CeilDiv(hi-lo, span)
+	if p.fanout == 0 || f > p.fanout {
+		p.fanout = f
+	}
+	bufs, err := p.a.Arena().Alloc(f * p.b)
+	if err != nil {
+		src.free()
+		return nil, err
+	}
+	defer p.a.Arena().Free(bufs)
+	for c := 0; c < f; c++ {
+		clo := lo + c*span
+		chi := clo + span
+		if chi > hi {
+			chi = hi
+		}
+		words, _ := p.nodeWords(clo, chi)
+		ch := &child{lo: clo, hi: chi, words: words, buf: bufs[c*p.b : (c+1)*p.b]}
+		if words > 0 {
+			stripe, err := p.a.NewStripeSkew(memsort.CeilDiv(words, p.b)*p.b, c)
+			if err != nil {
+				src.free()
+				return children, err
+			}
+			ch.stripe = stripe
+		}
+		children = append(children, ch)
+	}
+	batch, err := newBlockBatch(p.a)
+	if err != nil {
+		src.free()
+		return children, err
+	}
+	defer batch.release()
+	route := func(dest, nw int, ws *wordStream) error {
+		for nw > 0 {
+			c := (dest - lo) / span
+			end := children[c].hi
+			if end > dest+nw {
+				end = dest + nw
+			}
+			take := end - dest
+			if err := p.emit(children[c], batch, dest, take, ws); err != nil {
+				return err
+			}
+			dest += take
+			nw -= take
+		}
+		return nil
+	}
+	if err := src.scan(route); err != nil {
+		src.free()
+		return children, err
+	}
+	src.free()
+	// Flush the partial last block of every partition (zero-padded).
+	for _, ch := range children {
+		if ch.fill > 0 {
+			for i := ch.fill; i < p.b; i++ {
+				ch.buf[i] = 0
+			}
+			if err := batch.add(ch.stripe.BlockAddr(ch.blk), ch.buf); err != nil {
+				return children, err
+			}
+			ch.fill = 0
+			ch.blk++
+		}
+	}
+	if err := batch.flush(); err != nil {
+		return children, err
+	}
+	return children, nil
+}
+
+// emit appends one segment (header + take data words pulled from ws) to a
+// partition, flushing full blocks through the batch.
+func (p *permuter) emit(ch *child, batch *blockBatch, dest, take int, ws *wordStream) error {
+	if err := p.put(ch, batch, int64(dest)); err != nil {
+		return err
+	}
+	if err := p.put(ch, batch, int64(take)); err != nil {
+		return err
+	}
+	for take > 0 {
+		room := p.b - ch.fill
+		if room > take {
+			room = take
+		}
+		if err := ws.copyN(ch.buf[ch.fill:ch.fill+room], room); err != nil {
+			return err
+		}
+		ch.fill += room
+		take -= room
+		if ch.fill == p.b {
+			if err := batch.add(ch.stripe.BlockAddr(ch.blk), ch.buf); err != nil {
+				return err
+			}
+			ch.fill = 0
+			ch.blk++
+		}
+	}
+	return nil
+}
+
+func (p *permuter) put(ch *child, batch *blockBatch, w int64) error {
+	ch.buf[ch.fill] = w
+	ch.fill++
+	if ch.fill == p.b {
+		if err := batch.add(ch.stripe.BlockAddr(ch.blk), ch.buf); err != nil {
+			return err
+		}
+		ch.fill = 0
+		ch.blk++
+	}
+	return nil
+}
+
+// place is the base case: the whole destination range fits one memory
+// chunk, so the node's segments are placed in an arena buffer and written
+// out sequentially through the write-behind writer.
+func (p *permuter) place(lo, hi int, src *nodeSource) error {
+	buf, err := p.a.Arena().Alloc(hi - lo)
+	if err != nil {
+		src.free()
+		return err
+	}
+	defer p.a.Arena().Free(buf)
+	err = src.scan(func(dest, nw int, ws *wordStream) error {
+		return ws.copyN(buf[dest-lo:dest-lo+nw], nw)
+	})
+	src.free()
+	if err != nil {
+		return err
+	}
+	addrs, err := p.out.AddrRange(lo, hi-lo)
+	if err != nil {
+		return err
+	}
+	return p.outw.WriteFlat(addrs, buf)
+}
+
+// nodeSource yields a node's segments in serialized order: either the root
+// store (whose record boundaries live in the permuter's in-memory extent
+// arrays) or a partition stripe written by a previous scatter level.
+type nodeSource struct {
+	p      *permuter
+	store  *pdm.Stripe // root payload store, record metadata in p
+	stripe *pdm.Stripe // serialized segment partition
+	words  int         // exact serialized words in stripe
+}
+
+func (s *nodeSource) free() {
+	if s.store != nil {
+		s.store.Free()
+		s.store = nil
+	}
+	if s.stripe != nil {
+		s.stripe.Free()
+		s.stripe = nil
+	}
+}
+
+// scan streams the source and calls fn once per segment; fn must consume
+// exactly nw words from ws.
+func (s *nodeSource) scan(fn func(dest, nw int, ws *wordStream) error) error {
+	p := s.p
+	if s.store != nil {
+		ws, err := newWordStream(p.a, s.store, p.padded)
+		if err != nil {
+			return err
+		}
+		defer ws.close()
+		for i := 0; i < p.n; i++ {
+			if p.wlen[i] == 0 {
+				continue
+			}
+			if err := fn(p.destw[i], p.wlen[i], ws); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if s.stripe == nil || s.words == 0 {
+		return nil
+	}
+	ws, err := newWordStream(p.a, s.stripe, memsort.CeilDiv(s.words, p.b)*p.b)
+	if err != nil {
+		return err
+	}
+	defer ws.close()
+	consumed := 0
+	for consumed < s.words {
+		dest, err := ws.next()
+		if err != nil {
+			return err
+		}
+		nw, err := ws.next()
+		if err != nil {
+			return err
+		}
+		if nw <= 0 || consumed+headerWords+int(nw) > s.words {
+			return fmt.Errorf("records: corrupt partition: segment of %d words at serialized offset %d of %d", nw, consumed, s.words)
+		}
+		if err := fn(int(dest), int(nw), ws); err != nil {
+			return err
+		}
+		consumed += headerWords + int(nw)
+	}
+	return nil
+}
+
+// wordStream pulls a stripe's words sequentially through a prefetching
+// stream.Reader, chunked at one stripe width.
+type wordStream struct {
+	a   *pdm.Array
+	r   *stream.Reader
+	buf []int64
+	pos int
+	n   int
+	rem int // words not yet fetched from the reader
+}
+
+func newWordStream(a *pdm.Array, st *pdm.Stripe, paddedWords int) (*wordStream, error) {
+	r, err := stream.NewStripeReader(st, 0, paddedWords, a.StripeWidth())
+	if err != nil {
+		return nil, err
+	}
+	buf, err := a.Arena().Alloc(a.StripeWidth())
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	return &wordStream{a: a, r: r, buf: buf, rem: paddedWords}, nil
+}
+
+func (ws *wordStream) fill() error {
+	if ws.rem == 0 {
+		return fmt.Errorf("records: read past the end of the segment stream")
+	}
+	n := len(ws.buf)
+	if n > ws.rem {
+		n = ws.rem
+	}
+	if err := ws.r.FillFlat(ws.buf[:n]); err != nil {
+		return err
+	}
+	ws.pos, ws.n = 0, n
+	ws.rem -= n
+	return nil
+}
+
+func (ws *wordStream) next() (int64, error) {
+	if ws.pos == ws.n {
+		if err := ws.fill(); err != nil {
+			return 0, err
+		}
+	}
+	w := ws.buf[ws.pos]
+	ws.pos++
+	return w, nil
+}
+
+func (ws *wordStream) copyN(dst []int64, n int) error {
+	for n > 0 {
+		if ws.pos == ws.n {
+			if err := ws.fill(); err != nil {
+				return err
+			}
+		}
+		take := ws.n - ws.pos
+		if take > n {
+			take = n
+		}
+		copy(dst[len(dst)-n:], ws.buf[ws.pos:ws.pos+take])
+		ws.pos += take
+		n -= take
+	}
+	return nil
+}
+
+func (ws *wordStream) close() {
+	ws.r.Close()
+	ws.a.Arena().Free(ws.buf)
+}
+
+// blockBatch coalesces single-block partition writes into vectored
+// requests of up to D blocks, so a scatter level's write cost stays close
+// to one parallel step per stripe width.
+type blockBatch struct {
+	a     *pdm.Array
+	stage []int64
+	addrs []pdm.BlockAddr
+	bufs  [][]int64
+}
+
+func newBlockBatch(a *pdm.Array) (*blockBatch, error) {
+	stage, err := a.Arena().Alloc(a.StripeWidth())
+	if err != nil {
+		return nil, err
+	}
+	return &blockBatch{a: a, stage: stage}, nil
+}
+
+func (bb *blockBatch) add(addr pdm.BlockAddr, blk []int64) error {
+	b := bb.a.B()
+	i := len(bb.addrs)
+	dst := bb.stage[i*b : (i+1)*b]
+	copy(dst, blk)
+	bb.addrs = append(bb.addrs, addr)
+	bb.bufs = append(bb.bufs, dst)
+	if len(bb.addrs) == bb.a.D() {
+		return bb.flush()
+	}
+	return nil
+}
+
+func (bb *blockBatch) flush() error {
+	if len(bb.addrs) == 0 {
+		return nil
+	}
+	err := bb.a.WriteV(bb.addrs, bb.bufs)
+	bb.addrs = bb.addrs[:0]
+	bb.bufs = bb.bufs[:0]
+	return err
+}
+
+func (bb *blockBatch) release() {
+	bb.a.Arena().Free(bb.stage)
+}
+
+// packWords encodes bytes little-endian into words (the last word
+// zero-padded); unpackWords is its inverse for a known byte length.
+func packWords(dst []int64, src []byte) {
+	for w := range dst {
+		var v uint64
+		for k := 0; k < 8; k++ {
+			if i := w*8 + k; i < len(src) {
+				v |= uint64(src[i]) << (8 * k)
+			}
+		}
+		dst[w] = int64(v)
+	}
+}
+
+func unpackWords(dst []byte, src []int64) {
+	for i := range dst {
+		dst[i] = byte(uint64(src[i/8]) >> (8 * (i % 8)))
+	}
+}

@@ -99,6 +99,11 @@ type Config struct {
 	Dir string
 	// MaxQueue bounds the number of queued jobs; zero selects 1024.
 	MaxQueue int
+	// RemoveDir removes a job's scratch directory when the job finishes;
+	// nil selects os.RemoveAll.  It exists as a seam for the cleanup-
+	// failure tests (an undeletable directory cannot be simulated portably
+	// when the test runs as root).
+	RemoveDir func(string) error
 }
 
 // Env is what an admitted job receives: its identity, the shared compute
@@ -141,6 +146,7 @@ type Job struct {
 	cancelRequested bool
 	cancel          context.CancelFunc
 	err             error
+	cleanupErr      error
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
@@ -170,6 +176,17 @@ func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// CleanupErr returns the scratch-directory removal failure recorded when
+// the job's envelope was released (nil when cleanup succeeded or the job
+// had no scratch directory).  A non-nil value means the directory is
+// still on disk even though the envelope was returned — leaked space an
+// operator must reclaim.
+func (j *Job) CleanupErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cleanupErr
 }
 
 // Times returns the submit, start, and finish timestamps (zero when the
@@ -221,6 +238,12 @@ type Stats struct {
 	DiskInUse    int
 	DiskCapacity int
 	Workers      int
+
+	// CleanupFailures counts jobs whose scratch directory could not be
+	// removed when their envelope was released.  Every such failure leaks
+	// disk outside the budget ledger, so a nonzero value is an operator
+	// signal; the per-job error is on Job.CleanupErr.
+	CleanupFailures int
 }
 
 // Scheduler admits and runs jobs against the global budgets.
@@ -229,17 +252,18 @@ type Scheduler struct {
 	lim *par.Limiter
 	mem *pdm.Arena // global internal-memory ledger
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     []*Job
-	jobs      map[int]*Job
-	nextID    int
-	diskInUse int
-	running   int
-	completed int
-	failed    int
-	canceled  int
-	closed    bool
+	mu              sync.Mutex
+	cond            *sync.Cond
+	queue           []*Job
+	jobs            map[int]*Job
+	nextID          int
+	diskInUse       int
+	running         int
+	completed       int
+	failed          int
+	canceled        int
+	cleanupFailures int
+	closed          bool
 
 	wg sync.WaitGroup
 }
@@ -359,17 +383,18 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Submitted:    s.nextID,
-		Completed:    s.completed,
-		Failed:       s.failed,
-		Canceled:     s.canceled,
-		Queued:       len(s.queue),
-		Running:      s.running,
-		MemInUse:     s.mem.InUse(),
-		MemCapacity:  s.mem.Capacity(),
-		DiskInUse:    s.diskInUse,
-		DiskCapacity: s.cfg.DiskKeys,
-		Workers:      s.cfg.Workers,
+		Submitted:       s.nextID,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		Canceled:        s.canceled,
+		Queued:          len(s.queue),
+		Running:         s.running,
+		MemInUse:        s.mem.InUse(),
+		MemCapacity:     s.mem.Capacity(),
+		DiskInUse:       s.diskInUse,
+		DiskCapacity:    s.cfg.DiskKeys,
+		Workers:         s.cfg.Workers,
+		CleanupFailures: s.cleanupFailures,
 	}
 }
 
@@ -506,13 +531,26 @@ func (s *Scheduler) runJob(j *Job) {
 }
 
 // release returns an admitted job's envelope (removing its scratch
-// directory first) and records its terminal state.
+// directory first) and records its terminal state.  A cleanup failure is
+// never silent: it is recorded on the job and counted in Stats, because a
+// directory that survives its job leaks disk the budget ledger no longer
+// accounts for.
 func (s *Scheduler) release(j *Job, state State, err error, dir string) {
+	var cleanupErr error
 	if dir != "" {
-		os.RemoveAll(dir) //nolint:errcheck // best-effort scratch cleanup
+		remove := s.cfg.RemoveDir
+		if remove == nil {
+			remove = os.RemoveAll
+		}
+		if rerr := remove(dir); rerr != nil {
+			cleanupErr = fmt.Errorf("sched: scratch cleanup of job %d: %w", j.id, rerr)
+		}
 	}
 	s.mem.Release(j.memKeys)
 	s.mu.Lock()
+	if cleanupErr != nil {
+		s.cleanupFailures++
+	}
 	s.diskInUse -= j.diskKeys
 	s.running--
 	switch state {
@@ -529,6 +567,7 @@ func (s *Scheduler) release(j *Job, state State, err error, dir string) {
 	j.mu.Lock()
 	j.state = state
 	j.err = err
+	j.cleanupErr = cleanupErr
 	j.finished = time.Now()
 	j.cancel = nil
 	j.mu.Unlock()

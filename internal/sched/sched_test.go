@@ -249,6 +249,74 @@ func TestJobScratchDirLifetime(t *testing.T) {
 	}
 }
 
+// TestScratchCleanupFailureIsRecorded drives a job whose scratch
+// directory cannot be deleted and checks the failure is not silent: it is
+// counted in Stats, carried on the job handle, and the envelope is still
+// released so the scheduler keeps admitting.  The undeletable directory
+// is injected through the Config.RemoveDir seam (a chmod-based
+// read-only directory does not stop the root user these tests may run
+// as); a real permission failure takes exactly this path through release.
+func TestScratchCleanupFailureIsRecorded(t *testing.T) {
+	root := t.TempDir()
+	undeletable := errors.New("unlinkat: operation not permitted")
+	var failNext atomic.Bool
+	s, err := New(Config{
+		MemKeys: 100,
+		Dir:     root,
+		RemoveDir: func(dir string) error {
+			if failNext.Load() {
+				return fmt.Errorf("%w: %s", undeletable, dir)
+			}
+			return os.RemoveAll(dir)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	failNext.Store(true)
+	j, err := s.Submit(Request{MemKeys: 10, Run: func(ctx context.Context, env Env) error {
+		return os.WriteFile(filepath.Join(env.Dir, "scratch.bin"), []byte("x"), 0o644)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != Done {
+		t.Fatalf("cleanup failure flipped the job to %v", j.State())
+	}
+	cerr := j.CleanupErr()
+	if cerr == nil || !errors.Is(cerr, undeletable) {
+		t.Fatalf("CleanupErr = %v, want the removal failure", cerr)
+	}
+	st := s.Stats()
+	if st.CleanupFailures != 1 {
+		t.Fatalf("CleanupFailures = %d, want 1", st.CleanupFailures)
+	}
+	if st.MemInUse != 0 || st.DiskInUse != 0 {
+		t.Fatalf("cleanup failure held the envelope: %+v", st)
+	}
+
+	// A healthy job afterwards cleans up and does not bump the counter.
+	failNext.Store(false)
+	j2, err := s.Submit(Request{MemKeys: 10, Run: func(ctx context.Context, env Env) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if j2.CleanupErr() != nil {
+		t.Fatalf("healthy job recorded cleanup error %v", j2.CleanupErr())
+	}
+	if got := s.Stats().CleanupFailures; got != 1 {
+		t.Fatalf("CleanupFailures = %d after a healthy job, want still 1", got)
+	}
+}
+
 // TestStormSubmitCancelPoll is the -race storm: many goroutines submit,
 // cancel, and poll concurrently while jobs allocate from their reserved
 // envelopes, and the budgets must never be oversubscribed and must return

@@ -283,6 +283,18 @@ type Report struct {
 	Workers           int
 	ComputeSeconds    float64
 	WorkerUtilization float64
+	// Records observability (SortRecords and SortPairs only; zero for the
+	// key-only entry points).  KeyRounds counts the packed key+index sorts
+	// the record sort ran (1 unless keys needed all 64 bits, in which case
+	// it is the number of LSD digit rounds); PayloadWords is the payload
+	// volume, in 8-byte words, the external permutation moved; and
+	// PermutePasses prices that movement in the paper's currency — charged
+	// parallel steps times the stripe width over the padded payload store.
+	// The permutation's raw I/O is folded into IO; Passes/ReadPasses/
+	// WritePasses remain the key sort's counts.
+	KeyRounds     int
+	PayloadWords  int
+	PermutePasses float64
 }
 
 // pipelineMetrics fills the Report's overlap and compute counters from the

@@ -26,3 +26,12 @@ func (m *Machine) SortIntsContext(ctx context.Context, keys []int64, universe in
 	defer m.a.BindContext(nil)
 	return m.SortInts(keys, universe)
 }
+
+// SortRecordsContext is SortRecords bound to ctx, with the same abort
+// semantics as SortContext: cancellation aborts the key sort or the
+// payload permutation at its next I/O with the arena fully drained.
+func (m *Machine) SortRecordsContext(ctx context.Context, keys []int64, payloads [][]byte, alg Algorithm) (*Report, error) {
+	m.a.BindContext(ctx)
+	defer m.a.BindContext(nil)
+	return m.SortRecords(keys, payloads, alg)
+}
