@@ -1,12 +1,14 @@
 // Command benchjson measures the repository's headline performance —
 // end-to-end sort throughput per algorithm, scheduler jobs/sec under a
-// concurrent mixed batch, and full-record sort throughput across payload
-// widths — and writes the results as one JSON document (BENCH_pr4.json by
-// default).  CI runs it on every push and uploads the file as an
-// artifact, so the perf trajectory of the reproduction is recorded per
-// commit instead of living only in benchmark logs.
+// concurrent mixed batch, full-record sort throughput across payload
+// widths, and the cost-model planner's prediction accuracy (predicted vs
+// measured seconds per algorithm) — and writes the results as one JSON
+// document (BENCH_pr5.json by default).  CI runs it on every push and
+// uploads the file as an artifact, so the perf trajectory of the
+// reproduction — and any calibration drift in the planner — is recorded
+// per commit instead of living only in benchmark logs.
 //
-//	benchjson [-out BENCH_pr4.json] [-n 262144] [-mem 4096] [-jobs 12] [-workers 0]
+//	benchjson [-out BENCH_pr5.json] [-n 262144] [-mem 4096] [-jobs 12] [-workers 0]
 package main
 
 import (
@@ -57,18 +59,32 @@ type recordsBench struct {
 	RecordsPerSec float64 `json:"recordsPerSec"`
 }
 
+// prediction is one planner-accuracy point: the cost model's calibrated
+// wall prediction against the measured wall for the same sort.  RelError
+// is signed, (measured − predicted)/predicted, so calibration drift shows
+// direction across the artifact history.
+type prediction struct {
+	Algorithm        string  `json:"algorithm"`
+	N                int     `json:"n"`
+	PredictedSeconds float64 `json:"predictedSeconds"`
+	MeasuredSeconds  float64 `json:"measuredSeconds"`
+	RelError         float64 `json:"relError"`
+	Probed           bool    `json:"probed"`
+}
+
 // document is the artifact schema.
 type document struct {
-	Timestamp string         `json:"timestamp"`
-	GoVersion string         `json:"goVersion"`
-	NumCPU    int            `json:"numCPU"`
-	EndToEnd  []endToEnd     `json:"endToEnd"`
-	Scheduler schedulerBench `json:"scheduler"`
-	Records   []recordsBench `json:"records"`
+	Timestamp  string         `json:"timestamp"`
+	GoVersion  string         `json:"goVersion"`
+	NumCPU     int            `json:"numCPU"`
+	EndToEnd   []endToEnd     `json:"endToEnd"`
+	Scheduler  schedulerBench `json:"scheduler"`
+	Records    []recordsBench `json:"records"`
+	Prediction []prediction   `json:"prediction"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output file")
+	out := flag.String("out", "BENCH_pr5.json", "output file")
 	n := flag.Int("n", 1<<18, "keys per end-to-end sort")
 	mem := flag.Int("mem", 4096, "internal memory M in keys (perfect square)")
 	jobs := flag.Int("jobs", 12, "jobs in the scheduler batch")
@@ -87,13 +103,15 @@ func run(out string, n, mem, jobs, workers int) error {
 		NumCPU:    runtime.NumCPU(),
 	}
 
-	// End-to-end single-machine throughput per algorithm family.
+	// End-to-end single-machine throughput per algorithm family, with the
+	// planner's prediction recorded next to each measurement.
 	for _, alg := range []string{"lmm3", "mesh3", "exp2", "seven"} {
-		res, err := sortOnce(alg, n, mem, workers)
+		res, pred, err := sortOnce(alg, n, mem, workers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", alg, err)
 		}
 		doc.EndToEnd = append(doc.EndToEnd, res)
+		doc.Prediction = append(doc.Prediction, pred)
 	}
 
 	sb, err := schedulerBatch(jobs, mem, workers)
@@ -124,8 +142,8 @@ func run(out string, n, mem, jobs, workers int) error {
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series)\n",
-		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records))
+	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d prediction points)\n",
+		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Prediction))
 	return nil
 }
 
@@ -164,10 +182,10 @@ func recordsOnce(rc recordsBench, n, mem, workers int) (recordsBench, error) {
 	return rc, nil
 }
 
-func sortOnce(algName string, n, mem, workers int) (endToEnd, error) {
+func sortOnce(algName string, n, mem, workers int) (endToEnd, prediction, error) {
 	alg, err := repro.ParseAlgorithm(algName)
 	if err != nil {
-		return endToEnd{}, err
+		return endToEnd{}, prediction{}, err
 	}
 	m, err := repro.NewMachine(repro.MachineConfig{
 		Memory:   mem,
@@ -175,7 +193,7 @@ func sortOnce(algName string, n, mem, workers int) (endToEnd, error) {
 		Pipeline: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
 	})
 	if err != nil {
-		return endToEnd{}, err
+		return endToEnd{}, prediction{}, err
 	}
 	defer m.Close()
 	if capacity := m.Capacity(alg); n > capacity {
@@ -183,14 +201,25 @@ func sortOnce(algName string, n, mem, workers int) (endToEnd, error) {
 	}
 	keys, err := (&repro.WorkloadSpec{Kind: "uniform", N: n, Seed: 1}).Generate()
 	if err != nil {
-		return endToEnd{}, err
+		return endToEnd{}, prediction{}, err
+	}
+	pred := prediction{Algorithm: algName, N: n}
+	if planRep, err := m.Explain(repro.SortSpec{N: n}); err == nil {
+		if c := planRep.Candidate(algName); c != nil && c.Feasible {
+			pred.PredictedSeconds = c.Seconds
+			pred.Probed = planRep.Calibration.Probed
+		}
 	}
 	t0 := time.Now()
 	rep, err := m.Sort(keys, alg)
 	if err != nil {
-		return endToEnd{}, err
+		return endToEnd{}, prediction{}, err
 	}
 	wall := time.Since(t0).Seconds()
+	pred.MeasuredSeconds = wall
+	if pred.PredictedSeconds > 0 {
+		pred.RelError = (wall - pred.PredictedSeconds) / pred.PredictedSeconds
+	}
 	return endToEnd{
 		Algorithm:   rep.Algorithm.String(),
 		N:           n,
@@ -199,7 +228,7 @@ func sortOnce(algName string, n, mem, workers int) (endToEnd, error) {
 		KeysPerSec:  float64(n) / wall,
 		Overlap:     rep.Overlap,
 		Workers:     rep.Workers,
-	}, nil
+	}, pred, nil
 }
 
 func schedulerBatch(jobs, mem, workers int) (schedulerBench, error) {

@@ -4,6 +4,11 @@
 //
 //	POST /jobs               submit a job (inline keys, optionally with
 //	                         per-record payloads, or a workload spec)
+//	GET  /plan               dry-run the cost-model planner for a job spec:
+//	                         the ranked candidate table (predicted passes,
+//	                         padded lengths, calibrated seconds) and the
+//	                         chosen algorithm, with nothing admitted
+//	                         (also accepted as POST /plan)
 //	GET  /jobs               list all jobs
 //	GET  /jobs/{id}          poll one job's status (report when done)
 //	POST /jobs/{id}/cancel   cancel a queued or running job
@@ -94,7 +99,7 @@ type submitRequest struct {
 	// full-record sort; so does a workload with a "payload" spec.
 	Payloads [][]byte            `json:"payloads,omitempty"`
 	Workload *repro.WorkloadSpec `json:"workload,omitempty"`
-	// Alg names the algorithm (auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|
+	// Alg names the algorithm (auto|one|mesh3|mesh2e|lmm3|exp2|exp3|seven|
 	// six|sevenmesh); "radix" selects the Section 7 RadixSort, whose key
 	// universe defaults to 2^32 unless set.
 	Alg      string `json:"alg,omitempty"`
@@ -124,6 +129,8 @@ func newServer(sch *repro.Scheduler, maxBody int64) http.Handler {
 	s := &server{sch: sch, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /plan", s.plan)
+	mux.HandleFunc("POST /plan", s.plan)
 	mux.HandleFunc("GET /jobs", s.list)
 	mux.HandleFunc("GET /jobs/{id}", s.status)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
@@ -144,10 +151,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+// decodeSpec reads and validates a submit (or plan) body into a JobSpec.
+// The scheduler budgets every byte a job holds; the decode must not be
+// the unbudgeted exception, so the body is hard-capped.
+func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) (repro.JobSpec, bool) {
 	var req submitRequest
-	// The scheduler budgets every byte a job holds; the decode must not
-	// be the unbudgeted exception, so the body is hard-capped.
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -157,7 +165,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusRequestEntityTooLarge
 		}
 		writeError(w, code, fmt.Errorf("bad request body: %w", err))
-		return
+		return repro.JobSpec{}, false
 	}
 	spec := repro.JobSpec{
 		Keys:         req.Keys,
@@ -174,7 +182,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	if req.Alg == "radix" {
 		if spec.Universe < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("universe %d: want > 0", spec.Universe))
-			return
+			return repro.JobSpec{}, false
 		}
 		if spec.Universe == 0 {
 			spec.Universe = 1 << 32
@@ -182,14 +190,22 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		if spec.Universe != 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("universe is only valid with alg=radix"))
-			return
+			return repro.JobSpec{}, false
 		}
 		alg, err := repro.ParseAlgorithm(req.Alg)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
-			return
+			return repro.JobSpec{}, false
 		}
 		spec.Algorithm = alg
+	}
+	return spec, true
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
 	}
 	id, err := s.sch.Submit(spec)
 	if err != nil {
@@ -202,6 +218,25 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, _ := s.sch.Status(id)
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// plan dry-runs the cost model for a would-be job: the body is the same
+// JSON a submit takes, the answer the ranked candidate table (predicted
+// passes, padded lengths, I/O words, calibrated seconds) with the chosen
+// algorithm — no job is created and no resources are reserved.  Accepted
+// on GET (the spec is a query, not a mutation) and POST (for clients that
+// refuse GET bodies).
+func (s *server) plan(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.sch.Explain(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *server) jobID(w http.ResponseWriter, r *http.Request) (int, bool) {

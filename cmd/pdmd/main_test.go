@@ -488,3 +488,93 @@ func TestStatsAndMetrics(t *testing.T) {
 		t.Fatalf("job list = %+v", list)
 	}
 }
+
+// TestPlanEndpoint: GET /plan dry-runs the cost model — ranked candidate
+// table, chosen algorithm, calibration — without creating a job, and
+// rejects malformed specs; a completed job's status carries the planned
+// prediction next to the measured wall.
+func TestPlanEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+
+	plan := func(body any) (*http.Response, *repro.PlanReport) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp, nil
+		}
+		var rep repro.PlanReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return resp, &rep
+	}
+
+	// A workload spec that fits in one memory load must plan the one-pass
+	// sort, with the ranked table exposing every candidate.
+	resp, rep := plan(map[string]any{"workload": map[string]any{"kind": "perm", "n": 800}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plan = %d", resp.StatusCode)
+	}
+	if rep.Chosen != "one" {
+		t.Fatalf("chosen = %q, want one", rep.Chosen)
+	}
+	if len(rep.Candidates) < 5 || !rep.Candidates[0].Feasible || rep.Candidates[0].Algorithm != "one" {
+		t.Fatalf("candidate table = %+v", rep.Candidates)
+	}
+	// Nothing was admitted.
+	listResp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var jobs []repro.JobStatus
+	if err := json.NewDecoder(listResp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("plan created %d jobs", len(jobs))
+	}
+
+	// A universe spec routes to radix.
+	if _, rep := plan(map[string]any{
+		"workload": map[string]any{"kind": "uniform", "n": 5000},
+		"alg":      "radix", "universe": 1 << 20,
+	}); rep == nil || rep.Chosen != "radix" || !rep.ChosenRadix {
+		t.Fatalf("radix plan = %+v", rep)
+	}
+
+	// Malformed specs are 400s.
+	if resp, _ := plan(map[string]any{"workload": map[string]any{"kind": "nope", "n": 10}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad kind = %d", resp.StatusCode)
+	}
+	if resp, _ := plan(map[string]any{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty spec = %d", resp.StatusCode)
+	}
+
+	// A real job's status records the planned prediction and, once done,
+	// the measured wall and drift.
+	resp2, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"workload": map[string]any{"kind": "perm", "n": 4096, "seed": 3},
+	})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp2.StatusCode)
+	}
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	st := pollUntil(t, ts.URL, id, repro.JobDone)
+	if st.Planned == nil || st.Planned.Algorithm == "" || st.Planned.PredictedSeconds <= 0 {
+		t.Fatalf("done job missing plan: %+v", st.Planned)
+	}
+	if st.MeasuredSeconds <= 0 {
+		t.Fatalf("done job missing measured wall: %+v", st)
+	}
+}

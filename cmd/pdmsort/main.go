@@ -5,9 +5,9 @@
 // Usage:
 //
 //	pdmsort -in keys.bin -out sorted.bin [-mem 65536] [-disks 0] \
-//	        [-alg auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix] \
+//	        [-alg auto|one|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix] \
 //	        [-universe 4294967296] [-scratch DIR] [-gen N] [-seed 1] \
-//	        [-prefetch 2] [-writebehind 2] [-workers 0]
+//	        [-prefetch 2] [-writebehind 2] [-workers 0] [-latency 0] [-explain]
 //	pdmsort -csv table.csv -keycol 0 [-sep ,] [-out sorted.csv] ...
 //
 // With -in, the input is a binary file of little-endian int64 keys.  With
@@ -21,6 +21,14 @@
 // counts — the paper's currency — including the payload permutation's
 // passes for record sorts.  Unknown algorithm names and invalid flag
 // combinations exit 2 with a usage message before any work happens.
+//
+// With -explain, nothing is sorted: pdmsort prints the cost-model
+// planner's ranked candidate table for the input — predicted passes, the
+// padded length each algorithm's geometry forces, I/O words, and
+// calibrated wall time — and marks the algorithm Auto would choose.
+// -latency models a per-block device latency on the simulated disks (it
+// slows the sort and shifts the explain table exactly as real positioning
+// latency would).
 package main
 
 import (
@@ -28,10 +36,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -59,6 +69,8 @@ type options struct {
 	seed     int64
 	pipe     repro.PipelineConfig
 	workers  int
+	latency  time.Duration
+	explain  bool
 }
 
 func main() {
@@ -78,6 +90,8 @@ func main() {
 	flag.IntVar(&o.pipe.Prefetch, "prefetch", 2, "prefetch depth in stripes (0 = synchronous reads)")
 	flag.IntVar(&o.pipe.WriteBehind, "writebehind", 2, "write-behind depth in stripes (0 = synchronous writes)")
 	flag.IntVar(&o.workers, "workers", 0, "compute worker pool width (0 = GOMAXPROCS; output is identical for any value)")
+	flag.DurationVar(&o.latency, "latency", 0, "modeled per-block device latency on every disk (e.g. 2ms)")
+	flag.BoolVar(&o.explain, "explain", false, "print the planner's ranked candidate table and exit without sorting")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -133,6 +147,8 @@ func validate(o options) error {
 		return usageError{fmt.Errorf("-prefetch %d / -writebehind %d: want >= 0", o.pipe.Prefetch, o.pipe.WriteBehind)}
 	case o.workers < 0:
 		return usageError{fmt.Errorf("-workers %d: want >= 0", o.workers)}
+	case o.latency < 0:
+		return usageError{fmt.Errorf("-latency %v: want >= 0", o.latency)}
 	}
 	return nil
 }
@@ -187,11 +203,28 @@ func run(o options) error {
 	}
 	m, err := repro.NewMachine(repro.MachineConfig{
 		Memory: o.mem, Disks: o.disks, Dir: scratch, Pipeline: o.pipe, Workers: o.workers,
+		BlockLatency: o.latency,
 	})
 	if err != nil {
 		return err
 	}
 	defer m.Close()
+
+	if o.explain {
+		spec := repro.SortSpec{N: len(keys)}
+		if o.alg == "radix" {
+			spec.Universe = o.universe
+		}
+		for _, line := range lines {
+			spec.PayloadWords += (len(line) + 7) / 8
+		}
+		planRep, err := m.Explain(spec)
+		if err != nil {
+			return err
+		}
+		printExplain(os.Stdout, planRep)
+		return nil
+	}
 
 	var rep *repro.Report
 	switch {
@@ -226,6 +259,43 @@ func run(o options) error {
 	}
 	printReport(rep, out)
 	return nil
+}
+
+// printExplain renders the planner's ranked candidate table.  Every
+// column except the predicted seconds is deterministic for a given input
+// and machine shape; the CI gold test normalizes the seconds column.
+func printExplain(w io.Writer, rep *repro.PlanReport) {
+	fmt.Fprintf(w, "plan for %d keys", rep.Spec.N)
+	if rep.Spec.PayloadWords > 0 {
+		fmt.Fprintf(w, " + %d payload words", rep.Spec.PayloadWords)
+	}
+	if rep.Spec.Universe > 0 {
+		fmt.Fprintf(w, " (universe %d)", rep.Spec.Universe)
+	}
+	fmt.Fprintf(w, ": chosen %s\n", rep.Chosen)
+	fmt.Fprintf(w, "  %-10s %-8s %8s %10s %12s %8s %12s\n",
+		"ALGORITHM", "FEASIBLE", "PASSES", "PADDED", "IOWORDS", "PERMUTE", "PREDICTED")
+	for _, c := range rep.Candidates {
+		mark := " "
+		if c.Algorithm == rep.Chosen {
+			mark = "*"
+		}
+		if !c.Feasible {
+			fmt.Fprintf(w, "%s %-10s no       %s\n", mark, c.Algorithm, c.Reason)
+			continue
+		}
+		permute := "-"
+		if c.PermutePasses > 0 {
+			permute = fmt.Sprintf("%.1f", c.PermutePasses)
+		}
+		fmt.Fprintf(w, "%s %-10s yes      %8.3f %10d %12d %8s %11.3fs\n",
+			mark, c.Algorithm, c.ReadPasses, c.PaddedN, c.IOWords, permute, c.Seconds)
+	}
+	cal := "analytic defaults"
+	if rep.Calibration.Probed {
+		cal = "micro-probe (cached per machine shape)"
+	}
+	fmt.Fprintf(w, "calibration: %s\n", cal)
 }
 
 func printReport(rep *repro.Report, out string) {

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"slices"
 	"strconv"
 	"strings"
@@ -261,5 +263,77 @@ func TestRunCSVEndToEnd(t *testing.T) {
 	if err := run(options{csv: in, keyCol: 5, sep: ",", mem: 256, scratch: scratch,
 		alg: "auto", universe: 1, seed: 1}); err == nil {
 		t.Fatal("out-of-range key column accepted")
+	}
+}
+
+// normalizeExplain replaces the calibrated seconds column with a fixed
+// token: every other column (passes, padded lengths, I/O words, permute
+// passes, feasibility reasons) is deterministic for a fixed input and
+// machine shape, which is what the gold pins.
+func normalizeExplain(s string) string {
+	return regexp.MustCompile(`\d+\.\d{3}s`).ReplaceAllString(s, "<T>")
+}
+
+// TestExplainGold pins the -explain output (the CI docs leg runs this):
+// a bare key plan and a records plan, seconds normalized.
+func TestExplainGold(t *testing.T) {
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Memory: 1024, Dir: t.TempDir(),
+		Pipeline: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var buf bytes.Buffer
+	for _, spec := range []repro.SortSpec{
+		{N: 2048},
+		{N: 1024, PayloadWords: 4096},
+		{N: 40000, Universe: 1 << 16},
+	} {
+		rep, err := m.Explain(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printExplain(&buf, rep)
+		buf.WriteString("\n")
+	}
+	got := normalizeExplain(buf.String())
+	golden := filepath.Join("testdata", "explain.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run UPDATE_GOLDEN=1 go test ./cmd/pdmsort to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("-explain output drifted from the gold:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainFlagEndToEnd: -explain plans without sorting — no output
+// file may appear.
+func TestExplainFlagEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sorted.bin")
+	o := options{
+		gen: 1000, seed: 1, universe: 1 << 32, alg: "auto",
+		mem: 1024, out: out, scratch: filepath.Join(dir, "scratch"),
+		sep: ",", explain: true,
+	}
+	if err := os.MkdirAll(o.scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("-explain wrote the output file: %v", err)
 	}
 }

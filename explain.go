@@ -1,0 +1,199 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// SortSpec describes a prospective sort for planning: the workload shape
+// the cost model needs, without the data.
+type SortSpec struct {
+	// N is the key (record) count.
+	N int `json:"n"`
+	// PayloadBytes, when positive, plans a full-record sort whose records
+	// carry payloads of (up to) this many bytes each: the external
+	// permutation's distribution levels enter every candidate's prediction.
+	PayloadBytes int `json:"payloadBytes,omitempty"`
+	// PayloadWords, when positive, gives the exact total payload volume in
+	// 8-byte words and overrides the PayloadBytes estimate (the scheduler
+	// uses it once a job's payloads are materialized).
+	PayloadWords int `json:"payloadWords,omitempty"`
+	// Universe, when positive, hints integer keys in [0, Universe): the
+	// Section 7 RadixSort becomes a candidate and is chosen (it is what
+	// SortInts and universe-bearing jobs run).
+	Universe int64 `json:"universe,omitempty"`
+	// Presorted ∈ [0, 1] hints existing order (1 = fully sorted).  It
+	// scales predicted compute time — the algorithms are oblivious, so
+	// passes never change — and never changes the chosen algorithm.
+	Presorted float64 `json:"presorted,omitempty"`
+}
+
+// planWorkload converts the spec to the planner's workload.
+func (s SortSpec) planWorkload() plan.Workload {
+	words := s.PayloadWords
+	if words == 0 && s.PayloadBytes > 0 {
+		words = s.N * ((s.PayloadBytes + 7) / 8)
+	}
+	return plan.Workload{N: s.N, PayloadWords: words, Universe: s.Universe, Presorted: s.Presorted}
+}
+
+// PlanCandidate is one row of the ranked plan table.  Algorithm is the
+// short name ("exp2", "lmm3", "one", "radix", …) shared with
+// ParseAlgorithm and the CLI; the analytic columns (passes, padded length,
+// I/O words) are deterministic while the seconds columns come from the
+// machine's calibration.
+type PlanCandidate struct {
+	Algorithm string `json:"algorithm"`
+	Feasible  bool   `json:"feasible"`
+	Reason    string `json:"reason,omitempty"`
+
+	PaddedN       int     `json:"paddedN,omitempty"`
+	ReadPasses    float64 `json:"readPasses,omitempty"`
+	WritePasses   float64 `json:"writePasses,omitempty"`
+	PermuteLevels int     `json:"permuteLevels,omitempty"`
+	PermutePasses float64 `json:"permutePasses,omitempty"`
+	IOWords       int64   `json:"ioWords,omitempty"`
+	Steps         int64   `json:"steps,omitempty"`
+
+	IOSeconds      float64 `json:"ioSeconds,omitempty"`
+	ComputeSeconds float64 `json:"computeSeconds,omitempty"`
+	Seconds        float64 `json:"seconds,omitempty"`
+}
+
+// PlanCalibration reports the measured rates a PlanReport priced with.
+type PlanCalibration struct {
+	ReadStepSeconds   float64 `json:"readStepSeconds"`
+	WriteStepSeconds  float64 `json:"writeStepSeconds"`
+	SortSecondsPerKey float64 `json:"sortSecondsPerKey"`
+	Probed            bool    `json:"probed"`
+	ProbeSeconds      float64 `json:"probeSeconds,omitempty"`
+}
+
+// PlanReport is Machine.Explain's answer: every candidate algorithm
+// ranked by predicted wall time (feasible first), the calibration used,
+// and the choice the stack will run.
+type PlanReport struct {
+	Spec SortSpec `json:"spec"`
+	// Chosen is the short name of the algorithm the stack will run: the
+	// Auto path's deterministic choice (or the forced algorithm / radix).
+	// The table order is the calibrated ranking, which may place a
+	// marginally cheaper candidate above Chosen on latency-heavy shapes.
+	Chosen string `json:"chosen"`
+	// ChosenAlgorithm is Chosen as an Algorithm value; valid only when
+	// ChosenRadix is false (the radix path has no Algorithm — SortInts is
+	// its entry point).
+	ChosenAlgorithm Algorithm `json:"-"`
+	ChosenRadix     bool      `json:"chosenRadix,omitempty"`
+
+	Candidates  []PlanCandidate `json:"candidates"`
+	Calibration PlanCalibration `json:"calibration"`
+}
+
+// Candidate returns the row for the short algorithm name, nil when absent.
+func (r *PlanReport) Candidate(name string) *PlanCandidate {
+	for i := range r.Candidates {
+		if r.Candidates[i].Algorithm == name {
+			return &r.Candidates[i]
+		}
+	}
+	return nil
+}
+
+// planContext assembles the planner's machine shape and its (cached)
+// micro-calibration — a one-shot probe on a throwaway array of the same
+// geometry and backend kind, shared process-wide per shape.  It is the
+// single assembly point for both: Machine.Explain, Scheduler.Explain,
+// and the per-job prediction all build here, so the shape fields and the
+// calibration cache key can never drift apart.
+func planContext(mem, d, b, workers int, alpha float64, latency time.Duration,
+	fileBacked bool, pipe PipelineConfig) (plan.Shape, plan.Calibration) {
+	shape := planShape(mem, d, alpha)
+	shape.Workers = workers
+	shape.BlockLatency = latency
+	shape.FileBacked = fileBacked
+	shape.Prefetch = pipe.Prefetch
+	shape.WriteBehind = pipe.WriteBehind
+	cal := plan.Calibrate(plan.ProbeConfig{
+		D: d, B: b, Workers: workers,
+		BlockLatency: latency,
+		FileBacked:   fileBacked,
+	})
+	return shape, cal
+}
+
+// Explain answers "what would this machine run, and why": it evaluates
+// every candidate algorithm for the spec — predicted passes, the padded
+// length each geometry forces, I/O words, permutation levels for record
+// sorts, and calibrated wall time — and returns the table ranked by
+// predicted seconds, with Chosen naming the algorithm Auto (or SortInts,
+// for universe specs) will actually run.  Chosen is Auto's deterministic
+// fixed-calibration choice; on latency-heavy shapes the calibrated
+// ranking can prefer a different candidate at the margin, in which case
+// the table's first row is that cheaper candidate and callers wanting it
+// select it explicitly.
+func (m *Machine) Explain(spec SortSpec) (*PlanReport, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("repro: SortSpec.N = %d, want > 0", spec.N)
+	}
+	shape, cal := planContext(m.a.Mem(), m.a.D(), m.a.B(), m.a.Workers(), m.alpha,
+		m.cfg.BlockLatency, m.cfg.Dir != "", m.cfg.Pipeline)
+	r, err := plan.Explain(shape, spec.planWorkload(), cal)
+	if err != nil {
+		return nil, err
+	}
+	out := convertPlan(spec, r)
+	if spec.Universe == 0 {
+		// Pin the choice to the Auto path: what Sort(keys, Auto) on this
+		// machine will actually run, whatever the calibrated ranking says.
+		out.setChosen(m.Plan(spec.N))
+	}
+	return out, nil
+}
+
+// setChosen points the report's choice at alg (the Auto path's pick, or
+// a forced algorithm).
+func (r *PlanReport) setChosen(alg Algorithm) {
+	r.Chosen = string(alg.planAlg())
+	r.ChosenAlgorithm = alg
+	r.ChosenRadix = false
+}
+
+// convertPlan maps the internal report onto the facade types.
+func convertPlan(spec SortSpec, r *plan.Report) *PlanReport {
+	out := &PlanReport{
+		Spec:   spec,
+		Chosen: string(r.Chosen),
+		Calibration: PlanCalibration{
+			ReadStepSeconds:   r.Cal.ReadStepSeconds,
+			WriteStepSeconds:  r.Cal.WriteStepSeconds,
+			SortSecondsPerKey: r.Cal.SortSecondsPerKey,
+			Probed:            r.Cal.Probed,
+			ProbeSeconds:      r.Cal.ProbeSeconds,
+		},
+	}
+	if alg, ok := algFromPlan(r.Chosen); ok {
+		out.ChosenAlgorithm = alg
+	} else {
+		out.ChosenRadix = true
+	}
+	for _, c := range r.Candidates {
+		out.Candidates = append(out.Candidates, PlanCandidate{
+			Algorithm:      string(c.Alg),
+			Feasible:       c.Feasible,
+			Reason:         c.Reason,
+			PaddedN:        c.PaddedN,
+			ReadPasses:     c.ReadPasses,
+			WritePasses:    c.WritePasses,
+			PermuteLevels:  c.PermuteLevels,
+			PermutePasses:  c.PermutePasses,
+			IOWords:        c.IOWords,
+			Steps:          c.Steps,
+			IOSeconds:      c.IOSeconds,
+			ComputeSeconds: c.ComputeSeconds,
+			Seconds:        c.Seconds,
+		})
+	}
+	return out
+}

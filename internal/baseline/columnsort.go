@@ -1,16 +1,3 @@
-// Package baseline implements the out-of-core sorting algorithms the paper
-// compares against, scheduled as accounted PDM passes:
-//
-//   - Chaudhry–Cormen three-pass columnsort (Observation 4.1) and its
-//     probabilistic two-pass variant that skips steps 1–2 (Observation 5.1);
-//   - subblock columnsort of Chaudhry–Cormen–Hamon (Observation 6.1);
-//   - classical multiway external merge sort (the Section 1 context:
-//     asymptotically optimal, but more passes at practical sizes).
-//
-// The baselines use their own block-size regimes (columnsort wants
-// B ≈ M^(1/3); multiway merge works at any B), so harnesses build separate
-// pdm.Array instances for them rather than reusing the B = √M arrays of the
-// core algorithms — exactly the comparison the paper draws.
 package baseline
 
 import (

@@ -1,20 +1,3 @@
-// Package core implements the paper's PDM sorting algorithms — the primary
-// contribution of Rajasekaran & Sen (IPPS 2005) — as explicitly scheduled
-// passes over a pdm.Array:
-//
-//   - ThreePass1 (§3.1): mesh-based, 3 passes, M·√M keys.
-//   - ExpTwoPassMesh (§3.2): 2 passes w.h.p., ~M·√M/log M keys.
-//   - ThreePass2 (§4): LMM-based, 3 passes, M·√M keys.
-//   - ExpectedTwoPass (§5): 2 passes w.h.p., ~M·√M/log M keys.
-//   - ExpectedThreePass (§6): 3 passes w.h.p., ~M^1.75 keys.
-//   - SevenPass (§6.1): 7 passes, M² keys.
-//   - ExpectedSixPass (§6.2): 6 passes w.h.p., ~M²/log M keys.
-//   - IntegerSort / RadixSort (§7): O(1)-pass integer sorting.
-//
-// All comparison algorithms use block size B = √M, per the paper.  Every
-// in-core buffer comes from the array's Arena, so tests can assert the
-// algorithms respect the memory model (2M peak during cleanup phases — the
-// paper's own Section 5 envelope — and M + DB elsewhere).
 package core
 
 import (

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+	"repro/internal/stream"
+)
+
+// OnePass sorts an input that fits in internal memory — N ≤ M — in a
+// single load-sort-store: one streamed read pass, one in-memory sort on
+// the worker pool, one streamed write pass.  The paper takes this regime
+// as given (every algorithm bottoms out in "sort a memory load"), but the
+// planner needs it as an explicit candidate: without it, Auto used to run
+// ThreePass2 degenerately on one run — three passes where one suffices.
+//
+// N must be a positive multiple of B with N ≤ M.
+func OnePass(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	if n <= 0 || n > g.m || n%g.b != 0 {
+		return nil, fmt.Errorf("core: OnePass needs 0 < N <= M with B | N; N = %d, M = %d", n, g.m)
+	}
+	start := a.Stats()
+	a.Arena().SetPhase("onepass/load")
+	buf, err := a.Arena().Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Arena().Free(buf)
+	rd, err := stream.NewStripeReader(in, 0, n, n)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	if err := rd.FillFlat(buf); err != nil {
+		return nil, err
+	}
+	a.Arena().SetPhase("onepass/sort")
+	a.Pool().SortKeys(buf)
+	a.Arena().SetPhase("onepass/store")
+	out, err := a.NewStripe(n)
+	if err != nil {
+		return nil, err
+	}
+	w, err := stream.NewWriter(a)
+	if err != nil {
+		out.Free()
+		return nil, err
+	}
+	if err := w.WriteFlat(stripeAddrs(out, 0, n), buf); err != nil {
+		w.Close() //nolint:errcheck // the write error takes precedence
+		out.Free()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		out.Free()
+		return nil, err
+	}
+	return finish(a, out, n, start, false), nil
+}

@@ -1,11 +1,3 @@
-// Package lmm implements Rajasekaran's (l,m)-merge sort framework (LMM sort,
-// reference [23] of the paper) in its in-memory reference form, together
-// with the Leighton columnsort family the paper compares against.  Batcher's
-// odd-even merge sort and Thompson–Kung's s²-way merge sort arise as the
-// special cases (l,m) = (2,2) and (s²,s).
-//
-// internal/core schedules the same dataflow as accounted PDM passes; the
-// test suite cross-checks the two implementations key for key.
 package lmm
 
 import (

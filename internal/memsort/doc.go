@@ -1,0 +1,14 @@
+// Package memsort provides the in-core sorting kernels used inside every
+// pass of the PDM algorithms: an introsort for raw key slices, binary and
+// k-way (loser-tree) merges, and small utilities (sortedness checks,
+// reversal, min/max).
+//
+// The PDM analyses in the paper charge only I/O; these kernels are the
+// "local computation" assumed to be free.  They are nevertheless written to
+// run fast, since the simulator executes them for real.
+//
+// Accounting contract: nothing here touches the pdm Array — no I/O is
+// charged and no arena memory is allocated; callers sort buffers they
+// already own.  Parallel execution of these kernels lives in internal/par,
+// which is bit-identical to the serial forms.
+package memsort

@@ -1,11 +1,3 @@
-// Package memsort provides the in-core sorting kernels used inside every
-// pass of the PDM algorithms: an introsort for raw key slices, binary and
-// k-way (loser-tree) merges, and small utilities (sortedness checks,
-// reversal, min/max).
-//
-// The PDM analyses in the paper charge only I/O; these kernels are the
-// "local computation" assumed to be free.  They are nevertheless written to
-// run fast, since the simulator executes them for real.
 package memsort
 
 // insertionThreshold is the subarray size below which Keys switches to

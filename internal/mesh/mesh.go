@@ -1,11 +1,3 @@
-// Package mesh implements the mesh-sorting machinery underlying the paper's
-// Section 3 algorithm ThreePass1 and its average-case variant: matrices in
-// row-major order, snake (boustrophedon) row sorts, column sorts, Shearsort,
-// dirty-row analysis for 0-1 inputs, and the rolling cleanup of the paper's
-// Step 3 / Observation 4.2.
-//
-// Everything here is in-memory reference machinery: internal/core re-derives
-// the same steps as explicit PDM passes, and the tests cross-check the two.
 package mesh
 
 import (

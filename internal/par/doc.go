@@ -1,0 +1,25 @@
+// Package par is the shared worker-pool compute layer between the in-core
+// kernels (internal/memsort) and the PDM algorithms: parallel memory-load
+// sorting (per-worker introsort + partitioned merge), partitioned k-way
+// merging (the loser tree's output range cut by splitters so each worker
+// merges an independent slice), parallel in-place symmetric merging, and
+// scatter/gather primitives (transpose, copy, radix-style histograms).
+//
+// The layer is invisible to the PDM cost model and to the algorithms'
+// results: every operation produces output bit-identical to its serial
+// counterpart for any worker count — sorting and merging int64 multisets
+// have a unique result, and the partition boundaries are exact ranks — so
+// parallelism changes wall-clock only, never pass counts, statistics, or
+// I/O traces.  No operation allocates from the pdm Arena: the sorts and
+// merges are in-place (or write caller-provided buffers), keeping the
+// paper's memory envelope untouched.
+//
+// A Pool is safe for use from one algorithm goroutine at a time per
+// operation; distinct operations on one pool must not run concurrently
+// (in-tree callers drive it from the single algorithm goroutine, exactly
+// like a stream.Reader).  The pool records observability counters —
+// parallel sections entered, their wall time, and the summed per-worker
+// busy time — that the pdm Array folds into its Stats, where they are
+// scheduling-dependent like the pipeline hit/stall counters and excluded
+// from determinism guarantees.
+package par

@@ -1,20 +1,3 @@
-// Package pdm implements the Parallel Disk Model (PDM) of Vitter and Shriver
-// as used by Rajasekaran and Sen (IPPS 2005): a machine with D independent
-// disks, block size B, and internal memory of M keys.  In one parallel I/O
-// step the machine may transfer at most one block per disk.  A "pass" over N
-// keys is N/(DB) parallel read steps plus the same number of write steps.
-//
-// The package provides disk backends — an in-memory block store (MemDisk),
-// which is exact and deterministic, a real-file backend (FileDisk) safe for
-// fully concurrent per-disk I/O, and a latency-modeling decorator
-// (LatencyDisk) — plus the machinery every PDM algorithm in this repository
-// is written against: vectored block I/O with step accounting (Array.ReadV
-// / Array.WriteV), the transfer/charge split the streaming layer builds on
-// (Array.TransferV / Array.ChargeV, see internal/stream), striped logical
-// arrays (Stripe), sequential striped streams (Reader, Writer), and a
-// metered internal-memory arena (Arena).
-//
-// The unit of data is the key, an int64.  Records are keys, as in the paper.
 package pdm
 
 import (

@@ -1,23 +1,3 @@
-// Package records is the full-record layer's external permutation engine:
-// given variable-width byte payloads and a target order, it moves every
-// payload byte through the simulated disks from original order into target
-// order, with all I/O charged in the PDM's currency.
-//
-// The permutation is the classic distribution ("scatter") permutation the
-// model prices at O(sort(N)) I/Os: the payload store is read sequentially
-// once per level and each record is routed toward the memory-sized
-// destination chunk it belongs to, recursing with fanout M/B until a
-// chunk's worth of destinations fits in internal memory, where the records
-// are placed and the chunk is written out sequentially.  Every level is two
-// sequential passes over the payload volume (one read, one write), so the
-// total cost is 2·(levels+1) passes regardless of record width — against
-// which NaiveGather, the obvious per-record random gather, charges one
-// vectored read per record.
-//
-// All reads run through the streaming layer (stream.Reader), so gather and
-// scatter prefetch ahead of the consumer when the array's pipeline is
-// configured; all buffers come from the array's arena, so the layer's true
-// internal-memory footprint is metered like every algorithm's.
 package records
 
 import (

@@ -1,0 +1,11 @@
+// Package shuffle implements the unshuffle/shuffle permutations at the heart
+// of the (l,m)-merge and the paper's shuffling lemma (Lemma 4.2): partition a
+// random permutation into m equal parts, sort each part, shuffle the sorted
+// parts, and every key lands within (n/√q)·√((α+2)·ln n + 1) + n/q of its
+// final position with probability ≥ 1 − n^(−α).
+//
+// The displacement bound is what lets the expected-pass algorithms finish
+// with a single bounded cleanup; internal/core consumes these permutations
+// streamily, and this package provides the reference forms plus the bound
+// calculator the experiments compare against.
+package shuffle

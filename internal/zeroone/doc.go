@@ -1,0 +1,7 @@
+// Package zeroone implements the sorting-network machinery behind the
+// paper's generalized zero-one principle (Theorem 3.3, Appendix A): oblivious
+// comparator networks, exhaustive and sampled evaluation over the k-sets S_k
+// of binary strings, monotone mappings between permutations and k-strings,
+// and the empirical verification that a network sorting an α fraction of
+// every S_k sorts at least 1 − (1−α)(n+1) of all permutations.
+package zeroone

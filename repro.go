@@ -27,15 +27,19 @@ import (
 	"repro/internal/memsort"
 	"repro/internal/par"
 	"repro/internal/pdm"
+	"repro/internal/plan"
 )
 
 // Algorithm selects which of the paper's sorting algorithms to run.
 type Algorithm int
 
 const (
-	// Auto picks the cheapest algorithm whose capacity covers the input:
-	// in-memory sort, ExpectedTwoPass, ThreePass2, ExpectedThreePass,
-	// ExpectedSixPass, or SevenPass.
+	// Auto picks the algorithm the cost model (internal/plan) predicts
+	// cheapest for the input: it weighs each candidate's pass count against
+	// the padded length its geometry forces — the one-pass memory-load sort
+	// when N ≤ M, ExpectedTwoPass, ThreePass2, and so on up to SevenPass.
+	// The choice is deterministic for a given (N, M, D, alpha);
+	// Machine.Explain shows the ranked table behind it.
 	Auto Algorithm = iota
 	// ThreePassMesh is the Section 3.1 mesh algorithm (3 passes, ≤ M·√M).
 	ThreePassMesh
@@ -56,6 +60,11 @@ const (
 	// paper's Section 6.2 Remark (mesh superruns under the LMM outer
 	// merge; 7 passes, ≤ M² keys).
 	SevenPassMesh
+	// MemOnePass is the planner's degenerate regime: N ≤ M sorts in a
+	// single load-sort-store (one read pass, one write pass).  The paper
+	// takes this case as given; Auto chooses it whenever the input fits in
+	// internal memory instead of running a multi-pass algorithm on one run.
+	MemOnePass
 )
 
 // String names the algorithm as in the paper.
@@ -79,6 +88,8 @@ func (alg Algorithm) String() string {
 		return "ExpectedSixPass"
 	case SevenPassMesh:
 		return "SevenPassMesh (Remark 6.2)"
+	case MemOnePass:
+		return "OnePass (memory load)"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(alg))
 	}
@@ -106,8 +117,64 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 		return SixPassExpected, nil
 	case "sevenmesh":
 		return SevenPassMesh, nil
+	case "one":
+		return MemOnePass, nil
 	default:
-		return 0, fmt.Errorf("repro: unknown algorithm %q (want auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh)", name)
+		return 0, fmt.Errorf("repro: unknown algorithm %q (want auto|one|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh)", name)
+	}
+}
+
+// planAlg maps the facade enum onto the planner's candidate names (the
+// same short spellings ParseAlgorithm accepts).
+func (alg Algorithm) planAlg() plan.Alg {
+	switch alg {
+	case ThreePassMesh:
+		return plan.Mesh3
+	case TwoPassMeshExpected:
+		return plan.Mesh2e
+	case ThreePassLMM:
+		return plan.LMM3
+	case TwoPassExpected:
+		return plan.Exp2
+	case ThreePassExpected:
+		return plan.Exp3
+	case SevenPass:
+		return plan.Seven
+	case SixPassExpected:
+		return plan.Six
+	case SevenPassMesh:
+		return plan.SevenMesh
+	case MemOnePass:
+		return plan.OnePass
+	default:
+		return ""
+	}
+}
+
+// algFromPlan is planAlg's inverse; ok is false for plan.Radix, which is
+// not an Algorithm (SortInts is its entry point).
+func algFromPlan(a plan.Alg) (Algorithm, bool) {
+	switch a {
+	case plan.Mesh3:
+		return ThreePassMesh, true
+	case plan.Mesh2e:
+		return TwoPassMeshExpected, true
+	case plan.LMM3:
+		return ThreePassLMM, true
+	case plan.Exp2:
+		return TwoPassExpected, true
+	case plan.Exp3:
+		return ThreePassExpected, true
+	case plan.Seven:
+		return SevenPass, true
+	case plan.Six:
+		return SixPassExpected, true
+	case plan.SevenMesh:
+		return SevenPassMesh, true
+	case plan.OnePass:
+		return MemOnePass, true
+	default:
+		return 0, false
 	}
 }
 
@@ -163,6 +230,7 @@ type PipelineConfig struct {
 type Machine struct {
 	a     *pdm.Array
 	alpha float64
+	cfg   MachineConfig
 }
 
 // ErrKeyRange is returned when input keys collide with the reserved
@@ -201,7 +269,7 @@ func newMachine(cfg MachineConfig, lim *par.Limiter) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{a: a, alpha: alpha}, nil
+	return &Machine{a: a, alpha: alpha, cfg: cfg}, nil
 }
 
 // resolveConfig validates cfg and resolves it to the pdm configuration
@@ -320,59 +388,42 @@ func (m *Machine) Capacity(alg Algorithm) int {
 // capacityFor is Capacity as a pure function of the geometry, shared with
 // the scheduler's submit-time planning.
 func capacityFor(mem int, alpha float64, alg Algorithm) int {
-	sq := memsort.Isqrt(mem)
-	switch alg {
-	case ThreePassMesh, ThreePassLMM:
-		return mem * sq
-	case TwoPassExpected, TwoPassMeshExpected:
-		return core.ExpectedTwoPassRuns(mem, alpha) * mem
-	case ThreePassExpected:
-		l := largestGoodL(mem, sq, func(l int) bool {
-			return l*l*mem <= core.ExpectedThreePassCapacity(mem, alpha)
-		})
-		return l * l * mem
-	case SixPassExpected:
-		n1 := core.ExpectedTwoPassRuns(mem, alpha)
-		l := largestGoodL(mem, sq, func(l int) bool { return l <= n1 })
-		return l * l * mem
-	case SevenPass, SevenPassMesh, Auto:
+	if alg == Auto {
 		return mem * mem
-	default:
-		return 0
 	}
+	return plan.Capacity(mem, alpha, alg.planAlg())
 }
 
-func largestGoodL(mem, sq int, ok func(int) bool) int {
-	best := 1
-	for l := 1; l <= sq; l++ {
-		if sq%l == 0 && ok(l) {
-			best = l
-		}
-	}
-	return best
-}
-
-// Plan returns the algorithm Auto would choose for n keys.
+// Plan returns the algorithm Auto would choose for n keys: the candidate
+// the cost model predicts cheapest, accounting for each algorithm's pass
+// count and the padding its geometry forces.  The choice is deterministic
+// — independent of calibration, worker count, and backend — so Auto runs
+// are reproducible; Explain exposes the full ranked table with calibrated
+// wall-time predictions.
 func (m *Machine) Plan(n int) Algorithm {
-	return planFor(m.a.Mem(), m.alpha, n)
+	return planFor(m.a.Mem(), m.a.D(), m.alpha, n)
 }
 
-// planFor is Plan as a pure function of the geometry.
-func planFor(mem int, alpha float64, n int) Algorithm {
-	switch {
-	case n <= mem:
-		return ThreePassLMM // one run; degenerates to a single load-sort-store
-	case n <= capacityFor(mem, alpha, TwoPassExpected):
-		return TwoPassExpected
-	case n <= capacityFor(mem, alpha, ThreePassLMM):
-		return ThreePassLMM
-	case n <= capacityFor(mem, alpha, ThreePassExpected):
-		return ThreePassExpected
-	case n <= capacityFor(mem, alpha, SixPassExpected):
-		return SixPassExpected
-	default:
+// planFor is Plan as a pure function of the geometry, shared with the
+// scheduler's submit-time planning.
+func planFor(mem, d int, alpha float64, n int) Algorithm {
+	shape := planShape(mem, d, alpha)
+	chosen, err := plan.Choose(shape, plan.Workload{N: n})
+	if err != nil {
+		// Beyond every capacity; Sort will fail with the M² message.  The
+		// seven-pass algorithm is the paper's last resort either way.
 		return SevenPass
 	}
+	alg, ok := algFromPlan(chosen)
+	if !ok {
+		return SevenPass
+	}
+	return alg
+}
+
+// planShape builds the planner's machine shape from the resolved geometry.
+func planShape(mem, d int, alpha float64) plan.Shape {
+	return plan.Shape{Mem: mem, B: memsort.Isqrt(mem), D: d, Alpha: alpha}
 }
 
 // Sort sorts keys in place using the selected algorithm, returning the I/O
@@ -426,6 +477,8 @@ func (m *Machine) Sort(keys []int64, alg Algorithm) (*Report, error) {
 		res, err = core.ExpectedSixPass(m.a, in)
 	case SevenPassMesh:
 		res, err = core.SevenPassMesh(m.a, in)
+	case MemOnePass:
+		res, err = core.OnePass(m.a, in)
 	default:
 		return nil, fmt.Errorf("repro: unknown algorithm %v", alg)
 	}
@@ -506,36 +559,17 @@ func (m *Machine) padFor(alg Algorithm, n int) (int, error) {
 }
 
 // padForSize is padFor as a pure function of the geometry, shared with the
-// scheduler's submit-time disk-envelope sizing.
+// scheduler's submit-time disk-envelope sizing.  The geometry rules live
+// in the planner (internal/plan), which predicts cost from the same padded
+// lengths the sort will actually use.
 func padForSize(mem int, alg Algorithm, n int) (int, error) {
-	sq := memsort.Isqrt(mem)
-	switch alg {
-	case ThreePassMesh, ThreePassLMM, TwoPassExpected, TwoPassMeshExpected:
-		// N = l·M, and for the expected algorithms l must divide √M.
-		l := memsort.CeilDiv(n, mem)
-		if alg == TwoPassExpected || alg == TwoPassMeshExpected {
-			for l <= sq && sq%l != 0 {
-				l++
-			}
-		}
-		if l > sq {
-			return 0, fmt.Errorf("repro: %d keys exceed the %v capacity %d", n, alg, mem*sq)
-		}
-		return l * mem, nil
-	case ThreePassExpected, SevenPass, SixPassExpected, SevenPassMesh:
-		// N = l²·M with l dividing √M.
-		l := 1
-		for l*l*mem < n {
-			l++
-		}
-		for l <= sq && sq%l != 0 {
-			l++
-		}
-		if l > sq {
-			return 0, fmt.Errorf("repro: %d keys exceed the %v capacity %d", n, alg, mem*mem)
-		}
-		return l * l * mem, nil
-	default:
+	pa := alg.planAlg()
+	if pa == "" {
 		return 0, fmt.Errorf("repro: unknown algorithm %v", alg)
 	}
+	padded, err := plan.PadFor(mem, pa, n)
+	if err != nil {
+		return 0, fmt.Errorf("repro: %d keys do not fit %v: %w", n, alg, err)
+	}
+	return padded, nil
 }

@@ -86,8 +86,8 @@ func TestPlanEscalatesWithN(t *testing.T) {
 	small := m.Plan(512)
 	mid := m.Plan(1024 * 20)
 	big := m.Plan(1024 * 1024)
-	if small != ThreePassLMM {
-		t.Fatalf("Plan(512) = %v", small)
+	if small != MemOnePass {
+		t.Fatalf("Plan(512) = %v, an in-memory input needs one pass, not three", small)
 	}
 	if mid == SevenPass {
 		t.Fatalf("Plan(20M) = %v, should not need seven passes", mid)
@@ -194,7 +194,7 @@ func TestSortQuickProperty(t *testing.T) {
 }
 
 func TestAlgorithmStrings(t *testing.T) {
-	for alg := Auto; alg <= SevenPassMesh; alg++ {
+	for alg := Auto; alg <= MemOnePass; alg++ {
 		if alg.String() == "" {
 			t.Fatalf("empty name for %d", alg)
 		}
