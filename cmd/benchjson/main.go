@@ -1,14 +1,17 @@
 // Command benchjson measures the repository's headline performance —
 // end-to-end sort throughput per algorithm, scheduler jobs/sec under a
 // concurrent mixed batch, full-record sort throughput across payload
-// widths, and the cost-model planner's prediction accuracy (predicted vs
-// measured seconds per algorithm) — and writes the results as one JSON
-// document (BENCH_pr5.json by default).  CI runs it on every push and
-// uploads the file as an artifact, so the perf trajectory of the
-// reproduction — and any calibration drift in the planner — is recorded
-// per commit instead of living only in benchmark logs.
+// widths, a paired disk-backend comparison (the same full-record sort on
+// file vs mmap disks, with and without modeled block latency), and the
+// cost-model planner's prediction accuracy (predicted vs measured seconds
+// per algorithm) — and writes the results as one JSON document
+// (BENCH_pr6.json by default).  CI runs it on every push and uploads the
+// file as an artifact, so the perf trajectory of the reproduction — and
+// any calibration drift in the planner — is recorded per commit instead
+// of living only in benchmark logs.
 //
-//	benchjson [-out BENCH_pr5.json] [-n 262144] [-mem 4096] [-jobs 12] [-workers 0]
+//	benchjson [-out BENCH_pr6.json] [-n 262144] [-mem 4096] [-jobs 12] \
+//	          [-workers 0] [-backend file|mmap]
 package main
 
 import (
@@ -59,6 +62,23 @@ type recordsBench struct {
 	RecordsPerSec float64 `json:"recordsPerSec"`
 }
 
+// backendBench is one row of the paired disk-backend series: the same
+// full-record sort (identical keys, payloads, and pass structure — the
+// stack is oblivious, so the reports are bit-identical) run on file vs
+// mmap disks, synchronously (pipeline depth 0) so the backend's per-block
+// cost sits on the critical path.  SpeedupVsFile is this row's words/sec
+// over the file row at the same modeled latency.
+type backendBench struct {
+	Backend        string  `json:"backend"`
+	BlockLatencyUS int64   `json:"blockLatencyUs"`
+	N              int     `json:"n"`
+	Words          int64   `json:"words"`
+	Passes         float64 `json:"passes"`
+	WallSeconds    float64 `json:"wallSeconds"`
+	WordsPerSec    float64 `json:"wordsPerSec"`
+	SpeedupVsFile  float64 `json:"speedupVsFile,omitempty"`
+}
+
 // prediction is one planner-accuracy point: the cost model's calibrated
 // wall prediction against the measured wall for the same sort.  RelError
 // is signed, (measured − predicted)/predicted, so calibration drift shows
@@ -80,23 +100,29 @@ type document struct {
 	EndToEnd   []endToEnd     `json:"endToEnd"`
 	Scheduler  schedulerBench `json:"scheduler"`
 	Records    []recordsBench `json:"records"`
+	Backends   []backendBench `json:"backends"`
 	Prediction []prediction   `json:"prediction"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr5.json", "output file")
+	out := flag.String("out", "BENCH_pr6.json", "output file")
 	n := flag.Int("n", 1<<18, "keys per end-to-end sort")
 	mem := flag.Int("mem", 4096, "internal memory M in keys (perfect square)")
 	jobs := flag.Int("jobs", 12, "jobs in the scheduler batch")
 	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
+	backend := flag.String("backend", "", "restrict the paired backend series to one backend: file or mmap (default: both)")
 	flag.Parse()
-	if err := run(*out, *n, *mem, *jobs, *workers); err != nil {
+	if *backend != "" && *backend != repro.BackendFile && *backend != repro.BackendMmap {
+		fmt.Fprintf(os.Stderr, "benchjson: -backend %q: want %q or %q\n", *backend, repro.BackendFile, repro.BackendMmap)
+		os.Exit(2)
+	}
+	if err := run(*out, *n, *mem, *jobs, *workers, *backend); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, n, mem, jobs, workers int) error {
+func run(out string, n, mem, jobs, workers int, backend string) error {
 	doc := document{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -134,6 +160,29 @@ func run(out string, n, mem, jobs, workers int) error {
 		doc.Records = append(doc.Records, res)
 	}
 
+	// Paired backend comparison: the same full-record sort on file vs mmap
+	// disks, latency-free and with 50us of modeled per-block latency (where
+	// the device, not the backend, dominates and the gap should close).
+	backends := []string{repro.BackendFile, repro.BackendMmap}
+	if backend != "" {
+		backends = []string{backend}
+	}
+	for _, latency := range []time.Duration{0, 50 * time.Microsecond} {
+		var fileRow *backendBench
+		for _, bk := range backends {
+			res, err := backendOnce(bk, latency, n/4, mem, workers)
+			if err != nil {
+				return fmt.Errorf("backend %s: %w", bk, err)
+			}
+			if bk == repro.BackendFile {
+				fileRow = &res
+			} else if fileRow != nil && fileRow.WordsPerSec > 0 {
+				res.SpeedupVsFile = res.WordsPerSec / fileRow.WordsPerSec
+			}
+			doc.Backends = append(doc.Backends, res)
+		}
+	}
+
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -142,9 +191,52 @@ func run(out string, n, mem, jobs, workers int) error {
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d prediction points)\n",
-		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Prediction))
+	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d backend rows, %d prediction points)\n",
+		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Backends), len(doc.Prediction))
 	return nil
+}
+
+// backendOnce measures one backend row: a fixed-64B full-record sort on
+// real disks under the named backend, pipeline depths 0 so every block's
+// read and write cost lands on the critical path.
+func backendOnce(backend string, latency time.Duration, n, mem, workers int) (backendBench, error) {
+	row := backendBench{Backend: backend, BlockLatencyUS: int64(latency / time.Microsecond)}
+	dir, err := os.MkdirTemp("", "benchjson-"+backend+"-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Memory:       mem,
+		Workers:      workers,
+		Dir:          dir,
+		Backend:      backend,
+		BlockLatency: latency,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer m.Close()
+	if capacity := m.Capacity(repro.Auto); n > capacity {
+		n = capacity
+	}
+	keys, err := (&repro.WorkloadSpec{Kind: "uniform", N: n, Seed: 1}).Generate()
+	if err != nil {
+		return row, err
+	}
+	payloads := (&repro.PayloadSpec{MinBytes: 64, MaxBytes: 64}).Materialize(n, 1)
+	t0 := time.Now()
+	rep, err := m.SortRecords(keys, payloads, repro.Auto)
+	if err != nil {
+		return row, err
+	}
+	wall := time.Since(t0).Seconds()
+	row.N = n
+	row.Words = int64(rep.N + rep.PayloadWords)
+	row.Passes = rep.Passes
+	row.WallSeconds = wall
+	row.WordsPerSec = float64(row.Words) / wall
+	return row, nil
 }
 
 // recordsOnce measures one full-record sort (keys + generated payloads)

@@ -55,6 +55,7 @@ func main() {
 	workers := flag.Int("workers", 0, "global compute budget (0 = GOMAXPROCS)")
 	jobMem := flag.Int("jobmem", 65536, "default per-job internal memory M in keys (perfect square)")
 	scratch := flag.String("scratch", "", "scratch directory for file-backed job disks (default: in-memory disks)")
+	backend := flag.String("backend", "", "default disk backend for file-backed jobs: file or mmap (requires -scratch)")
 	queue := flag.Int("queue", 0, "admission queue bound (0 = 1024)")
 	prefetch := flag.Int("prefetch", 2, "default per-job prefetch depth in stripes")
 	writeBehind := flag.Int("writebehind", 2, "default per-job write-behind depth in stripes")
@@ -67,6 +68,7 @@ func main() {
 		Workers:    *workers,
 		JobMemory:  *jobMem,
 		Dir:        *scratch,
+		Backend:    *backend,
 		MaxQueue:   *queue,
 		Pipeline:   repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind},
 	})
@@ -108,9 +110,12 @@ type submitRequest struct {
 	Disks    int    `json:"disks,omitempty"`
 	Workers  int    `json:"workers,omitempty"`
 	// BlockLatencyUS models per-block device latency in microseconds.
-	BlockLatencyUS int64  `json:"blockLatencyUs,omitempty"`
-	KeepKeys       bool   `json:"keepKeys,omitempty"`
-	Label          string `json:"label,omitempty"`
+	BlockLatencyUS int64 `json:"blockLatencyUs,omitempty"`
+	// Backend overrides the scheduler's disk backend for this job ("file"
+	// or "mmap"); valid only on a file-backed scheduler.
+	Backend  string `json:"backend,omitempty"`
+	KeepKeys bool   `json:"keepKeys,omitempty"`
+	Label    string `json:"label,omitempty"`
 }
 
 // server wraps the scheduler with the HTTP surface.
@@ -176,6 +181,7 @@ func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) (repro.JobSp
 		Disks:        req.Disks,
 		Workers:      req.Workers,
 		BlockLatency: time.Duration(req.BlockLatencyUS) * time.Microsecond,
+		Backend:      req.Backend,
 		KeepKeys:     req.KeepKeys,
 		Label:        req.Label,
 	}

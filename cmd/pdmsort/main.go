@@ -6,8 +6,8 @@
 //
 //	pdmsort -in keys.bin -out sorted.bin [-mem 65536] [-disks 0] \
 //	        [-alg auto|one|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix] \
-//	        [-universe 4294967296] [-scratch DIR] [-gen N] [-seed 1] \
-//	        [-prefetch 2] [-writebehind 2] [-workers 0] [-latency 0] [-explain]
+//	        [-universe 4294967296] [-scratch DIR] [-backend file|mmap] [-gen N] \
+//	        [-seed 1] [-prefetch 2] [-writebehind 2] [-workers 0] [-latency 0] [-explain]
 //	pdmsort -csv table.csv -keycol 0 [-sep ,] [-out sorted.csv] ...
 //
 // With -in, the input is a binary file of little-endian int64 keys.  With
@@ -65,6 +65,7 @@ type options struct {
 	alg      string
 	universe int64
 	scratch  string
+	backend  string
 	gen      int
 	seed     int64
 	pipe     repro.PipelineConfig
@@ -85,6 +86,7 @@ func main() {
 	flag.StringVar(&o.alg, "alg", "auto", "algorithm: auto|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix")
 	flag.Int64Var(&o.universe, "universe", 1<<32, "key universe for -alg radix")
 	flag.StringVar(&o.scratch, "scratch", "", "directory for the disk files (default: temp dir)")
+	flag.StringVar(&o.backend, "backend", "", "disk backend: file (read/write syscalls, default) or mmap (zero-copy memory-mapped)")
 	flag.IntVar(&o.gen, "gen", 0, "generate this many random keys instead of reading -in")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for -gen")
 	flag.IntVar(&o.pipe.Prefetch, "prefetch", 2, "prefetch depth in stripes (0 = synchronous reads)")
@@ -149,6 +151,8 @@ func validate(o options) error {
 		return usageError{fmt.Errorf("-workers %d: want >= 0", o.workers)}
 	case o.latency < 0:
 		return usageError{fmt.Errorf("-latency %v: want >= 0", o.latency)}
+	case o.backend != "" && o.backend != repro.BackendFile && o.backend != repro.BackendMmap:
+		return usageError{fmt.Errorf("-backend %q: want %q or %q", o.backend, repro.BackendFile, repro.BackendMmap)}
 	}
 	return nil
 }
@@ -202,7 +206,8 @@ func run(o options) error {
 		scratch = dir
 	}
 	m, err := repro.NewMachine(repro.MachineConfig{
-		Memory: o.mem, Disks: o.disks, Dir: scratch, Pipeline: o.pipe, Workers: o.workers,
+		Memory: o.mem, Disks: o.disks, Dir: scratch, Backend: o.backend,
+		Pipeline: o.pipe, Workers: o.workers,
 		BlockLatency: o.latency,
 	})
 	if err != nil {
@@ -227,6 +232,7 @@ func run(o options) error {
 	}
 
 	var rep *repro.Report
+	t0 := time.Now()
 	switch {
 	case o.csv != "":
 		// Every line is one record whose whole byte content is the
@@ -249,6 +255,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	wall := time.Since(t0)
 	if o.csv != "" {
 		err = writeLines(out, lines, trailingNL)
 	} else {
@@ -257,7 +264,11 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	printReport(rep, out)
+	backend := o.backend
+	if backend == "" {
+		backend = repro.BackendFile
+	}
+	printReport(rep, out, backend, wall)
 	return nil
 }
 
@@ -296,9 +307,24 @@ func printExplain(w io.Writer, rep *repro.PlanReport) {
 		cal = "micro-probe (cached per machine shape)"
 	}
 	fmt.Fprintf(w, "calibration: %s\n", cal)
+	if len(rep.Backends) > 0 {
+		fmt.Fprintf(w, "backends:")
+		for i, b := range rep.Backends {
+			if i > 0 {
+				fmt.Fprintf(w, " >")
+			}
+			mark := ""
+			if b.Chosen {
+				mark = "*"
+			}
+			fmt.Fprintf(w, " %s%s %.1fus/step", mark, b.Backend,
+				(b.ReadStepSeconds+b.WriteStepSeconds)/2*1e6)
+		}
+		fmt.Fprintf(w, " (ranked by probe; * = this machine)\n")
+	}
 }
 
-func printReport(rep *repro.Report, out string) {
+func printReport(rep *repro.Report, out, backend string, wall time.Duration) {
 	fmt.Printf("sorted %d keys with %s: %.3f read passes, %.3f write passes",
 		rep.N, rep.Algorithm, rep.ReadPasses, rep.WritePasses)
 	if rep.FellBack {
@@ -321,6 +347,13 @@ func printReport(rep *repro.Report, out string) {
 			rep.ComputeSeconds, rep.Workers, 100*rep.WorkerUtilization)
 	} else {
 		fmt.Printf("compute: serial (workers=%d, nothing crossed the parallel grain)\n", rep.Workers)
+	}
+	words := rep.N + rep.PayloadWords
+	if secs := wall.Seconds(); secs > 0 {
+		fmt.Printf("backend: %s — %.2fM words/sec (%d words in %v)\n",
+			backend, float64(words)/secs/1e6, words, wall.Round(time.Millisecond))
+	} else {
+		fmt.Printf("backend: %s\n", backend)
 	}
 	fmt.Printf("output: %s\n", out)
 }

@@ -271,7 +271,8 @@ func TestRunCSVEndToEnd(t *testing.T) {
 // passes, feasibility reasons) is deterministic for a fixed input and
 // machine shape, which is what the gold pins.
 func normalizeExplain(s string) string {
-	return regexp.MustCompile(`\d+\.\d{3}s`).ReplaceAllString(s, "<T>")
+	s = regexp.MustCompile(`\d+\.\d{3}s`).ReplaceAllString(s, "<T>")
+	return regexp.MustCompile(`\d+\.\d+us`).ReplaceAllString(s, "<U>")
 }
 
 // TestExplainGold pins the -explain output (the CI docs leg runs this):

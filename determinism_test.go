@@ -76,6 +76,137 @@ func assertIdenticalRuns(t *testing.T, serial, parallel detRun) {
 	}
 }
 
+// sortWithBackend runs one file-backed sort on the named disk backend
+// and captures everything the determinism guarantee covers.
+func sortWithBackend(t *testing.T, backend string, workers int, keys []int64,
+	sort func(m *Machine, keys []int64) (*Report, error)) detRun {
+	t.Helper()
+	m, err := NewMachine(MachineConfig{
+		Memory:   1024,
+		Dir:      t.TempDir(),
+		Backend:  backend,
+		Pipeline: PipelineConfig{Prefetch: 2, WriteBehind: 2},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	out := append([]int64(nil), keys...)
+	m.Array().EnableTrace()
+	rep, err := sort(m, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detRun{out: out, rep: rep, stats: normalizeStats(m.Array().Stats()), trace: m.Array().Trace()}
+}
+
+// TestBackendDeterminism proves the mmap backend is invisible to the cost
+// model: for every algorithm, FileDisk and MmapDisk machines — at one and
+// eight workers — produce bit-identical output, pass counts, stats, and
+// I/O traces.  The zero-copy borrow paths (stream reads, records writes)
+// only engage on the mmap side, so this pins their accounting against the
+// staged ReadV/WriteV paths.
+func TestBackendDeterminism(t *testing.T) {
+	const mem = 1024
+	algs := []Algorithm{
+		MemOnePass, ThreePassMesh, TwoPassMeshExpected, ThreePassLMM,
+		TwoPassExpected, ThreePassExpected, SevenPass, SixPassExpected, SevenPassMesh,
+	}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			n := 8 * mem
+			if alg == MemOnePass {
+				n = mem
+			}
+			keys := workload.Uniform(n-257, -1<<40, 1<<40, 11+int64(alg)<<8)
+			sort := func(m *Machine, k []int64) (*Report, error) { return m.Sort(k, alg) }
+			ref := sortWithBackend(t, BackendFile, 1, keys, sort)
+			if !slices.IsSorted(ref.out) {
+				t.Fatal("output not sorted")
+			}
+			for _, run := range []struct {
+				backend string
+				workers int
+			}{
+				{BackendFile, 8},
+				{BackendMmap, 1},
+				{BackendMmap, 8},
+			} {
+				got := sortWithBackend(t, run.backend, run.workers, keys, sort)
+				assertIdenticalRuns(t, ref, got)
+			}
+		})
+	}
+}
+
+// TestBackendDeterminismRadix covers the Section 7 RadixSort path.
+func TestBackendDeterminismRadix(t *testing.T) {
+	keys := workload.Uniform(9000, 0, (1<<20)-1, 77)
+	sort := func(m *Machine, k []int64) (*Report, error) { return m.SortInts(k, 1<<20) }
+	ref := sortWithBackend(t, BackendFile, 1, keys, sort)
+	for _, backend := range []string{BackendMmap} {
+		for _, workers := range []int{1, 8} {
+			assertIdenticalRuns(t, ref, sortWithBackend(t, backend, workers, keys, sort))
+		}
+	}
+}
+
+// TestBackendDeterminismRecords pins the records path, whose batched
+// partition writes take the zero-copy borrow route on mmap disks: sorted
+// keys, permuted payload bytes, and the full accounting must match the
+// file backend bit for bit.
+func TestBackendDeterminismRecords(t *testing.T) {
+	n := 6000
+	keys := workload.Uniform(n, 0, 1<<16, 5) // narrow universe forces ties
+	rng := rand.New(rand.NewSource(31))
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		p := make([]byte, rng.Intn(25))
+		rng.Read(p)
+		payloads[i] = p
+	}
+	type recRun struct {
+		detRun
+		payloads [][]byte
+	}
+	run := func(backend string, workers int) recRun {
+		m, err := NewMachine(MachineConfig{Memory: 1024, Dir: t.TempDir(),
+			Backend: backend, Workers: workers,
+			Pipeline: PipelineConfig{Prefetch: 2, WriteBehind: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		k := append([]int64(nil), keys...)
+		p := make([][]byte, n)
+		copy(p, payloads)
+		m.Array().EnableTrace()
+		rep, err := m.SortRecords(k, p, Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recRun{
+			detRun:   detRun{out: k, rep: rep, stats: normalizeStats(m.Array().Stats()), trace: m.Array().Trace()},
+			payloads: p,
+		}
+	}
+	ref := run(BackendFile, 1)
+	for _, cmp := range []recRun{run(BackendFile, 8), run(BackendMmap, 1), run(BackendMmap, 8)} {
+		assertIdenticalRuns(t, ref.detRun, cmp.detRun)
+		for i := range ref.payloads {
+			if !bytes.Equal(ref.payloads[i], cmp.payloads[i]) {
+				t.Fatalf("payload %d differs between backends", i)
+			}
+		}
+		if ref.rep.PermutePasses != cmp.rep.PermutePasses ||
+			ref.rep.PayloadWords != cmp.rep.PayloadWords ||
+			ref.rep.KeyRounds != cmp.rep.KeyRounds {
+			t.Fatalf("records accounting differs: ref %+v, got %+v", ref.rep, cmp.rep)
+		}
+	}
+}
+
 func TestWorkerCountDeterminism(t *testing.T) {
 	const mem = 1024
 	cases := []struct {

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/plan"
@@ -71,6 +72,20 @@ type PlanCalibration struct {
 	ProbeSeconds      float64 `json:"probeSeconds,omitempty"`
 }
 
+// BackendPlan is one row of Explain's backend ranking: the calibrated
+// per-step cost of this machine's geometry on one available disk backend.
+// File-backed machines rank both file backends (probing each once,
+// cached); in-memory machines have the single "mem" row.
+type BackendPlan struct {
+	Backend          string  `json:"backend"`
+	ReadStepSeconds  float64 `json:"readStepSeconds"`
+	WriteStepSeconds float64 `json:"writeStepSeconds"`
+	Probed           bool    `json:"probed"`
+	// Chosen marks the backend this machine actually runs (the ranking is
+	// advisory — switching backends never changes results, only seconds).
+	Chosen bool `json:"chosen,omitempty"`
+}
+
 // PlanReport is Machine.Explain's answer: every candidate algorithm
 // ranked by predicted wall time (feasible first), the calibration used,
 // and the choice the stack will run.
@@ -89,6 +104,9 @@ type PlanReport struct {
 
 	Candidates  []PlanCandidate `json:"candidates"`
 	Calibration PlanCalibration `json:"calibration"`
+	// Backends ranks the disk backends available for this machine's
+	// geometry, cheapest measured step cost first.
+	Backends []BackendPlan `json:"backends,omitempty"`
 }
 
 // Candidate returns the row for the short algorithm name, nil when absent.
@@ -108,19 +126,50 @@ func (r *PlanReport) Candidate(name string) *PlanCandidate {
 // and the per-job prediction all build here, so the shape fields and the
 // calibration cache key can never drift apart.
 func planContext(mem, d, b, workers int, alpha float64, latency time.Duration,
-	fileBacked bool, pipe PipelineConfig) (plan.Shape, plan.Calibration) {
+	backend plan.Backend, pipe PipelineConfig) (plan.Shape, plan.Calibration) {
 	shape := planShape(mem, d, alpha)
 	shape.Workers = workers
 	shape.BlockLatency = latency
-	shape.FileBacked = fileBacked
+	shape.Backend = backend
 	shape.Prefetch = pipe.Prefetch
 	shape.WriteBehind = pipe.WriteBehind
 	cal := plan.Calibrate(plan.ProbeConfig{
 		D: d, B: b, Workers: workers,
 		BlockLatency: latency,
-		FileBacked:   fileBacked,
+		Backend:      backend,
 	})
 	return shape, cal
+}
+
+// rankBackends builds the backend ranking for a machine of the given
+// geometry: every backend kind available for its storage mode is
+// calibrated (one cached micro-probe per kind) and sorted by measured
+// round-trip step cost, cheapest first.
+func rankBackends(d, b, workers int, latency time.Duration, current plan.Backend) []BackendPlan {
+	kinds := []plan.Backend{plan.BackendMem}
+	if current != plan.BackendMem {
+		kinds = []plan.Backend{plan.BackendFile, plan.BackendMmap}
+	}
+	rows := make([]BackendPlan, 0, len(kinds))
+	for _, k := range kinds {
+		cal := plan.Calibrate(plan.ProbeConfig{
+			D: d, B: b, Workers: workers,
+			BlockLatency: latency,
+			Backend:      k,
+		})
+		rows = append(rows, BackendPlan{
+			Backend:          string(k),
+			ReadStepSeconds:  cal.ReadStepSeconds,
+			WriteStepSeconds: cal.WriteStepSeconds,
+			Probed:           cal.Probed,
+			Chosen:           k == current,
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].ReadStepSeconds+rows[i].WriteStepSeconds <
+			rows[j].ReadStepSeconds+rows[j].WriteStepSeconds
+	})
+	return rows
 }
 
 // Explain answers "what would this machine run, and why": it evaluates
@@ -137,13 +186,15 @@ func (m *Machine) Explain(spec SortSpec) (*PlanReport, error) {
 	if spec.N <= 0 {
 		return nil, fmt.Errorf("repro: SortSpec.N = %d, want > 0", spec.N)
 	}
+	backend := backendKind(m.cfg.Dir != "", m.cfg.Backend)
 	shape, cal := planContext(m.a.Mem(), m.a.D(), m.a.B(), m.a.Workers(), m.alpha,
-		m.cfg.BlockLatency, m.cfg.Dir != "", m.cfg.Pipeline)
+		m.cfg.BlockLatency, backend, m.cfg.Pipeline)
 	r, err := plan.Explain(shape, spec.planWorkload(), cal)
 	if err != nil {
 		return nil, err
 	}
 	out := convertPlan(spec, r)
+	out.Backends = rankBackends(m.a.D(), m.a.B(), m.a.Workers(), m.cfg.BlockLatency, backend)
 	if spec.Universe == 0 {
 		// Pin the choice to the Auto path: what Sort(keys, Auto) on this
 		// machine will actually run, whatever the calibrated ranking says.

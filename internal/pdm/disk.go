@@ -23,6 +23,25 @@ type Disk interface {
 	Close() error
 }
 
+// ZeroCopyDisk is the optional capability a Disk may implement to serve
+// blocks as direct word views into its own storage, skipping the caller's
+// staging copy.  Views obey the borrow contract: they stay valid until the
+// disk is closed (even across growth), read views must not be written
+// through, and a write view's contents count as written the moment it is
+// handed out.  The capability is advisory — ZeroCopy may report false on
+// platforms or configurations where views cannot be served, in which case
+// the borrow methods return an error and callers use the copying path.
+type ZeroCopyDisk interface {
+	Disk
+	// ZeroCopy reports whether the borrow methods actually work.
+	ZeroCopy() bool
+	// ReadBlockZero returns a read-only view of block off.
+	ReadBlockZero(off int) ([]int64, error)
+	// WriteBlockZero extends the disk to cover off and returns a writable
+	// view of block off for the caller to fill.
+	WriteBlockZero(off int) ([]int64, error)
+}
+
 // MemDisk is an in-memory Disk: a growable store of B-key blocks.  It is the
 // default backend for tests and benchmarks — exact, deterministic, and fast.
 type MemDisk struct {

@@ -6,13 +6,17 @@
 //
 // The package provides disk backends — an in-memory block store (MemDisk),
 // which is exact and deterministic, a real-file backend (FileDisk) safe for
-// fully concurrent per-disk I/O, and a latency-modeling decorator
-// (LatencyDisk) — plus the machinery every PDM algorithm in this repository
-// is written against: vectored block I/O with step accounting (Array.ReadV
-// / Array.WriteV), the transfer/charge split the streaming layer builds on
-// (Array.TransferV / Array.ChargeV, see internal/stream), striped logical
-// arrays (Stripe), sequential striped streams (Reader, Writer), and a
-// metered internal-memory arena (Arena).
+// fully concurrent per-disk I/O, a memory-mapped backend (MmapDisk) that
+// serves blocks as in-place word views with the same on-disk format, and a
+// latency-modeling decorator (LatencyDisk) — plus the machinery every PDM
+// algorithm in this repository is written against: vectored block I/O with
+// step accounting (Array.ReadV / Array.WriteV), the transfer/charge split
+// the streaming layer builds on (Array.TransferV / Array.ChargeV, see
+// internal/stream), zero-copy block borrowing where the backend supports
+// it (ZeroCopyDisk, Array.BorrowReadV / Array.BorrowWrite — physical
+// transfers the caller pairs with ChargeV, so accounting stays identical
+// across backends), striped logical arrays (Stripe), sequential striped
+// streams (Reader, Writer), and a metered internal-memory arena (Arena).
 //
 // The unit of data is the key, an int64.  Records are keys, as in the paper.
 package pdm

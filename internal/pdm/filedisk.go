@@ -32,6 +32,21 @@ type FileDisk struct {
 // blocks at a time.
 const growBlocks = 256
 
+// maxPooledBufBytes caps the encode/decode buffers the pool retains.
+// sync.Pool holds one entry per P between collections, so at large B the
+// pool would pin GOMAXPROCS × 8·B bytes for the disk's whole lifetime;
+// oversized buffers are used once and dropped instead.
+const maxPooledBufBytes = 1 << 16
+
+// putBuf returns an encode/decode buffer to the pool unless it exceeds the
+// retention cap.
+func (d *FileDisk) putBuf(bp *[]byte) {
+	if len(*bp) > maxPooledBufBytes {
+		return
+	}
+	d.bufs.Put(bp)
+}
+
 // NewFileDisk creates (truncating) a file-backed disk at path with block
 // size b keys.
 func NewFileDisk(path string, b int) (*FileDisk, error) {
@@ -88,7 +103,7 @@ func (d *FileDisk) ReadBlock(off int, dst []int64) error {
 	}
 	bp := d.bufs.Get().(*[]byte)
 	buf := *bp
-	defer d.bufs.Put(bp)
+	defer d.putBuf(bp)
 	if _, err := d.f.ReadAt(buf, int64(off)*int64(d.b)*8); err != nil {
 		return fmt.Errorf("pdm: file disk read: %w", err)
 	}
@@ -111,7 +126,7 @@ func (d *FileDisk) WriteBlock(off int, src []int64) error {
 	}
 	bp := d.bufs.Get().(*[]byte)
 	buf := *bp
-	defer d.bufs.Put(bp)
+	defer d.putBuf(bp)
 	for i, v := range src {
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
 	}

@@ -2,6 +2,9 @@ package pdm
 
 import (
 	"errors"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -37,6 +40,106 @@ func TestFileDiskRoundTrip(t *testing.T) {
 	if d.Path() == "" {
 		t.Fatal("Path is empty")
 	}
+}
+
+// TestFileDiskBufPoolCap pins the pool-retention fix: small blocks reuse
+// one pooled encode buffer across operations, while blocks above
+// maxPooledBufBytes are allocated per operation and dropped — the pool
+// must not pin GOMAXPROCS × 8·B bytes for the disk's lifetime at large B.
+func TestFileDiskBufPoolCap(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1)) // no GC: pool entries survive
+	const iters = 16
+	for _, tc := range []struct {
+		name   string
+		b      int
+		pooled bool
+	}{
+		{"small-pooled", 512, true},         // 4 KiB buffer, under the cap
+		{"large-dropped", 16 * 1024, false}, // 128 KiB buffer, over the cap
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := NewFileDisk(t.TempDir()+"/d0.bin", tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			var allocs atomic.Int64
+			base := d.bufs.New
+			d.bufs.New = func() any {
+				allocs.Add(1)
+				return base()
+			}
+			blk := make([]int64, tc.b)
+			for i := 0; i < iters; i++ {
+				if err := d.WriteBlock(i, blk); err != nil {
+					t.Fatal(err)
+				}
+				if err := d.ReadBlock(i, blk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := allocs.Load()
+			if tc.pooled && got > 2 {
+				t.Fatalf("pooled case allocated %d buffers over %d ops, want <= 2", got, 2*iters)
+			}
+			if !tc.pooled && got < 2*iters {
+				t.Fatalf("oversized case allocated %d buffers over %d ops, want one per op", got, 2*iters)
+			}
+		})
+	}
+}
+
+// TestFileDiskErrors drives the failure paths: a backing file shorter
+// than the frontier claims (torn scratch), and growth / Close-trim on a
+// dead file descriptor.
+func TestFileDiskErrors(t *testing.T) {
+	t.Run("short-read", func(t *testing.T) {
+		path := t.TempDir() + "/d0.bin"
+		d, err := NewFileDisk(path, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if err := d.WriteBlock(0, []int64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+		// Truncate the backing file beneath the frontier: the next read
+		// must fail loudly, not hand back half a block.
+		if err := d.f.Truncate(8); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReadBlock(0, make([]int64, 4)); err == nil || !strings.Contains(err.Error(), "read") {
+			t.Fatalf("short read: err = %v, want wrapped read error", err)
+		}
+	})
+	t.Run("grow-failure", func(t *testing.T) {
+		d, err := NewFileDisk(t.TempDir()+"/d0.bin", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WriteBlock(0, make([]int64, 4)); err == nil || !strings.Contains(err.Error(), "grow") {
+			t.Fatalf("write on dead fd: err = %v, want grow error", err)
+		}
+	})
+	t.Run("close-trim-failure", func(t *testing.T) {
+		d, err := NewFileDisk(t.TempDir()+"/d0.bin", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WriteBlock(0, make([]int64, 4)); err != nil {
+			t.Fatal(err)
+		}
+		// Kill the fd under the disk: Close's trim truncate must surface.
+		if err := d.f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err == nil || !strings.Contains(err.Error(), "trim") {
+			t.Fatalf("Close on dead fd: err = %v, want trim error", err)
+		}
+	})
 }
 
 func TestFileArrayEndToEnd(t *testing.T) {

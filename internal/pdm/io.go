@@ -122,6 +122,66 @@ func (a *Array) transferV(addrs []BlockAddr, bufs [][]int64, write bool) error {
 	return nil
 }
 
+// ZeroCopy reports whether every disk in the array serves borrowed block
+// views, i.e. whether the Borrow APIs below work.  It is decided once at
+// construction: an array mixing capable and incapable disks (or wrapping
+// them in LatencyDisk) reports false and callers use the copying path.
+func (a *Array) ZeroCopy() bool { return a.zc != nil }
+
+// BorrowReadV returns direct views of the addressed blocks, in request
+// order, WITHOUT copying, charging steps, or recording the trace — the
+// zero-copy analogue of TransferV(write=false).  Callers pair it with
+// ChargeV exactly once per logical request, in program order, so stats
+// and traces are identical to the copying execution.  Views stay valid
+// until the array is closed and must not be written through.
+func (a *Array) BorrowReadV(addrs []BlockAddr) ([][]int64, error) {
+	if a.zc == nil {
+		return nil, errNoZeroCopy
+	}
+	if err := a.CtxErr(); err != nil {
+		return nil, err
+	}
+	if err := a.validateAddrs(addrs); err != nil {
+		return nil, err
+	}
+	views := make([][]int64, len(addrs))
+	for i, ad := range addrs {
+		v, err := a.zc[ad.Disk].ReadBlockZero(ad.Off)
+		if err != nil {
+			return nil, err
+		}
+		views[i] = v
+	}
+	return views, nil
+}
+
+// BorrowWrite returns a writable view of block addr, growing the disk to
+// cover it — the zero-copy analogue of one block of TransferV(write=true).
+// The block counts as written immediately; the caller fills the view and
+// charges the request through ChargeV exactly as a TransferV user would.
+func (a *Array) BorrowWrite(addr BlockAddr) ([]int64, error) {
+	if a.zc == nil {
+		return nil, errNoZeroCopy
+	}
+	if err := a.CtxErr(); err != nil {
+		return nil, err
+	}
+	if addr.Disk < 0 || addr.Disk >= a.cfg.D {
+		return nil, fmt.Errorf("%w: disk %d of %d", ErrOutOfRange, addr.Disk, a.cfg.D)
+	}
+	return a.zc[addr.Disk].WriteBlockZero(addr.Off)
+}
+
+// validateAddrs checks that every address names an existing disk.
+func (a *Array) validateAddrs(addrs []BlockAddr) error {
+	for _, ad := range addrs {
+		if ad.Disk < 0 || ad.Disk >= a.cfg.D {
+			return fmt.Errorf("%w: disk %d of %d", ErrOutOfRange, ad.Disk, a.cfg.D)
+		}
+	}
+	return nil
+}
+
 // ChargeV records the accounting of one vectored request as if it executed
 // synchronously now: max-per-disk parallel steps, block counters, simulated
 // time, and the trace entry.  Callers pairing it with TransferV must invoke

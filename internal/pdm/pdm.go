@@ -147,6 +147,11 @@ type Array struct {
 	// scheduler's cancellation path down into the pass helpers.
 	ctx atomic.Pointer[context.Context]
 
+	// zc is non-nil iff every disk serves zero-copy views (ZeroCopyDisk
+	// with ZeroCopy() true); the borrow APIs in io.go require all-or-
+	// nothing so a vectored request never mixes borrowed and copied blocks.
+	zc []ZeroCopyDisk
+
 	mu    sync.Mutex
 	stats Stats
 	alloc rowAllocator
@@ -179,12 +184,23 @@ func NewWithDisks(cfg Config, disks []Disk) (*Array, error) {
 	if len(disks) != cfg.D {
 		return nil, fmt.Errorf("pdm: got %d disks, config says D = %d", len(disks), cfg.D)
 	}
-	return &Array{
+	a := &Array{
 		cfg:   cfg,
 		disks: disks,
 		arena: NewArena(cfg.ArenaCapacity()),
 		pool:  par.NewLimited(cfg.Workers, cfg.Limiter),
-	}, nil
+	}
+	zc := make([]ZeroCopyDisk, len(disks))
+	for i, d := range disks {
+		z, ok := d.(ZeroCopyDisk)
+		if !ok || !z.ZeroCopy() {
+			zc = nil
+			break
+		}
+		zc[i] = z
+	}
+	a.zc = zc
+	return a, nil
 }
 
 // BindContext ties subsequent I/O on the array to ctx: once ctx is

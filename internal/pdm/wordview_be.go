@@ -1,0 +1,13 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mipsle || mips64le || wasm)
+
+package pdm
+
+// canWordView is false on big-endian architectures: the on-disk format is
+// little-endian int64s, so mapped bytes cannot be reinterpreted in place
+// and MmapDisk falls back to per-word encode/decode against the mapping.
+const canWordView = false
+
+// bytesToWords is unreachable when canWordView is false.
+func bytesToWords(b []byte) []int64 {
+	panic("pdm: bytesToWords on a big-endian architecture")
+}

@@ -1,0 +1,21 @@
+//go:build amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mipsle || mips64le || wasm
+
+package pdm
+
+import "unsafe"
+
+// canWordView reports whether mapped file bytes can be reinterpreted as
+// []int64 in place.  The on-disk format is little-endian int64s, so on
+// little-endian architectures a byte view IS a word view and the copy and
+// swizzle loops of FileDisk disappear entirely.
+const canWordView = true
+
+// bytesToWords reinterprets b (len a multiple of 8) as a []int64 sharing
+// the same storage.  Mapped pages are 8-aligned (page-aligned, in fact),
+// which is all int64 access requires here.
+func bytesToWords(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

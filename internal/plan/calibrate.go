@@ -33,9 +33,14 @@ type Calibration struct {
 // under the default match rankings under any probe (the model is monotone
 // in predicted words), so Choose uses it; only absolute seconds differ.
 func DefaultCalibration(shape Shape) Calibration {
-	perWord := 2e-9 // in-memory block store: one copy per word
-	if shape.FileBacked {
-		perWord = 12e-9 // page-cache file I/O plus syscall amortization
+	var perWord float64
+	switch shape.Backend {
+	case BackendFile:
+		perWord = 12e-9 // page-cache file I/O plus syscall and encode per block
+	case BackendMmap:
+		perWord = 4e-9 // page-cache copy through the mapping, no syscall
+	default:
+		perWord = 2e-9 // in-memory block store: one copy per word
 	}
 	step := shape.BlockLatency.Seconds() + float64(shape.B)*perWord + 5e-6
 	return Calibration{
@@ -52,7 +57,7 @@ type ProbeConfig struct {
 	D, B         int
 	Workers      int
 	BlockLatency time.Duration
-	FileBacked   bool
+	Backend      Backend
 }
 
 // probeStripes is the probe transfer length in stripes: long enough to
@@ -96,7 +101,7 @@ func Calibrate(pc ProbeConfig) Calibration {
 		if err != nil {
 			cal = DefaultCalibration(Shape{
 				Mem: pc.B * pc.B, B: pc.B, D: pc.D,
-				BlockLatency: pc.BlockLatency, FileBacked: pc.FileBacked,
+				BlockLatency: pc.BlockLatency, Backend: pc.Backend,
 			})
 		}
 		e.cal = cal
@@ -122,13 +127,17 @@ func probe(pc ProbeConfig) (cal Calibration, err error) {
 	cfg := pdm.Config{D: pc.D, B: pc.B, Mem: stripe, Workers: pc.Workers}
 	var disks []pdm.Disk
 	var dir string
-	if pc.FileBacked {
+	if pc.Backend == BackendFile || pc.Backend == BackendMmap {
 		dir, err = os.MkdirTemp("", "plan-probe-")
 		if err != nil {
 			return cal, err
 		}
 		defer os.RemoveAll(dir)
-		disks, err = pdm.NewFileDisks(dir, pc.D, pc.B)
+		if pc.Backend == BackendMmap {
+			disks, err = pdm.NewMmapDisks(dir, pc.D, pc.B)
+		} else {
+			disks, err = pdm.NewFileDisks(dir, pc.D, pc.B)
+		}
 		if err != nil {
 			return cal, err
 		}
@@ -156,6 +165,12 @@ func probe(pc ProbeConfig) (cal Calibration, err error) {
 	defer s.Free()
 	data := make([]int64, probeStripes*stripe)
 	fillProbeKeys(data)
+	// Warm the store first: the untimed load pays one-time growth cost
+	// (truncate, mmap remaps) so the timed pass measures the steady-state
+	// per-step rate the model multiplies by predicted steps.
+	if err := s.Load(data); err != nil {
+		return cal, err
+	}
 	tw := time.Now()
 	if err := s.Load(data); err != nil {
 		return cal, err

@@ -36,6 +36,23 @@ const (
 // Candidates is the canonical candidate order Explain evaluates.
 var Candidates = []Alg{OnePass, Exp2, Mesh2e, LMM3, Mesh3, Exp3, Six, Seven, SevenMesh, Radix}
 
+// Backend names the disk backend a shape runs on.  It only prices the
+// per-block software overhead in the calibration — the PDM cost model
+// (passes, steps, words) is backend-oblivious.
+type Backend string
+
+const (
+	// BackendMem is the in-memory block store (tests, benchmarks).
+	BackendMem Backend = "mem"
+	// BackendFile is read/write-syscall file disks (pdm.FileDisk): each
+	// block pays a syscall plus an encode/decode round through a staging
+	// buffer.
+	BackendFile Backend = "file"
+	// BackendMmap is memory-mapped file disks (pdm.MmapDisk): each block
+	// is a page-cache copy, with zero-copy views on the streaming paths.
+	BackendMmap Backend = "mmap"
+)
+
 // Shape is the machine half of a planning question.
 type Shape struct {
 	// Mem is M in keys (a perfect square), B the block size (= √M for the
@@ -47,8 +64,8 @@ type Shape struct {
 	Workers int
 	// BlockLatency is the modeled per-block device latency (pdm.LatencyDisk).
 	BlockLatency time.Duration
-	// FileBacked reports real-file disks (syscall cost per block).
-	FileBacked bool
+	// Backend is the disk backend kind ("" means BackendMem).
+	Backend Backend
 	// Prefetch and WriteBehind are the streaming depths; nonzero depths let
 	// the wall model overlap I/O with compute.
 	Prefetch, WriteBehind int

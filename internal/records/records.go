@@ -776,29 +776,45 @@ func (ws *wordStream) close() {
 
 // blockBatch coalesces single-block partition writes into vectored
 // requests of up to D blocks, so a scatter level's write cost stays close
-// to one parallel step per stripe width.
+// to one parallel step per stripe width.  On zero-copy backends each block
+// is copied once, straight into a borrowed destination view, and the batch
+// is charged on flush through ChargeV with the exact address list WriteV
+// would have used — stats and traces are bit-identical across backends.
 type blockBatch struct {
 	a     *pdm.Array
+	zc    bool
 	stage []int64
 	addrs []pdm.BlockAddr
 	bufs  [][]int64
 }
 
 func newBlockBatch(a *pdm.Array) (*blockBatch, error) {
+	// The stage stripe is allocated on both paths: the zero-copy one never
+	// touches it, but reserving it keeps the memory envelope — and any
+	// arena-pressure failure — identical across backends.
 	stage, err := a.Arena().Alloc(a.StripeWidth())
 	if err != nil {
 		return nil, err
 	}
-	return &blockBatch{a: a, stage: stage}, nil
+	return &blockBatch{a: a, zc: a.ZeroCopy(), stage: stage}, nil
 }
 
 func (bb *blockBatch) add(addr pdm.BlockAddr, blk []int64) error {
-	b := bb.a.B()
-	i := len(bb.addrs)
-	dst := bb.stage[i*b : (i+1)*b]
-	copy(dst, blk)
-	bb.addrs = append(bb.addrs, addr)
-	bb.bufs = append(bb.bufs, dst)
+	if bb.zc {
+		dst, err := bb.a.BorrowWrite(addr)
+		if err != nil {
+			return err
+		}
+		copy(dst, blk)
+		bb.addrs = append(bb.addrs, addr)
+	} else {
+		b := bb.a.B()
+		i := len(bb.addrs)
+		dst := bb.stage[i*b : (i+1)*b]
+		copy(dst, blk)
+		bb.addrs = append(bb.addrs, addr)
+		bb.bufs = append(bb.bufs, dst)
+	}
 	if len(bb.addrs) == bb.a.D() {
 		return bb.flush()
 	}
@@ -809,7 +825,16 @@ func (bb *blockBatch) flush() error {
 	if len(bb.addrs) == 0 {
 		return nil
 	}
-	err := bb.a.WriteV(bb.addrs, bb.bufs)
+	var err error
+	if bb.zc {
+		// Reject before charging on a canceled context, exactly where the
+		// copying path's WriteV would.
+		if err = bb.a.CtxErr(); err == nil {
+			bb.a.ChargeV(bb.addrs, true)
+		}
+	} else {
+		err = bb.a.WriteV(bb.addrs, bb.bufs)
+	}
 	bb.addrs = bb.addrs[:0]
 	bb.bufs = bb.bufs[:0]
 	return err

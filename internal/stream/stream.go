@@ -16,6 +16,7 @@ var ErrExhausted = errors.New("stream: read past the final chunk")
 type batch struct {
 	slot    int // index into Reader.slots; -1 when err != nil or empty chunk
 	nblocks int
+	views   [][]int64       // zero-copy block views; nil on the copying path
 	last    bool            // final piece of its chunk
 	addrs   []pdm.BlockAddr // full chunk address list, set when last
 	err     error
@@ -36,6 +37,7 @@ type Reader struct {
 	// pipelined mode (nil channels mean synchronous):
 	ring   []int64
 	slots  [][][]int64 // slot -> block views
+	zc     bool        // disks serve borrowed views; slots pace, not stage
 	free   chan int
 	filled chan batch
 	quit   chan struct{}
@@ -71,6 +73,7 @@ func NewReader(a *pdm.Array, chunks int, addrsOf func(int) []pdm.BlockAddr) (*Re
 		r.slots[i] = views
 		r.free <- i
 	}
+	r.zc = a.ZeroCopy()
 	r.filled = make(chan batch, depth)
 	r.quit = make(chan struct{})
 	r.done = make(chan struct{})
@@ -150,14 +153,28 @@ func (r *Reader) fetch() {
 			if j > len(addrs) {
 				j = len(addrs)
 			}
-			bufs = bufs[:0]
-			for k := i; k < j; k++ {
-				s := slots[(k-i)/bps]
-				bufs = append(bufs, r.slots[s][(k-i)%bps])
-			}
-			if err := r.a.TransferV(addrs[i:j], bufs, false); err != nil {
-				r.send(batch{slot: -1, err: err})
-				return
+			var views [][]int64
+			if r.zc {
+				// Zero-copy backends serve the blocks as direct views, so
+				// the ring slots only pace the prefetch window — no staging
+				// transfer happens here.  Borrowing fails exactly where a
+				// TransferV would (unwritten block, canceled context).
+				var err error
+				views, err = r.a.BorrowReadV(addrs[i:j])
+				if err != nil {
+					r.send(batch{slot: -1, err: err})
+					return
+				}
+			} else {
+				bufs = bufs[:0]
+				for k := i; k < j; k++ {
+					s := slots[(k-i)/bps]
+					bufs = append(bufs, r.slots[s][(k-i)%bps])
+				}
+				if err := r.a.TransferV(addrs[i:j], bufs, false); err != nil {
+					r.send(batch{slot: -1, err: err})
+					return
+				}
 			}
 			for si, s := range slots {
 				lo := i + si*bps
@@ -166,6 +183,9 @@ func (r *Reader) fetch() {
 					hi = j
 				}
 				bt := batch{slot: s, nblocks: hi - lo}
+				if views != nil {
+					bt.views = views[lo-i : hi-i]
+				}
 				if hi == len(addrs) {
 					bt.last = true
 					bt.addrs = addrs
@@ -251,7 +271,11 @@ func (r *Reader) Fill(bufs [][]int64) error {
 					r.err = pdm.ErrBadBlock
 					return r.err
 				}
-				copy(bufs[idx+k], r.slots[bt.slot][k])
+				src := r.slots[bt.slot][k]
+				if bt.views != nil {
+					src = bt.views[k]
+				}
+				copy(bufs[idx+k], src)
 			}
 			idx += bt.nblocks
 			r.free <- bt.slot

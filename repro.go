@@ -193,6 +193,13 @@ type MachineConfig struct {
 	// directory (one goroutine per disk performs the parallel I/O);
 	// otherwise disks are simulated in memory.
 	Dir string
+	// Backend selects the file-backed disk implementation when Dir is set:
+	// BackendFile (the default, read/write syscalls through pdm.FileDisk)
+	// or BackendMmap (memory-mapped pdm.MmapDisk with zero-copy views on
+	// the streaming paths).  Both produce byte-identical scratch files and
+	// bit-identical reports; only wall-clock differs.  Must be empty for
+	// in-memory machines.
+	Backend string
 	// Pipeline configures the streaming I/O layer: depths > 0 overlap
 	// prefetch and write-behind with computation on every pass.  Pass
 	// accounting is unaffected — the PDM cost model charges the same steps
@@ -226,6 +233,32 @@ type PipelineConfig struct {
 	WriteBehind int
 }
 
+// Disk backend names for MachineConfig.Backend, SchedulerConfig.Backend,
+// and JobSpec.Backend.
+const (
+	// BackendFile is the read/write-syscall file backend (pdm.FileDisk).
+	BackendFile = "file"
+	// BackendMmap is the memory-mapped file backend (pdm.MmapDisk).
+	BackendMmap = "mmap"
+)
+
+// validBackend reports whether name is a recognized backend selector
+// (empty means the default for the machine's Dir setting).
+func validBackend(name string) bool {
+	return name == "" || name == BackendFile || name == BackendMmap
+}
+
+// backendKind maps a facade backend selector onto the planner's kind.
+func backendKind(fileBacked bool, backend string) plan.Backend {
+	if !fileBacked {
+		return plan.BackendMem
+	}
+	if backend == BackendMmap {
+		return plan.BackendMmap
+	}
+	return plan.BackendFile
+}
+
 // Machine is a PDM plus the paper's algorithm suite.
 type Machine struct {
 	a     *pdm.Array
@@ -253,11 +286,18 @@ func newMachine(cfg MachineConfig, lim *par.Limiter) (*Machine, error) {
 	pcfg.Limiter = lim
 	var disks []pdm.Disk
 	if cfg.Dir != "" {
-		disks, err = pdm.NewFileDisks(cfg.Dir, pcfg.D, pcfg.B)
+		if cfg.Backend == BackendMmap {
+			disks, err = pdm.NewMmapDisks(cfg.Dir, pcfg.D, pcfg.B)
+		} else {
+			disks, err = pdm.NewFileDisks(cfg.Dir, pcfg.D, pcfg.B)
+		}
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		if cfg.Backend != "" {
+			return nil, fmt.Errorf("repro: Backend = %q requires Dir (in-memory machines have no disk backend)", cfg.Backend)
+		}
 		disks = pdm.NewMemDisks(pcfg.D, pcfg.B)
 	}
 	if cfg.BlockLatency > 0 {
@@ -290,6 +330,9 @@ func resolveConfig(cfg MachineConfig) (pdm.Config, float64, error) {
 	}
 	if b%d != 0 {
 		return pdm.Config{}, 0, fmt.Errorf("repro: Disks = %d does not divide sqrt(Memory) = %d", d, b)
+	}
+	if !validBackend(cfg.Backend) {
+		return pdm.Config{}, 0, fmt.Errorf("repro: unknown backend %q (want %q or %q)", cfg.Backend, BackendFile, BackendMmap)
 	}
 	alpha := cfg.Alpha
 	if alpha == 0 {
