@@ -2,16 +2,18 @@
 // end-to-end sort throughput per algorithm, scheduler jobs/sec under a
 // concurrent mixed batch, full-record sort throughput across payload
 // widths, a paired disk-backend comparison (the same full-record sort on
-// file vs mmap disks, with and without modeled block latency), and the
-// cost-model planner's prediction accuracy (predicted vs measured seconds
-// per algorithm) — and writes the results as one JSON document
-// (BENCH_pr6.json by default).  CI runs it on every push and uploads the
+// file vs mmap disks, with and without modeled block latency), a paired
+// compute-kernel comparison (comparison introsort vs LSD radix run
+// formation at memory-load size, across worker counts and backends), and
+// the cost-model planner's prediction accuracy (predicted vs measured
+// seconds per algorithm) — and writes the results as one JSON document
+// (BENCH_pr7.json by default).  CI runs it on every push and uploads the
 // file as an artifact, so the perf trajectory of the reproduction — and
 // any calibration drift in the planner — is recorded per commit instead
 // of living only in benchmark logs.
 //
-//	benchjson [-out BENCH_pr6.json] [-n 262144] [-mem 4096] [-jobs 12] \
-//	          [-workers 0] [-backend file|mmap]
+//	benchjson [-out BENCH_pr7.json] [-n 262144] [-mem 4096] [-jobs 12] \
+//	          [-workers 0] [-backend file|mmap] [-kernel comparison|radix]
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/par"
 )
 
 // endToEnd is one single-machine sort measurement.
@@ -79,6 +82,28 @@ type backendBench struct {
 	SpeedupVsFile  float64 `json:"speedupVsFile,omitempty"`
 }
 
+// kernelBench is one row of the paired compute-kernel series: the same
+// sort with the comparison introsort vs the LSD radix kernel.  The run
+// formation columns time pure in-memory load sorts (one memory load of
+// uniform random keys per iteration, no I/O) on a pool of the given
+// width — the number the planner's per-kernel probe prices.  The wall
+// columns are the same end-to-end full-record sort as the backend series,
+// so kernel wins can be read against the I/O they hide behind.
+// RunSpeedupVsComparison is this row's run-formation keys/sec over the
+// comparison row at the same worker count and backend.
+type kernelBench struct {
+	Kernel                 string  `json:"kernel"`
+	Workers                int     `json:"workers"`
+	Backend                string  `json:"backend"`
+	RunKeys                int     `json:"runKeys"`
+	RunKeysPerSec          float64 `json:"runFormationKeysPerSec"`
+	RunSpeedupVsComparison float64 `json:"runSpeedupVsComparison,omitempty"`
+	N                      int     `json:"n"`
+	Words                  int64   `json:"words"`
+	WallSeconds            float64 `json:"wallSeconds"`
+	WordsPerSec            float64 `json:"wordsPerSec"`
+}
+
 // prediction is one planner-accuracy point: the cost model's calibrated
 // wall prediction against the measured wall for the same sort.  RelError
 // is signed, (measured − predicted)/predicted, so calibration drift shows
@@ -101,28 +126,34 @@ type document struct {
 	Scheduler  schedulerBench `json:"scheduler"`
 	Records    []recordsBench `json:"records"`
 	Backends   []backendBench `json:"backends"`
+	Kernels    []kernelBench  `json:"kernels"`
 	Prediction []prediction   `json:"prediction"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output file")
+	out := flag.String("out", "BENCH_pr7.json", "output file")
 	n := flag.Int("n", 1<<18, "keys per end-to-end sort")
 	mem := flag.Int("mem", 4096, "internal memory M in keys (perfect square)")
 	jobs := flag.Int("jobs", 12, "jobs in the scheduler batch")
 	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "", "restrict the paired backend series to one backend: file or mmap (default: both)")
+	kernel := flag.String("kernel", "", "restrict the paired kernel series to one kernel: comparison or radix (default: both)")
 	flag.Parse()
 	if *backend != "" && *backend != repro.BackendFile && *backend != repro.BackendMmap {
 		fmt.Fprintf(os.Stderr, "benchjson: -backend %q: want %q or %q\n", *backend, repro.BackendFile, repro.BackendMmap)
 		os.Exit(2)
 	}
-	if err := run(*out, *n, *mem, *jobs, *workers, *backend); err != nil {
+	if *kernel != "" && *kernel != repro.KernelComparison && *kernel != repro.KernelRadix {
+		fmt.Fprintf(os.Stderr, "benchjson: -kernel %q: want %q or %q\n", *kernel, repro.KernelComparison, repro.KernelRadix)
+		os.Exit(2)
+	}
+	if err := run(*out, *n, *mem, *jobs, *workers, *backend, *kernel); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, n, mem, jobs, workers int, backend string) error {
+func run(out string, n, mem, jobs, workers int, backend, kernel string) error {
 	doc := document{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -183,6 +214,35 @@ func run(out string, n, mem, jobs, workers int, backend string) error {
 		}
 	}
 
+	// Paired kernel comparison: comparison introsort vs LSD radix, across
+	// pool widths 1 and 8 and both disk backends.  Run formation is timed
+	// once per (kernel, width) — it never touches a disk — and repeated on
+	// each backend row for self-contained reading.
+	kernels := []string{repro.KernelComparison, repro.KernelRadix}
+	if kernel != "" {
+		kernels = []string{kernel}
+	}
+	for _, width := range []int{1, 8} {
+		runRate := map[string]float64{}
+		for _, kn := range kernels {
+			runRate[kn] = runFormationRate(kn, width, mem)
+		}
+		for _, bk := range backends {
+			for _, kn := range kernels {
+				res, err := kernelOnce(kn, bk, width, n/4, mem)
+				if err != nil {
+					return fmt.Errorf("kernel %s/%s: %w", kn, bk, err)
+				}
+				res.RunKeys = mem
+				res.RunKeysPerSec = runRate[kn]
+				if base := runRate[repro.KernelComparison]; kn == repro.KernelRadix && base > 0 {
+					res.RunSpeedupVsComparison = runRate[kn] / base
+				}
+				doc.Kernels = append(doc.Kernels, res)
+			}
+		}
+	}
+
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -191,8 +251,8 @@ func run(out string, n, mem, jobs, workers int, backend string) error {
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d backend rows, %d prediction points)\n",
-		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Backends), len(doc.Prediction))
+	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d backend rows, %d kernel rows, %d prediction points)\n",
+		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Backends), len(doc.Kernels), len(doc.Prediction))
 	return nil
 }
 
@@ -234,6 +294,88 @@ func backendOnce(backend string, latency time.Duration, n, mem, workers int) (ba
 	row.N = n
 	row.Words = int64(rep.N + rep.PayloadWords)
 	row.Passes = rep.Passes
+	row.WallSeconds = wall
+	row.WordsPerSec = float64(row.Words) / wall
+	return row, nil
+}
+
+// runFormationRate times pure in-memory run formation: repeated sorts of
+// one memory load (mem keys) of uniform random int64 keys on a pool of
+// the given width and kernel, refills untimed.  This is the compute the
+// external algorithms spend between I/O steps, and the rate the planner's
+// per-kernel probe prices.
+func runFormationRate(kernel string, width, mem int) float64 {
+	pk := par.KernelComparison
+	if kernel == repro.KernelRadix {
+		pk = par.KernelRadix
+	}
+	pool := par.NewWithKernel(width, nil, pk)
+	buf := make([]int64, mem)
+	// Warm up once (scratch pool, branch predictors), then time enough
+	// iterations to amortize timer noise.
+	fillUniform(buf, 0)
+	pool.SortKeys(buf)
+	const iters = 400
+	var elapsed time.Duration
+	for i := 0; i < iters; i++ {
+		fillUniform(buf, uint64(i+1))
+		t0 := time.Now()
+		pool.SortKeys(buf)
+		elapsed += time.Since(t0)
+	}
+	return float64(iters*mem) / elapsed.Seconds()
+}
+
+// fillUniform fills buf with a deterministic xorshift sequence, seeded so
+// every iteration sorts fresh (unsorted) data.
+func fillUniform(buf []int64, seed uint64) {
+	x := seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = int64(x >> 2)
+	}
+}
+
+// kernelOnce measures one end-to-end row of the kernel series: the same
+// fixed-64B full-record sort as the backend series, pinned to the named
+// kernel and pool width.
+func kernelOnce(kernel, backend string, width, n, mem int) (kernelBench, error) {
+	row := kernelBench{Kernel: kernel, Backend: backend, Workers: width}
+	dir, err := os.MkdirTemp("", "benchjson-kernel-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Memory:   mem,
+		Workers:  width,
+		Dir:      dir,
+		Backend:  backend,
+		Kernel:   kernel,
+		Pipeline: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		return row, err
+	}
+	defer m.Close()
+	if capacity := m.Capacity(repro.Auto); n > capacity {
+		n = capacity
+	}
+	keys, err := (&repro.WorkloadSpec{Kind: "uniform", N: n, Seed: 1}).Generate()
+	if err != nil {
+		return row, err
+	}
+	payloads := (&repro.PayloadSpec{MinBytes: 64, MaxBytes: 64}).Materialize(n, 1)
+	t0 := time.Now()
+	rep, err := m.SortRecords(keys, payloads, repro.Auto)
+	if err != nil {
+		return row, err
+	}
+	wall := time.Since(t0).Seconds()
+	row.N = n
+	row.Words = int64(rep.N + rep.PayloadWords)
 	row.WallSeconds = wall
 	row.WordsPerSec = float64(row.Words) / wall
 	return row, nil

@@ -16,6 +16,11 @@
 //	GET  /jobs/{id}/records  fetch sorted keys + payloads (records jobs)
 //	GET  /stats              aggregate scheduler statistics as JSON
 //	GET  /metrics            the same in Prometheus text format
+//	GET  /debug/pprof/...    Go profiling handlers (only with -pprof)
+//
+// A submit body may set "kernel" ("auto", "comparison", or "radix") to
+// override the daemon's -kernel default for that job; the sorted output
+// is identical for any kernel, only wall-clock changes.
 //
 // Both output endpoints paginate with ?offset=N&limit=M: limit clamps
 // overflow-safely to the remaining records, while an offset beyond the
@@ -39,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -56,6 +62,8 @@ func main() {
 	jobMem := flag.Int("jobmem", 65536, "default per-job internal memory M in keys (perfect square)")
 	scratch := flag.String("scratch", "", "scratch directory for file-backed job disks (default: in-memory disks)")
 	backend := flag.String("backend", "", "default disk backend for file-backed jobs: file or mmap (requires -scratch)")
+	kernel := flag.String("kernel", "", "default in-memory sort kernel: auto, comparison, or radix")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	queue := flag.Int("queue", 0, "admission queue bound (0 = 1024)")
 	prefetch := flag.Int("prefetch", 2, "default per-job prefetch depth in stripes")
 	writeBehind := flag.Int("writebehind", 2, "default per-job write-behind depth in stripes")
@@ -69,6 +77,7 @@ func main() {
 		JobMemory:  *jobMem,
 		Dir:        *scratch,
 		Backend:    *backend,
+		Kernel:     *kernel,
 		MaxQueue:   *queue,
 		Pipeline:   repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind},
 	})
@@ -76,7 +85,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdmd: %v\n", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Addr: *addr, Handler: newServer(sch, *maxBody)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(sch, *maxBody, *pprofOn)}
 	go func() {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -113,7 +122,10 @@ type submitRequest struct {
 	BlockLatencyUS int64 `json:"blockLatencyUs,omitempty"`
 	// Backend overrides the scheduler's disk backend for this job ("file"
 	// or "mmap"); valid only on a file-backed scheduler.
-	Backend  string `json:"backend,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// Kernel overrides the scheduler's in-memory sort kernel for this job
+	// ("auto", "comparison", or "radix"); output is identical either way.
+	Kernel   string `json:"kernel,omitempty"`
 	KeepKeys bool   `json:"keepKeys,omitempty"`
 	Label    string `json:"label,omitempty"`
 }
@@ -126,13 +138,23 @@ type server struct {
 
 // newServer builds the pdmd handler around a scheduler (exposed for the
 // end-to-end tests, which mount it on httptest).  maxBody caps the
-// submit body size in bytes; <= 0 selects 64 MiB.
-func newServer(sch *repro.Scheduler, maxBody int64) http.Handler {
+// submit body size in bytes; <= 0 selects 64 MiB.  pprofOn additionally
+// mounts the net/http/pprof profiling handlers under /debug/pprof/ —
+// opt-in, because profiling endpoints on a job API are an operator
+// decision, not a default.
+func newServer(sch *repro.Scheduler, maxBody int64, pprofOn bool) http.Handler {
 	if maxBody <= 0 {
 		maxBody = 64 << 20
 	}
 	s := &server{sch: sch, maxBody: maxBody}
 	mux := http.NewServeMux()
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("POST /jobs", s.submit)
 	mux.HandleFunc("GET /plan", s.plan)
 	mux.HandleFunc("POST /plan", s.plan)
@@ -182,6 +204,7 @@ func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) (repro.JobSp
 		Workers:      req.Workers,
 		BlockLatency: time.Duration(req.BlockLatencyUS) * time.Microsecond,
 		Backend:      req.Backend,
+		Kernel:       req.Kernel,
 		KeepKeys:     req.KeepKeys,
 		Label:        req.Label,
 	}

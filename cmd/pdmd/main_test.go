@@ -27,7 +27,7 @@ func testServer(t *testing.T) (*httptest.Server, *repro.Scheduler) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(sch, 1<<20))
+	ts := httptest.NewServer(newServer(sch, 1<<20, false))
 	t.Cleanup(func() {
 		ts.Close()
 		sch.Close()
@@ -576,5 +576,96 @@ func TestPlanEndpoint(t *testing.T) {
 	}
 	if st.MeasuredSeconds <= 0 {
 		t.Fatalf("done job missing measured wall: %+v", st)
+	}
+}
+
+// TestPprofOptIn checks that the profiling handlers exist only when the
+// -pprof flag turned them on: same scheduler, two handlers.
+func TestPprofOptIn(t *testing.T) {
+	ts, _ := testServer(t) // pprof off
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: GET /debug/pprof/cmdline = %d, want 404", resp.StatusCode)
+	}
+
+	sch, err := repro.NewScheduler(repro.SchedulerConfig{
+		Memory: 12000, Workers: 2, JobMemory: 1024,
+		Pipeline: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := httptest.NewServer(newServer(sch, 1<<20, true))
+	defer func() {
+		on.Close()
+		sch.Close()
+	}()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof on: GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("pprof on: GET %s returned empty body", path)
+		}
+	}
+}
+
+// TestSubmitKernel checks that a submit body's "kernel" reaches the job:
+// both kernels produce identical sorted keys, and a bad name is a 400.
+func TestSubmitKernel(t *testing.T) {
+	ts, _ := testServer(t)
+	sortWith := func(kernel string) []int64 {
+		t.Helper()
+		resp, obj := postJSON(t, ts.URL+"/jobs", map[string]any{
+			"workload": map[string]any{"kind": "perm", "n": 4096, "seed": 9},
+			"kernel":   kernel, "keepKeys": true,
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit kernel=%q = %d", kernel, resp.StatusCode)
+		}
+		var id int
+		if err := json.Unmarshal(obj["id"], &id); err != nil {
+			t.Fatal(err)
+		}
+		pollUntil(t, ts.URL, id, repro.JobDone)
+		keysResp, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keysResp.StatusCode != http.StatusOK {
+			keysResp.Body.Close()
+			t.Fatalf("GET keys kernel=%q = %d", kernel, keysResp.StatusCode)
+		}
+		var page struct {
+			Keys []int64 `json:"keys"`
+		}
+		err = json.NewDecoder(keysResp.Body).Decode(&page)
+		keysResp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return page.Keys
+	}
+	comparison := sortWith("comparison")
+	radix := sortWith("radix")
+	if !slices.Equal(comparison, radix) {
+		t.Fatalf("kernel outputs differ: comparison %d keys vs radix %d keys",
+			len(comparison), len(radix))
+	}
+	if resp, _ := postJSON(t, ts.URL+"/jobs", map[string]any{
+		"workload": map[string]any{"kind": "perm", "n": 1024},
+		"kernel":   "simd",
+	}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad kernel = %d, want 400", resp.StatusCode)
 	}
 }

@@ -6,7 +6,8 @@
 //
 //	pdmsort -in keys.bin -out sorted.bin [-mem 65536] [-disks 0] \
 //	        [-alg auto|one|mesh3|mesh2e|lmm3|exp2|exp3|seven|six|sevenmesh|radix] \
-//	        [-universe 4294967296] [-scratch DIR] [-backend file|mmap] [-gen N] \
+//	        [-universe 4294967296] [-scratch DIR] [-backend file|mmap] \
+//	        [-kernel auto|comparison|radix] [-gen N] \
 //	        [-seed 1] [-prefetch 2] [-writebehind 2] [-workers 0] [-latency 0] [-explain]
 //	pdmsort -csv table.csv -keycol 0 [-sep ,] [-out sorted.csv] ...
 //
@@ -66,6 +67,7 @@ type options struct {
 	universe int64
 	scratch  string
 	backend  string
+	kernel   string
 	gen      int
 	seed     int64
 	pipe     repro.PipelineConfig
@@ -87,6 +89,7 @@ func main() {
 	flag.Int64Var(&o.universe, "universe", 1<<32, "key universe for -alg radix")
 	flag.StringVar(&o.scratch, "scratch", "", "directory for the disk files (default: temp dir)")
 	flag.StringVar(&o.backend, "backend", "", "disk backend: file (read/write syscalls, default) or mmap (zero-copy memory-mapped)")
+	flag.StringVar(&o.kernel, "kernel", "", "in-memory sort kernel: auto (default, picked from the machine shape), comparison, or radix; output is identical for any choice")
 	flag.IntVar(&o.gen, "gen", 0, "generate this many random keys instead of reading -in")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for -gen")
 	flag.IntVar(&o.pipe.Prefetch, "prefetch", 2, "prefetch depth in stripes (0 = synchronous reads)")
@@ -153,6 +156,8 @@ func validate(o options) error {
 		return usageError{fmt.Errorf("-latency %v: want >= 0", o.latency)}
 	case o.backend != "" && o.backend != repro.BackendFile && o.backend != repro.BackendMmap:
 		return usageError{fmt.Errorf("-backend %q: want %q or %q", o.backend, repro.BackendFile, repro.BackendMmap)}
+	case o.kernel != "" && o.kernel != repro.KernelAuto && o.kernel != repro.KernelComparison && o.kernel != repro.KernelRadix:
+		return usageError{fmt.Errorf("-kernel %q: want %q, %q, or %q", o.kernel, repro.KernelAuto, repro.KernelComparison, repro.KernelRadix)}
 	}
 	return nil
 }
@@ -207,7 +212,7 @@ func run(o options) error {
 	}
 	m, err := repro.NewMachine(repro.MachineConfig{
 		Memory: o.mem, Disks: o.disks, Dir: scratch, Backend: o.backend,
-		Pipeline: o.pipe, Workers: o.workers,
+		Kernel: o.kernel, Pipeline: o.pipe, Workers: o.workers,
 		BlockLatency: o.latency,
 	})
 	if err != nil {
@@ -268,7 +273,7 @@ func run(o options) error {
 	if backend == "" {
 		backend = repro.BackendFile
 	}
-	printReport(rep, out, backend, wall)
+	printReport(rep, out, backend, m.Kernel(), wall)
 	return nil
 }
 
@@ -322,9 +327,24 @@ func printExplain(w io.Writer, rep *repro.PlanReport) {
 		}
 		fmt.Fprintf(w, " (ranked by probe; * = this machine)\n")
 	}
+	if len(rep.Kernels) > 0 {
+		fmt.Fprintf(w, "kernels:")
+		for i, k := range rep.Kernels {
+			if i > 0 {
+				fmt.Fprintf(w, " >")
+			}
+			mark := ""
+			if k.Chosen {
+				mark = "*"
+			}
+			fmt.Fprintf(w, " %s%s %.1fns/key", mark, k.Kernel,
+				k.SortSecondsPerKey*1e9)
+		}
+		fmt.Fprintf(w, " (ranked by probe; * = this machine)\n")
+	}
 }
 
-func printReport(rep *repro.Report, out, backend string, wall time.Duration) {
+func printReport(rep *repro.Report, out, backend, kernel string, wall time.Duration) {
 	fmt.Printf("sorted %d keys with %s: %.3f read passes, %.3f write passes",
 		rep.N, rep.Algorithm, rep.ReadPasses, rep.WritePasses)
 	if rep.FellBack {
@@ -350,10 +370,10 @@ func printReport(rep *repro.Report, out, backend string, wall time.Duration) {
 	}
 	words := rep.N + rep.PayloadWords
 	if secs := wall.Seconds(); secs > 0 {
-		fmt.Printf("backend: %s — %.2fM words/sec (%d words in %v)\n",
-			backend, float64(words)/secs/1e6, words, wall.Round(time.Millisecond))
+		fmt.Printf("backend: %s — kernel: %s — %.2fM words/sec (%d words in %v)\n",
+			backend, kernel, float64(words)/secs/1e6, words, wall.Round(time.Millisecond))
 	} else {
-		fmt.Printf("backend: %s\n", backend)
+		fmt.Printf("backend: %s — kernel: %s\n", backend, kernel)
 	}
 	fmt.Printf("output: %s\n", out)
 }

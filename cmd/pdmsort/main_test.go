@@ -155,6 +155,8 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"negative disks", with(func(o *options) { o.in = "x.bin"; o.disks = -1 })},
 		{"negative prefetch", with(func(o *options) { o.in = "x.bin"; o.pipe = repro.PipelineConfig{Prefetch: -1} })},
 		{"negative workers", with(func(o *options) { o.in = "x.bin"; o.workers = -2 })},
+		{"unknown backend", with(func(o *options) { o.in = "x.bin"; o.backend = "ram" })},
+		{"unknown kernel", with(func(o *options) { o.in = "x.bin"; o.kernel = "simd" })},
 	}
 	for _, tc := range cases {
 		err := validate(tc.o)
@@ -176,6 +178,9 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 	}
 	if err := validate(with(func(o *options) { o.csv = "y.csv"; o.keyCol = 2 })); err != nil {
 		t.Fatalf("valid csv flags rejected: %v", err)
+	}
+	if err := validate(with(func(o *options) { o.in = "x.bin"; o.kernel = "radix" })); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
 	}
 	// run surfaces the usageError without touching the filesystem: the
 	// input file does not exist, yet the algorithm error comes first.
@@ -272,7 +277,8 @@ func TestRunCSVEndToEnd(t *testing.T) {
 // machine shape, which is what the gold pins.
 func normalizeExplain(s string) string {
 	s = regexp.MustCompile(`\d+\.\d{3}s`).ReplaceAllString(s, "<T>")
-	return regexp.MustCompile(`\d+\.\d+us`).ReplaceAllString(s, "<U>")
+	s = regexp.MustCompile(`\d+\.\d+us`).ReplaceAllString(s, "<U>")
+	return regexp.MustCompile(`\d+\.\d+ns`).ReplaceAllString(s, "<N>")
 }
 
 // TestExplainGold pins the -explain output (the CI docs leg runs this):

@@ -86,6 +86,19 @@ type BackendPlan struct {
 	Chosen bool `json:"chosen,omitempty"`
 }
 
+// KernelPlan is one row of Explain's kernel ranking: the calibrated
+// in-memory sort rate of one compute kernel on this machine's pool width.
+// Both kernels are probed (once, cached); the ranking is advisory —
+// switching kernels never changes results, only seconds.
+type KernelPlan struct {
+	Kernel            string  `json:"kernel"`
+	SortSecondsPerKey float64 `json:"sortSecondsPerKey"`
+	Probed            bool    `json:"probed"`
+	// Chosen marks the kernel this machine actually runs: the configured
+	// one, or Auto's deterministic pick from the bare shape.
+	Chosen bool `json:"chosen,omitempty"`
+}
+
 // PlanReport is Machine.Explain's answer: every candidate algorithm
 // ranked by predicted wall time (feasible first), the calibration used,
 // and the choice the stack will run.
@@ -107,6 +120,9 @@ type PlanReport struct {
 	// Backends ranks the disk backends available for this machine's
 	// geometry, cheapest measured step cost first.
 	Backends []BackendPlan `json:"backends,omitempty"`
+	// Kernels ranks the compute kernels on this machine's pool width,
+	// cheapest measured per-key sort cost first.
+	Kernels []KernelPlan `json:"kernels,omitempty"`
 }
 
 // Candidate returns the row for the short algorithm name, nil when absent.
@@ -126,17 +142,19 @@ func (r *PlanReport) Candidate(name string) *PlanCandidate {
 // and the per-job prediction all build here, so the shape fields and the
 // calibration cache key can never drift apart.
 func planContext(mem, d, b, workers int, alpha float64, latency time.Duration,
-	backend plan.Backend, pipe PipelineConfig) (plan.Shape, plan.Calibration) {
+	backend plan.Backend, kernel plan.Kernel, pipe PipelineConfig) (plan.Shape, plan.Calibration) {
 	shape := planShape(mem, d, alpha)
 	shape.Workers = workers
 	shape.BlockLatency = latency
 	shape.Backend = backend
+	shape.Kernel = kernel
 	shape.Prefetch = pipe.Prefetch
 	shape.WriteBehind = pipe.WriteBehind
 	cal := plan.Calibrate(plan.ProbeConfig{
 		D: d, B: b, Workers: workers,
 		BlockLatency: latency,
 		Backend:      backend,
+		Kernel:       kernel,
 	})
 	return shape, cal
 }
@@ -145,7 +163,7 @@ func planContext(mem, d, b, workers int, alpha float64, latency time.Duration,
 // geometry: every backend kind available for its storage mode is
 // calibrated (one cached micro-probe per kind) and sorted by measured
 // round-trip step cost, cheapest first.
-func rankBackends(d, b, workers int, latency time.Duration, current plan.Backend) []BackendPlan {
+func rankBackends(d, b, workers int, latency time.Duration, current plan.Backend, kernel plan.Kernel) []BackendPlan {
 	kinds := []plan.Backend{plan.BackendMem}
 	if current != plan.BackendMem {
 		kinds = []plan.Backend{plan.BackendFile, plan.BackendMmap}
@@ -156,6 +174,7 @@ func rankBackends(d, b, workers int, latency time.Duration, current plan.Backend
 			D: d, B: b, Workers: workers,
 			BlockLatency: latency,
 			Backend:      k,
+			Kernel:       kernel,
 		})
 		rows = append(rows, BackendPlan{
 			Backend:          string(k),
@@ -168,6 +187,34 @@ func rankBackends(d, b, workers int, latency time.Duration, current plan.Backend
 	sort.SliceStable(rows, func(i, j int) bool {
 		return rows[i].ReadStepSeconds+rows[i].WriteStepSeconds <
 			rows[j].ReadStepSeconds+rows[j].WriteStepSeconds
+	})
+	return rows
+}
+
+// rankKernels builds the kernel ranking the same way rankBackends ranks
+// disk backends: every kernel is calibrated on this machine's geometry and
+// backend (one cached micro-probe per kernel) and sorted by measured
+// per-key sort cost, cheapest first.  The stable sort keeps the canonical
+// plan.Kernels order on exact ties, so the table is deterministic under
+// probe noise ties just like the candidate ranking.
+func rankKernels(d, b, workers int, latency time.Duration, backend plan.Backend, current plan.Kernel) []KernelPlan {
+	rows := make([]KernelPlan, 0, len(plan.Kernels))
+	for _, k := range plan.Kernels {
+		cal := plan.Calibrate(plan.ProbeConfig{
+			D: d, B: b, Workers: workers,
+			BlockLatency: latency,
+			Backend:      backend,
+			Kernel:       k,
+		})
+		rows = append(rows, KernelPlan{
+			Kernel:            string(k),
+			SortSecondsPerKey: cal.SortSecondsPerKey,
+			Probed:            cal.Probed,
+			Chosen:            k == current,
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].SortSecondsPerKey < rows[j].SortSecondsPerKey
 	})
 	return rows
 }
@@ -187,14 +234,16 @@ func (m *Machine) Explain(spec SortSpec) (*PlanReport, error) {
 		return nil, fmt.Errorf("repro: SortSpec.N = %d, want > 0", spec.N)
 	}
 	backend := backendKind(m.cfg.Dir != "", m.cfg.Backend)
+	kernel := kernelKind(m.cfg.Kernel, m.a.Mem())
 	shape, cal := planContext(m.a.Mem(), m.a.D(), m.a.B(), m.a.Workers(), m.alpha,
-		m.cfg.BlockLatency, backend, m.cfg.Pipeline)
+		m.cfg.BlockLatency, backend, kernel, m.cfg.Pipeline)
 	r, err := plan.Explain(shape, spec.planWorkload(), cal)
 	if err != nil {
 		return nil, err
 	}
 	out := convertPlan(spec, r)
-	out.Backends = rankBackends(m.a.D(), m.a.B(), m.a.Workers(), m.cfg.BlockLatency, backend)
+	out.Backends = rankBackends(m.a.D(), m.a.B(), m.a.Workers(), m.cfg.BlockLatency, backend, kernel)
+	out.Kernels = rankKernels(m.a.D(), m.a.B(), m.a.Workers(), m.cfg.BlockLatency, backend, kernel)
 	if spec.Universe == 0 {
 		// Pin the choice to the Auto path: what Sort(keys, Auto) on this
 		// machine will actually run, whatever the calibrated ranking says.

@@ -536,7 +536,7 @@ func sortColumns(pool *par.Pool, buf []int64, colLen, cnt int) {
 	}
 	pool.For(cnt*colLen, cnt, func(_, lo, hi int) {
 		for c := lo; c < hi; c++ {
-			memsort.Keys(buf[c*colLen : (c+1)*colLen])
+			pool.SortSegment(buf[c*colLen : (c+1)*colLen])
 		}
 	})
 }

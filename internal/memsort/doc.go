@@ -1,11 +1,25 @@
 // Package memsort provides the in-core sorting kernels used inside every
-// pass of the PDM algorithms: an introsort for raw key slices, binary and
-// k-way (loser-tree) merges, and small utilities (sortedness checks,
-// reversal, min/max).
+// pass of the PDM algorithms: a comparison introsort (Keys) and an LSD
+// radix sort (RadixKeys) for raw key slices, binary and k-way
+// (loser-tree) merges, and small utilities (sortedness checks, reversal,
+// min/max).
 //
 // The PDM analyses in the paper charge only I/O; these kernels are the
 // "local computation" assumed to be free.  They are nevertheless written to
-// run fast, since the simulator executes them for real.
+// run fast, since the simulator executes them for real.  Two kernel
+// families exist because their costs cross: the introsort is in-place and
+// wins on small loads, while the radix sort buys ~3x on memory-load-sized
+// uniform keys for one load of scratch (internal/par's Kernel enum
+// dispatches between them, and internal/plan prices the choice).  Both
+// are stable on the paths that need stability and produce identical
+// sorted output, so the choice is invisible to everything but the wall
+// clock.  The binary merge (MergeBinary) is adaptive: it detects
+// one-sided runs with a single comparison per round — the inputs are
+// sorted, so "the next k keys of b all beat a's head" is one compare —
+// and gallops past them with a binary search and a bulk copy;
+// MergeBinaryBranchy keeps the plain element loop as the benchmark
+// baseline (BenchmarkKernelMerge* pairs them on random and runs-shaped
+// inputs).
 //
 // Accounting contract: nothing here touches the pdm Array — no I/O is
 // charged and no arena memory is allocated; callers sort buffers they

@@ -141,11 +141,63 @@ func MinMax(a []int64) (min, max int64) {
 	return min, max
 }
 
+// mergeMinGallop is how many consecutive wins one input needs before the
+// merge switches from the element-at-a-time loop to galloping: exponential
+// probing for the end of the winner's run followed by a bulk copy.  Clustered
+// inputs (long presorted stretches, range-partitioned lanes) collapse to
+// near-memcpy speed; interleaved inputs never gallop and pay only a counter.
+const mergeMinGallop = 8
+
 // MergeBinary merges sorted slices a and b into dst, which must have length
-// len(a)+len(b).  The merge is stable with ties taken from a first.
+// len(a)+len(b).  The merge is stable with ties taken from a first.  After
+// mergeMinGallop consecutive keys from the same input it gallops: the end of
+// the current run is found by exponential + binary search and the run is bulk
+// copied (see MergeBinaryBranchy for the plain-loop ablation baseline).
 func MergeBinary(dst, a, b []int64) {
 	if len(dst) != len(a)+len(b) {
 		panic("memsort: MergeBinary destination size mismatch")
+	}
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		// Gallop detection costs one comparison per side per round: the
+		// inputs are sorted, so "the next mergeMinGallop keys of b all beat
+		// a's head" is exactly b[j+mergeMinGallop-1] < a[i].  The element
+		// loop below never pays a per-key counter.
+		if j+mergeMinGallop <= len(b) && b[j+mergeMinGallop-1] < a[i] {
+			n := gallopLess(b[j:], a[i])
+			copy(dst[k:], b[j:j+n])
+			k += n
+			j += n
+			continue
+		}
+		if i+mergeMinGallop <= len(a) && a[i+mergeMinGallop-1] <= b[j] {
+			n := gallopLessEq(a[i:], b[j])
+			copy(dst[k:], a[i:i+n])
+			k += n
+			i += n
+			continue
+		}
+		for t := 0; t < 4*mergeMinGallop && i < len(a) && j < len(b); t++ {
+			if b[j] < a[i] {
+				dst[k] = b[j]
+				j++
+			} else {
+				dst[k] = a[i]
+				i++
+			}
+			k++
+		}
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+// MergeBinaryBranchy is the pre-gallop element-at-a-time merge, kept as the
+// ablation and benchmark baseline for MergeBinary (BenchmarkKernelMerge*).
+// Identical output, one data-dependent branch per key.
+func MergeBinaryBranchy(dst, a, b []int64) {
+	if len(dst) != len(a)+len(b) {
+		panic("memsort: MergeBinaryBranchy destination size mismatch")
 	}
 	i, j, k := 0, 0, 0
 	for i < len(a) && j < len(b) {
@@ -160,4 +212,58 @@ func MergeBinary(dst, a, b []int64) {
 	}
 	k += copy(dst[k:], a[i:])
 	copy(dst[k:], b[j:])
+}
+
+// gallopLess returns how many leading elements of s are < v, probing
+// exponentially from the front and finishing with a binary search over the
+// last doubling window.  Cost is O(log r) for a run of length r, against
+// O(r) for the element loop.
+func gallopLess(s []int64, v int64) int {
+	if len(s) == 0 || s[0] >= v {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < len(s) && s[hi] < v {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// gallopLessEq is gallopLess with a ≤ bound: how many leading elements of s
+// are ≤ v.  The two variants encode the stability rule — the left input wins
+// ties, so its gallop may consume keys equal to the other head while the
+// right input's gallop must stop before them.
+func gallopLessEq(s []int64, v int64) int {
+	if len(s) == 0 || s[0] > v {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < len(s) && s[hi] <= v {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }

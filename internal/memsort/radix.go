@@ -1,0 +1,91 @@
+package memsort
+
+// LSD radix sort for int64 keys — the Radix compute kernel behind
+// par.Pool.SortKeys.  The comparison introsort in memsort.go moves every key
+// O(log n) times with a data-dependent branch per comparison; the radix kernel
+// moves every key once per active byte and never branches on key values, which
+// is why it wins on uniform random keys at memory-load sizes (see
+// BenchmarkKernelSort*).
+//
+// Signed keys are handled with the sign-flip trick: XORing the sign bit maps
+// the int64 order onto the uint64 order, so digit extraction works on
+// uint64(v) ^ radixSignBit and the stored keys stay untouched.
+
+const (
+	// radixSignBit flips the int64 sign bit so that unsigned digit order
+	// equals signed key order.  Only the top byte (pass 7) is affected;
+	// XORing the whole word is equivalent and cheaper than special-casing.
+	radixSignBit = uint64(1) << 63
+
+	// RadixMinKeys is the size below which RadixKeys falls back to the
+	// comparison introsort: with fewer keys the fixed cost of the counting
+	// pass and the 256-entry bucket tables dominates.  Exported so callers
+	// (the par kernel dispatch) can skip acquiring scratch they won't use.
+	RadixMinKeys = 256
+)
+
+// RadixKeys sorts a in place with an LSD radix sort over 8-bit digits, using
+// scratch (which must be at least len(a) long) as the ping-pong buffer.  The
+// counting work is cache-blocked: one read pass accumulates all eight digit
+// histograms, so scatter passes never re-scan just to count, and any digit on
+// which all keys agree is skipped entirely — narrow-universe keys (the common
+// case after range partitioning) pay only for their active bytes.
+func RadixKeys(a, scratch []int64) {
+	n := len(a)
+	if n < RadixMinKeys {
+		Keys(a)
+		return
+	}
+	if len(scratch) < n {
+		panic("memsort: RadixKeys scratch too small")
+	}
+	var counts [8][256]int
+	for _, v := range a {
+		u := uint64(v) ^ radixSignBit
+		counts[0][u&0xff]++
+		counts[1][u>>8&0xff]++
+		counts[2][u>>16&0xff]++
+		counts[3][u>>24&0xff]++
+		counts[4][u>>32&0xff]++
+		counts[5][u>>40&0xff]++
+		counts[6][u>>48&0xff]++
+		counts[7][u>>56]++
+	}
+	src, dst := a, scratch[:n]
+	for pass := 0; pass < 8; pass++ {
+		c := &counts[pass]
+		if radixSkip(c, n) {
+			continue
+		}
+		var off [256]int
+		sum := 0
+		for i, cnt := range c {
+			off[i] = sum
+			sum += cnt
+		}
+		shift := uint(8 * pass)
+		for _, v := range src {
+			d := (uint64(v) ^ radixSignBit) >> shift & 0xff
+			dst[off[d]] = v
+			off[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// radixSkip reports whether every key shares the same value for this digit —
+// a scatter pass would be the identity permutation, so it is skipped.
+func radixSkip(c *[256]int, n int) bool {
+	for _, cnt := range c {
+		if cnt == n {
+			return true
+		}
+		if cnt > 0 {
+			return false
+		}
+	}
+	return false
+}

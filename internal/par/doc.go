@@ -1,18 +1,33 @@
 // Package par is the shared worker-pool compute layer between the in-core
 // kernels (internal/memsort) and the PDM algorithms: parallel memory-load
-// sorting (per-worker introsort + partitioned merge), partitioned k-way
-// merging (the loser tree's output range cut by splitters so each worker
-// merges an independent slice), parallel in-place symmetric merging, and
-// scatter/gather primitives (transpose, copy, radix-style histograms).
+// sorting (per-worker run formation + partitioned merge), partitioned
+// k-way merging (the loser tree's output range cut by splitters so each
+// worker merges an independent slice), parallel in-place symmetric
+// merging, and scatter/gather primitives (transpose, copy, radix-style
+// histograms).
+//
+// Each pool carries a compute Kernel that picks the memory-load sort:
+// KernelComparison runs the introsort, KernelRadix the LSD radix sort
+// (serial per segment, or a deterministic parallel counting/scatter
+// pipeline shaped like Histogram/Transpose — per-worker private counts
+// over fixed spans, reduced in (digit, worker) order), and KernelAuto
+// picks radix at and above a fixed size threshold (AutoKernel).  The
+// kernel is priced by internal/plan's per-kernel probe and surfaced
+// through every config layer; like the worker count, it may change only
+// the wall clock.
 //
 // The layer is invisible to the PDM cost model and to the algorithms'
 // results: every operation produces output bit-identical to its serial
-// counterpart for any worker count — sorting and merging int64 multisets
-// have a unique result, and the partition boundaries are exact ranks — so
-// parallelism changes wall-clock only, never pass counts, statistics, or
-// I/O traces.  No operation allocates from the pdm Arena: the sorts and
-// merges are in-place (or write caller-provided buffers), keeping the
-// paper's memory envelope untouched.
+// counterpart for any worker count and any kernel — sorting and merging
+// int64 multisets have a unique result, and the partition boundaries are
+// exact ranks — so parallelism changes wall-clock only, never pass
+// counts, statistics, or I/O traces.  No operation allocates from the pdm
+// Arena: the sorts and merges are in-place or write caller-provided
+// buffers, keeping the paper's memory envelope untouched.  The radix
+// kernel does need one load of Go-heap scratch; it borrows from a small
+// free list capped at maxPooledScratchKeys per buffer so a single huge
+// sort cannot pin its scratch forever (mirroring the FileDisk buffer
+// pool's cap).
 //
 // A Pool is safe for use from one algorithm goroutine at a time per
 // operation; distinct operations on one pool must not run concurrently

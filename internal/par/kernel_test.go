@@ -1,0 +1,125 @@
+package par
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"slices"
+	"testing"
+
+	"repro/internal/memsort"
+)
+
+func TestAutoKernel(t *testing.T) {
+	if AutoKernel(autoRadixMinKeys-1) != KernelComparison {
+		t.Fatal("below threshold should pick comparison")
+	}
+	if AutoKernel(autoRadixMinKeys) != KernelRadix {
+		t.Fatal("at threshold should pick radix")
+	}
+	if KernelAuto.String() != "auto" || KernelComparison.String() != "comparison" ||
+		KernelRadix.String() != "radix" {
+		t.Fatal("kernel names drifted from the canonical flag values")
+	}
+}
+
+// TestSortKeysKernelsMatch pins the kernel determinism invariant at the pool
+// level: every kernel × worker-count combination sorts to the identical
+// array, including negative keys and the MaxInt64 padding sentinel.
+func TestSortKeysKernelsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 500, minParallel, minParallel + 13, 20000} {
+		src := randKeys(rng, n, 1<<40)
+		if n > 2 {
+			src[0], src[1] = int64(1)<<62, -(int64(1) << 62)
+		}
+		want := append([]int64(nil), src...)
+		memsort.Keys(want)
+		for _, k := range []Kernel{KernelAuto, KernelComparison, KernelRadix} {
+			for _, w := range testWidths {
+				a := append([]int64(nil), src...)
+				NewWithKernel(w, nil, k).SortKeys(a)
+				if !slices.Equal(a, want) {
+					t.Fatalf("n=%d w=%d kernel=%s: SortKeys differs from serial", n, w, k)
+				}
+				a = append([]int64(nil), src...)
+				NewWithKernel(w, nil, k).SortKeysScratch(a, make([]int64, n))
+				if !slices.Equal(a, want) {
+					t.Fatalf("n=%d w=%d kernel=%s: SortKeysScratch differs from serial", n, w, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSortSegmentMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 100, memsort.RadixMinKeys, 5000} {
+		src := randKeys(rng, n, 1<<50)
+		want := append([]int64(nil), src...)
+		memsort.Keys(want)
+		for _, k := range []Kernel{KernelAuto, KernelComparison, KernelRadix} {
+			a := append([]int64(nil), src...)
+			NewWithKernel(4, nil, k).SortSegment(a)
+			if !slices.Equal(a, want) {
+				t.Fatalf("n=%d kernel=%s: SortSegment differs from serial", n, k)
+			}
+		}
+	}
+}
+
+// TestScratchPoolCap pins the scratch-retention cap: buffers at or under
+// maxPooledScratchKeys cycle through the free list, while oversized ones are
+// used once and dropped — the pool must not pin worker-count × load-size
+// bytes after one large-M sort.
+func TestScratchPoolCap(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1)) // no GC: pool entries survive
+	drain := func() {
+		for scratchPool.Get() != nil {
+		}
+	}
+
+	drain()
+	small := getScratch(maxPooledScratchKeys)
+	base := &(*small)[0]
+	putScratch(small)
+	again := getScratch(1024)
+	if &(*again)[0] != base {
+		t.Fatal("scratch under the cap was not reused from the free list")
+	}
+	putScratch(again)
+
+	drain()
+	big := getScratch(maxPooledScratchKeys + 1)
+	putScratch(big)
+	if got := scratchPool.Get(); got != nil {
+		t.Fatalf("oversized scratch retained in pool (cap %d keys)",
+			cap(*got.(*[]int64)))
+	}
+}
+
+// TestSortKeysRadixAllocRegression is the alloc-count regression for the
+// pooled scratch: after one warm-up sort, radix SortKeys at a load size
+// within the cap must not allocate per call.
+func TestSortKeysRadixAllocRegression(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	p := NewWithKernel(1, nil, KernelRadix)
+	a := make([]int64, maxPooledScratchKeys)
+	var x uint64 = 0x9e3779b97f4a7c15
+	fill := func() {
+		for i := range a {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			a[i] = int64(x)
+		}
+	}
+	fill()
+	p.SortKeys(a) // warm the free list
+	allocs := testing.AllocsPerRun(4, func() {
+		fill()
+		p.SortKeys(a)
+	})
+	if allocs > 1 {
+		t.Fatalf("radix SortKeys allocated %.0f objects per run, want <= 1", allocs)
+	}
+}

@@ -43,6 +43,7 @@ func (l *Limiter) Slots() int { return cap(l.sem) }
 type Pool struct {
 	workers int
 	lim     *Limiter
+	kernel  Kernel
 
 	sections  atomic.Int64
 	wallNanos atomic.Int64
@@ -58,10 +59,17 @@ func New(workers int) *Pool {
 // ungated).  Results are identical either way — the limiter only schedules
 // when work runs, never how it is partitioned.
 func NewLimited(workers int, lim *Limiter) *Pool {
+	return NewWithKernel(workers, lim, KernelAuto)
+}
+
+// NewWithKernel is NewLimited with an explicit sort kernel.  Results are
+// identical for every kernel — the kernel changes only how memory loads get
+// sorted, never the sorted keys (see Kernel).
+func NewWithKernel(workers int, lim *Limiter, k Kernel) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers, lim: lim}
+	return &Pool{workers: workers, lim: lim, kernel: k}
 }
 
 // Workers returns the pool width.

@@ -6,19 +6,31 @@ import (
 	"repro/internal/memsort"
 )
 
-// SortKeys sorts a in place across the workers: per-worker memsort.Keys on
-// contiguous segments, then parallel in-place merge rounds (symmetric
-// merges of adjacent segment pairs, each pair's merge itself forked by
-// SymMergeSplit).  It allocates no key buffers, so it is safe inside any
-// memory envelope; when a scratch buffer is available, SortKeysScratch is
-// faster.  The result is identical to memsort.Keys for any worker count.
+// SortKeys sorts a in place across the workers, dispatching on the pool's
+// Kernel.  The comparison kernel runs per-worker memsort.Keys on contiguous
+// segments, then parallel in-place merge rounds (symmetric merges of
+// adjacent segment pairs, each pair's merge itself forked by SymMergeSplit);
+// it allocates no key buffers, so it is safe inside any memory envelope.
+// The radix kernel borrows ping-pong scratch from the capped free list (see
+// maxPooledScratchKeys) — still Go heap, never simulated-arena memory — and
+// runs radixSortScratch.  The result is identical to memsort.Keys for any
+// kernel and worker count; when a scratch buffer is already available,
+// SortKeysScratch avoids the borrow.
 func (p *Pool) SortKeys(a []int64) {
 	n := len(a)
+	k := p.kernelFor(n)
 	if p.workers == 1 || n < minParallel {
-		memsort.Keys(a)
+		p.sortSegmentKernel(a, k)
 		return
 	}
 	done := p.section()
+	if k == KernelRadix {
+		bp := getScratch(n)
+		p.radixSortScratch(a, *bp)
+		putScratch(bp)
+		done()
+		return
+	}
 	s := p.workers
 	bounds := make([]int, s+1)
 	for i := range bounds {
@@ -63,15 +75,23 @@ func (p *Pool) SortKeys(a []int64) {
 	done()
 }
 
-// SortKeysScratch sorts a in place using scratch (len ≥ len(a)) as merge
-// space: per-worker memsort.Keys on contiguous segments, one splitter-
-// partitioned k-way merge of the segments into scratch, and a parallel
-// copy back.  Falls back to SortKeys when scratch is too small or the
-// input too short to parallelize.
+// SortKeysScratch sorts a in place using scratch (len ≥ len(a)) as work
+// space, dispatching on the pool's Kernel.  The comparison kernel runs
+// per-worker memsort.Keys on contiguous segments, one splitter-partitioned
+// k-way merge of the segments into scratch, and a parallel copy back; the
+// radix kernel uses scratch directly as its ping-pong buffer (no borrow, no
+// merge).  Falls back to SortKeys when scratch is too small or the input
+// too short to parallelize.
 func (p *Pool) SortKeysScratch(a, scratch []int64) {
 	n := len(a)
 	if p.workers == 1 || n < minParallel || len(scratch) < n {
 		p.SortKeys(a)
+		return
+	}
+	if p.kernelFor(n) == KernelRadix {
+		done := p.section()
+		p.radixSortScratch(a, scratch[:n])
+		done()
 		return
 	}
 	done := p.section()

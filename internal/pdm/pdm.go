@@ -67,6 +67,13 @@ type Config struct {
 	// every concurrent job's array so their pools share a single global
 	// compute width instead of multiplying it.  Results are unaffected.
 	Limiter *par.Limiter
+
+	// Kernel selects the pool's in-memory sort kernel (par.KernelAuto,
+	// par.KernelComparison, par.KernelRadix).  Like Workers, it changes
+	// wall-clock only: output, pass counts, statistics, and I/O traces are
+	// bit-identical for every kernel.  The zero value (Auto) resolves per
+	// load size via par.AutoKernel.
+	Kernel par.Kernel
 }
 
 // PipelineConfig sizes the pipelined I/O layer.  Depths are measured in
@@ -120,6 +127,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pdm: pipeline depths %+v, want >= 0", c.Pipeline)
 	case c.Workers < 0:
 		return fmt.Errorf("pdm: Workers = %d, want >= 0", c.Workers)
+	case c.Kernel < par.KernelAuto || c.Kernel > par.KernelRadix:
+		return fmt.Errorf("pdm: Kernel = %d, want a par.Kernel value", c.Kernel)
 	}
 	return nil
 }
@@ -188,7 +197,7 @@ func NewWithDisks(cfg Config, disks []Disk) (*Array, error) {
 		cfg:   cfg,
 		disks: disks,
 		arena: NewArena(cfg.ArenaCapacity()),
-		pool:  par.NewLimited(cfg.Workers, cfg.Limiter),
+		pool:  par.NewWithKernel(cfg.Workers, cfg.Limiter, cfg.Kernel),
 	}
 	zc := make([]ZeroCopyDisk, len(disks))
 	for i, d := range disks {

@@ -43,10 +43,14 @@ func DefaultCalibration(shape Shape) Calibration {
 		perWord = 2e-9 // in-memory block store: one copy per word
 	}
 	step := shape.BlockLatency.Seconds() + float64(shape.B)*perWord + 5e-6
+	sortRate := 60e-9 // comparison introsort: ~n·log n with branchy compares
+	if shape.Kernel == KernelRadix {
+		sortRate = 20e-9 // radix: a handful of branch-free passes per key
+	}
 	return Calibration{
 		ReadStepSeconds:   step,
 		WriteStepSeconds:  step,
-		SortSecondsPerKey: 60e-9,
+		SortSecondsPerKey: sortRate,
 	}
 }
 
@@ -58,6 +62,7 @@ type ProbeConfig struct {
 	Workers      int
 	BlockLatency time.Duration
 	Backend      Backend
+	Kernel       Kernel
 }
 
 // probeStripes is the probe transfer length in stripes: long enough to
@@ -102,6 +107,7 @@ func Calibrate(pc ProbeConfig) Calibration {
 			cal = DefaultCalibration(Shape{
 				Mem: pc.B * pc.B, B: pc.B, D: pc.D,
 				BlockLatency: pc.BlockLatency, Backend: pc.Backend,
+				Kernel: pc.Kernel,
 			})
 		}
 		e.cal = cal
@@ -124,7 +130,7 @@ func probe(pc ProbeConfig) (cal Calibration, err error) {
 	}
 	t0 := time.Now()
 	stripe := pc.D * pc.B
-	cfg := pdm.Config{D: pc.D, B: pc.B, Mem: stripe, Workers: pc.Workers}
+	cfg := pdm.Config{D: pc.D, B: pc.B, Mem: stripe, Workers: pc.Workers, Kernel: parKernel(pc.Kernel)}
 	var disks []pdm.Disk
 	var dir string
 	if pc.Backend == BackendFile || pc.Backend == BackendMmap {

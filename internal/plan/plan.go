@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memsort"
+	"repro/internal/par"
 )
 
 // Alg names a candidate algorithm with the short spelling the CLI and the
@@ -53,6 +54,47 @@ const (
 	BackendMmap Backend = "mmap"
 )
 
+// Kernel names the in-memory sort kernel a shape runs its memory loads
+// through (par.Kernel resolved to a concrete choice).  Like Backend it only
+// prices compute in the calibration — pass counts, I/O words, and steps are
+// kernel-oblivious, and output is bit-identical across kernels.
+type Kernel string
+
+const (
+	// KernelComparison is the cache-aware comparison introsort plus
+	// symmetric-merge combining (memsort.Keys / par symmetric merges).
+	KernelComparison Kernel = "comparison"
+	// KernelRadix is the LSD byte-radix kernel (memsort.RadixKeys and the
+	// par parallel counting/scatter path).
+	KernelRadix Kernel = "radix"
+)
+
+// Kernels is the canonical kernel order Explain's ranked table evaluates.
+var Kernels = []Kernel{KernelComparison, KernelRadix}
+
+// parKernel maps the planner's kernel name to the pool enum ("" prices the
+// comparison kernel, the conservative default).
+func parKernel(k Kernel) par.Kernel {
+	if k == KernelRadix {
+		return par.KernelRadix
+	}
+	return par.KernelComparison
+}
+
+// ChooseKernel is the Auto path's deterministic kernel choice: a pure
+// function of the bare shape — the memory-load size alone — with no probe,
+// worker-count, or backend dependence, mirroring how Choose picks the
+// algorithm from fixed analytic rates.  It applies par.AutoKernel, the
+// single Auto rule every layer shares, to M (the size of the loads run
+// formation sorts).  Ties cannot arise: the rule is a threshold, and the
+// canonical order in Kernels breaks any future tie the same way everywhere.
+func ChooseKernel(shape Shape) Kernel {
+	if par.AutoKernel(shape.Mem) == par.KernelRadix {
+		return KernelRadix
+	}
+	return KernelComparison
+}
+
 // Shape is the machine half of a planning question.
 type Shape struct {
 	// Mem is M in keys (a perfect square), B the block size (= √M for the
@@ -66,6 +108,9 @@ type Shape struct {
 	BlockLatency time.Duration
 	// Backend is the disk backend kind ("" means BackendMem).
 	Backend Backend
+	// Kernel is the resolved in-memory sort kernel ("" prices the
+	// comparison kernel).
+	Kernel Kernel
 	// Prefetch and WriteBehind are the streaming depths; nonzero depths let
 	// the wall model overlap I/O with compute.
 	Prefetch, WriteBehind int

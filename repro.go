@@ -218,6 +218,14 @@ type MachineConfig struct {
 	// unaffected; wall-clock slows, which the scheduler tests use to
 	// exercise cancellation promptness and the benchmarks to show overlap.
 	BlockLatency time.Duration
+	// Kernel selects the in-memory sort kernel run formation and the
+	// planner price: KernelComparison (introsort + symmetric merges),
+	// KernelRadix (LSD byte radix), or KernelAuto (the default — a
+	// deterministic pick from the memory-load size alone, independent of
+	// workers, backend, and probe noise).  Like Workers and Backend, the
+	// kernel changes wall-clock only: output, pass counts, statistics, and
+	// I/O traces are bit-identical for every choice.
+	Kernel string
 }
 
 // PipelineConfig sizes the streaming I/O layer.  Depths are in stripes
@@ -257,6 +265,46 @@ func backendKind(fileBacked bool, backend string) plan.Backend {
 		return plan.BackendMmap
 	}
 	return plan.BackendFile
+}
+
+// Compute kernel names for MachineConfig.Kernel, SchedulerConfig.Kernel,
+// and JobSpec.Kernel.
+const (
+	// KernelAuto picks deterministically from the machine shape (the
+	// memory-load size); the empty string means the same.
+	KernelAuto = "auto"
+	// KernelComparison is the comparison introsort kernel.
+	KernelComparison = "comparison"
+	// KernelRadix is the LSD byte-radix kernel.
+	KernelRadix = "radix"
+)
+
+// validKernel reports whether name is a recognized kernel selector (empty
+// means Auto).
+func validKernel(name string) bool {
+	return name == "" || name == KernelAuto || name == KernelComparison || name == KernelRadix
+}
+
+// kernelKind resolves a facade kernel selector onto the planner's concrete
+// kernel: Auto (and the empty string) resolve through plan.ChooseKernel, the
+// single deterministic Auto rule, from the memory-load size alone.
+func kernelKind(kernel string, mem int) plan.Kernel {
+	switch kernel {
+	case KernelComparison:
+		return plan.KernelComparison
+	case KernelRadix:
+		return plan.KernelRadix
+	default:
+		return plan.ChooseKernel(plan.Shape{Mem: mem})
+	}
+}
+
+// parKernelOf maps the planner's kernel onto the worker pool's enum.
+func parKernelOf(k plan.Kernel) par.Kernel {
+	if k == plan.KernelRadix {
+		return par.KernelRadix
+	}
+	return par.KernelComparison
 }
 
 // Machine is a PDM plus the paper's algorithm suite.
@@ -334,6 +382,9 @@ func resolveConfig(cfg MachineConfig) (pdm.Config, float64, error) {
 	if !validBackend(cfg.Backend) {
 		return pdm.Config{}, 0, fmt.Errorf("repro: unknown backend %q (want %q or %q)", cfg.Backend, BackendFile, BackendMmap)
 	}
+	if !validKernel(cfg.Kernel) {
+		return pdm.Config{}, 0, fmt.Errorf("repro: unknown kernel %q (want %q, %q, or %q)", cfg.Kernel, KernelAuto, KernelComparison, KernelRadix)
+	}
 	alpha := cfg.Alpha
 	if alpha == 0 {
 		alpha = 1
@@ -343,12 +394,18 @@ func resolveConfig(cfg MachineConfig) (pdm.Config, float64, error) {
 			Prefetch:    cfg.Pipeline.Prefetch,
 			WriteBehind: cfg.Pipeline.WriteBehind,
 		},
-		Workers: cfg.Workers}, alpha, nil
+		Workers: cfg.Workers,
+		Kernel:  parKernelOf(kernelKind(cfg.Kernel, cfg.Memory))}, alpha, nil
 }
 
 // Array exposes the underlying PDM array for harnesses that need direct
 // access (statistics, stripes).
 func (m *Machine) Array() *pdm.Array { return m.a }
+
+// Kernel returns the resolved compute kernel this machine sorts memory
+// loads with ("comparison" or "radix"): the configured one, or Auto's
+// deterministic pick from the memory-load size.
+func (m *Machine) Kernel() string { return m.a.Pool().Kernel().String() }
 
 // Close releases the disks (removing nothing; file-backed disks stay on
 // disk for inspection).
