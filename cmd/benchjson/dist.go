@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"slices"
+	"time"
+
+	"repro"
+	"repro/internal/pdmdapi"
+)
+
+// distLatency is the modeled per-block device latency for the distributed
+// series.  It has to be large enough that the device — not the in-memory
+// kernel — is the bottleneck, because the scaling claim is about I/O
+// spread across independent nodes: with D machines standing in for the
+// PDM's D disks, the latency-dominated wall should shrink near-linearly
+// in the worker count.
+const distLatency = 40 * time.Microsecond
+
+// distSeries measures the distributed scale series: a single-machine
+// baseline, then the same latency-modeled sort across in-process pdmd
+// fleets of 1, 2 and 4 workers, every fleet torn down before the next so
+// rows don't contend.
+func distSeries(n, mem int) ([]distBench, error) {
+	latencyUS := int64(distLatency / time.Microsecond)
+	keys, err := (&repro.WorkloadSpec{Kind: "uniform", N: n, Seed: 1}).Generate()
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []distBench
+
+	// Single-machine baseline: the same job with the same modeled
+	// latency, no coordinator and no HTTP.
+	m, err := repro.NewMachine(repro.MachineConfig{
+		Memory:       mem,
+		BlockLatency: distLatency,
+		Pipeline:     repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	rep, err := m.Sort(slices.Clone(keys), repro.Auto)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	wall := time.Since(t0).Seconds()
+	m.Close()
+	rows = append(rows, distBench{
+		Workers:        1,
+		SingleMachine:  true,
+		N:              n,
+		BlockLatencyUS: latencyUS,
+		Passes:         rep.Passes,
+		WallSeconds:    wall,
+		WordsPerSec:    float64(n) / wall,
+	})
+
+	var oneWorker float64
+	for _, workers := range []int{1, 2, 4} {
+		row, err := distOnce(keys, workers, mem, latencyUS)
+		if err != nil {
+			return nil, fmt.Errorf("%d workers: %w", workers, err)
+		}
+		if workers == 1 {
+			oneWorker = row.WordsPerSec
+		} else if oneWorker > 0 {
+			row.SpeedupVsOneWorker = row.WordsPerSec / oneWorker
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// distOnce runs one distributed sort over a fresh in-process fleet: real
+// schedulers behind the real HTTP handler, so the row includes the full
+// coordinator path (sampling, paged uploads, merge) and not just the
+// shard sorts.
+func distOnce(keys []int64, workers, mem int, latencyUS int64) (distBench, error) {
+	row := distBench{Workers: workers, N: len(keys), BlockLatencyUS: latencyUS}
+	var (
+		urls    []string
+		servers []*httptest.Server
+		scheds  []*repro.Scheduler
+	)
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+		for _, sch := range scheds {
+			sch.Close()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		sch, err := repro.NewScheduler(repro.SchedulerConfig{
+			Memory:    1 << 20,
+			Workers:   2,
+			JobMemory: mem,
+			Pipeline:  repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+		})
+		if err != nil {
+			return row, err
+		}
+		scheds = append(scheds, sch)
+		ts := httptest.NewServer(pdmdapi.New(sch, pdmdapi.Options{MaxBody: 64 << 20}))
+		servers = append(servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	ds, err := repro.NewDistSorter(repro.DistConfig{
+		Workers:        urls,
+		BlockLatencyUS: latencyUS,
+		Label:          "benchjson",
+	})
+	if err != nil {
+		return row, err
+	}
+	t0 := time.Now()
+	sorted, rep, err := ds.Sort(context.Background(), slices.Clone(keys))
+	if err != nil {
+		return row, err
+	}
+	row.WallSeconds = time.Since(t0).Seconds()
+	if !slices.IsSorted(sorted) || len(sorted) != len(keys) {
+		return row, fmt.Errorf("merged output invalid (%d keys)", len(sorted))
+	}
+	row.Passes = rep.Passes
+	row.WordsPerSec = float64(len(keys)) / row.WallSeconds
+	return row, nil
+}

@@ -7,13 +7,17 @@
 // formation at memory-load size, across worker counts and backends), and
 // the cost-model planner's prediction accuracy (predicted vs measured
 // seconds per algorithm) — and writes the results as one JSON document
-// (BENCH_pr7.json by default).  CI runs it on every push and uploads the
+// (BENCH_pr8.json by default).  With -dist it adds the distributed scale
+// series: the same latency-modeled sort run single-machine and across
+// in-process pdmd fleets of 1, 2 and 4 workers, recording words/sec and
+// the speedup over one worker.  CI runs it on every push and uploads the
 // file as an artifact, so the perf trajectory of the reproduction — and
 // any calibration drift in the planner — is recorded per commit instead
 // of living only in benchmark logs.
 //
-//	benchjson [-out BENCH_pr7.json] [-n 262144] [-mem 4096] [-jobs 12] \
-//	          [-workers 0] [-backend file|mmap] [-kernel comparison|radix]
+//	benchjson [-out BENCH_pr8.json] [-n 262144] [-mem 4096] [-jobs 12] \
+//	          [-workers 0] [-backend file|mmap] [-kernel comparison|radix] \
+//	          [-dist]
 package main
 
 import (
@@ -104,6 +108,25 @@ type kernelBench struct {
 	WordsPerSec            float64 `json:"wordsPerSec"`
 }
 
+// distBench is one row of the distributed scale series: the same
+// latency-modeled key sort run single-machine (the no-coordinator
+// baseline) and distributed across 1, 2 and 4 in-process pdmd workers.
+// With modeled per-block latency the device, not the CPU, is the
+// bottleneck, so shard sorts running concurrently on independent workers
+// should scale words/sec near-linearly; SpeedupVsOneWorker reads this
+// row's rate over the 1-worker distributed row (so the coordinator's own
+// overhead is inside the baseline).
+type distBench struct {
+	Workers            int     `json:"workers"`
+	SingleMachine      bool    `json:"singleMachine,omitempty"`
+	N                  int     `json:"n"`
+	BlockLatencyUS     int64   `json:"blockLatencyUs"`
+	Passes             float64 `json:"passes"`
+	WallSeconds        float64 `json:"wallSeconds"`
+	WordsPerSec        float64 `json:"wordsPerSec"`
+	SpeedupVsOneWorker float64 `json:"speedupVsOneWorker,omitempty"`
+}
+
 // prediction is one planner-accuracy point: the cost model's calibrated
 // wall prediction against the measured wall for the same sort.  RelError
 // is signed, (measured − predicted)/predicted, so calibration drift shows
@@ -119,25 +142,27 @@ type prediction struct {
 
 // document is the artifact schema.
 type document struct {
-	Timestamp  string         `json:"timestamp"`
-	GoVersion  string         `json:"goVersion"`
-	NumCPU     int            `json:"numCPU"`
-	EndToEnd   []endToEnd     `json:"endToEnd"`
-	Scheduler  schedulerBench `json:"scheduler"`
-	Records    []recordsBench `json:"records"`
-	Backends   []backendBench `json:"backends"`
-	Kernels    []kernelBench  `json:"kernels"`
-	Prediction []prediction   `json:"prediction"`
+	Timestamp   string         `json:"timestamp"`
+	GoVersion   string         `json:"goVersion"`
+	NumCPU      int            `json:"numCPU"`
+	EndToEnd    []endToEnd     `json:"endToEnd"`
+	Scheduler   schedulerBench `json:"scheduler"`
+	Records     []recordsBench `json:"records"`
+	Backends    []backendBench `json:"backends"`
+	Kernels     []kernelBench  `json:"kernels"`
+	Distributed []distBench    `json:"distributed,omitempty"`
+	Prediction  []prediction   `json:"prediction"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output file")
+	out := flag.String("out", "BENCH_pr8.json", "output file")
 	n := flag.Int("n", 1<<18, "keys per end-to-end sort")
 	mem := flag.Int("mem", 4096, "internal memory M in keys (perfect square)")
 	jobs := flag.Int("jobs", 12, "jobs in the scheduler batch")
 	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "", "restrict the paired backend series to one backend: file or mmap (default: both)")
 	kernel := flag.String("kernel", "", "restrict the paired kernel series to one kernel: comparison or radix (default: both)")
+	dist := flag.Bool("dist", false, "also measure the distributed scale series (in-process worker fleets at 1, 2 and 4 nodes)")
 	flag.Parse()
 	if *backend != "" && *backend != repro.BackendFile && *backend != repro.BackendMmap {
 		fmt.Fprintf(os.Stderr, "benchjson: -backend %q: want %q or %q\n", *backend, repro.BackendFile, repro.BackendMmap)
@@ -147,13 +172,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: -kernel %q: want %q or %q\n", *kernel, repro.KernelComparison, repro.KernelRadix)
 		os.Exit(2)
 	}
-	if err := run(*out, *n, *mem, *jobs, *workers, *backend, *kernel); err != nil {
+	if err := run(*out, *n, *mem, *jobs, *workers, *backend, *kernel, *dist); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, n, mem, jobs, workers int, backend, kernel string) error {
+func run(out string, n, mem, jobs, workers int, backend, kernel string, dist bool) error {
 	doc := document{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -243,6 +268,14 @@ func run(out string, n, mem, jobs, workers int, backend, kernel string) error {
 		}
 	}
 
+	if dist {
+		rows, err := distSeries(n, mem)
+		if err != nil {
+			return fmt.Errorf("distributed: %w", err)
+		}
+		doc.Distributed = rows
+	}
+
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -251,8 +284,8 @@ func run(out string, n, mem, jobs, workers int, backend, kernel string) error {
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d backend rows, %d kernel rows, %d prediction points)\n",
-		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Backends), len(doc.Kernels), len(doc.Prediction))
+	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d backend rows, %d kernel rows, %d distributed rows, %d prediction points)\n",
+		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Backends), len(doc.Kernels), len(doc.Distributed), len(doc.Prediction))
 	return nil
 }
 

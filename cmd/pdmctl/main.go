@@ -1,0 +1,241 @@
+// Command pdmctl drives pdmd nodes from the command line: single-node job
+// control (submit/status/cancel/health against one daemon) and the
+// distributed coordinator (sort: sample, range-partition and stream-merge
+// one job across many daemons, printing the aggregated report).
+//
+//	pdmctl health -worker http://host:8080
+//	pdmctl submit -worker http://host:8080 -spec '{"workload":{"kind":"zipf","n":100000,"seed":7}}'
+//	pdmctl status -worker http://host:8080 -id 1 -watch
+//	pdmctl cancel -worker http://host:8080 -id 1
+//	pdmctl sort -workers http://a:8080,http://b:8080 -kind perm -n 1000000 -seed 1
+//
+// sort generates the workload locally (the same generators pdmd uses
+// server-side), runs the distributed job, verifies the merged output is
+// sorted, and prints the fleet report as JSON.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"slices"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "health":
+		err = cmdHealth(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "cancel":
+		err = cmdCancel(os.Args[2:])
+	case "sort":
+		err = cmdSort(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdmctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pdmctl <command> [flags]
+
+commands:
+  health  probe one daemon's /healthz
+  submit  submit a job spec to one daemon
+  status  poll one job's status (-watch follows it to completion)
+  cancel  cancel one job
+  sort    run a distributed sort across many daemons`)
+}
+
+var httpClient = &http.Client{Timeout: 30 * time.Second}
+
+// call runs one JSON request against a daemon and decodes the answer.
+func call(method, url string, body []byte) (json.RawMessage, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, raw)
+	}
+	return raw, nil
+}
+
+func printJSON(raw any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(raw)
+}
+
+func cmdHealth(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	worker := fs.String("worker", "http://localhost:8080", "daemon base URL")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	raw, err := call(http.MethodGet, *worker+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return printJSON(raw)
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	worker := fs.String("worker", "http://localhost:8080", "daemon base URL")
+	spec := fs.String("spec", "", "job spec JSON (the POST /jobs body)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *spec == "" {
+		return fmt.Errorf("submit: -spec is required")
+	}
+	raw, err := call(http.MethodPost, *worker+"/jobs", []byte(*spec))
+	if err != nil {
+		return err
+	}
+	return printJSON(raw)
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	worker := fs.String("worker", "http://localhost:8080", "daemon base URL")
+	id := fs.Int("id", 0, "job id")
+	watch := fs.Bool("watch", false, "poll until the job reaches a terminal state")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	for {
+		raw, err := call(http.MethodGet, fmt.Sprintf("%s/jobs/%d", *worker, *id), nil)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return err
+		}
+		if !*watch || st.State == "done" || st.State == "failed" || st.State == "canceled" {
+			return printJSON(raw)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	worker := fs.String("worker", "http://localhost:8080", "daemon base URL")
+	id := fs.Int("id", 0, "job id")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	raw, err := call(http.MethodPost, fmt.Sprintf("%s/jobs/%d/cancel", *worker, *id), nil)
+	if err != nil {
+		return err
+	}
+	return printJSON(raw)
+}
+
+func cmdSort(args []string) error {
+	fs := flag.NewFlagSet("sort", flag.ExitOnError)
+	workers := fs.String("workers", "", "comma-separated daemon base URLs")
+	kind := fs.String("kind", "perm", "workload kind (perm, uniform, zipf, sortedruns, ...)")
+	n := fs.Int("n", 1<<20, "number of keys")
+	seed := fs.Int64("seed", 1, "workload seed")
+	payloadMin := fs.Int("payloadmin", 0, "payload min bytes (records sort when max > 0)")
+	payloadMax := fs.Int("payloadmax", 0, "payload max bytes")
+	alg := fs.String("alg", "", "per-shard algorithm (empty = worker auto)")
+	kernel := fs.String("kernel", "", "per-shard in-memory kernel")
+	latencyUS := fs.Int64("latency", 0, "modeled per-block latency in microseconds")
+	page := fs.Int("page", 0, "upload/download page size in keys (0 = default)")
+	conc := fs.Int("conc", 0, "concurrent page uploads (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = default)")
+	label := fs.String("label", "pdmctl", "job label prefix")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *workers == "" {
+		return fmt.Errorf("sort: -workers is required")
+	}
+
+	keys, err := (&repro.WorkloadSpec{Kind: *kind, N: *n, Seed: *seed}).Generate()
+	if err != nil {
+		return err
+	}
+	var payloads [][]byte
+	if *payloadMax > 0 {
+		payloads = (&repro.PayloadSpec{MinBytes: *payloadMin, MaxBytes: *payloadMax}).Materialize(len(keys), *seed)
+	}
+
+	ds, err := repro.NewDistSorter(repro.DistConfig{
+		Workers:        strings.Split(*workers, ","),
+		PageKeys:       *page,
+		Concurrency:    *conc,
+		RequestTimeout: *timeout,
+		Alg:            *alg,
+		Kernel:         *kernel,
+		BlockLatencyUS: *latencyUS,
+		Label:          *label,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Ctrl-C cancels the distributed job, which fans the cancel out to
+	// every worker before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		sorted []int64
+		rep    *repro.DistReport
+	)
+	if payloads != nil {
+		sorted, _, rep, err = ds.SortRecords(ctx, keys, payloads)
+	} else {
+		sorted, rep, err = ds.Sort(ctx, keys)
+	}
+	if err != nil {
+		return err
+	}
+	if !slices.IsSorted(sorted) {
+		return fmt.Errorf("sort: merged output is not sorted (coordinator bug)")
+	}
+	return printJSON(rep)
+}

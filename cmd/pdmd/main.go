@@ -1,31 +1,10 @@
 // Command pdmd serves the PDM sorting stack over HTTP: a repro.Scheduler
 // admits concurrent sort jobs against global memory, disk, and worker
-// budgets, and this daemon exposes its job API as JSON endpoints.
-//
-//	POST /jobs               submit a job (inline keys, optionally with
-//	                         per-record payloads, or a workload spec)
-//	GET  /plan               dry-run the cost-model planner for a job spec:
-//	                         the ranked candidate table (predicted passes,
-//	                         padded lengths, calibrated seconds) and the
-//	                         chosen algorithm, with nothing admitted
-//	                         (also accepted as POST /plan)
-//	GET  /jobs               list all jobs
-//	GET  /jobs/{id}          poll one job's status (report when done)
-//	POST /jobs/{id}/cancel   cancel a queued or running job
-//	GET  /jobs/{id}/keys     fetch the sorted keys (keepKeys jobs only)
-//	GET  /jobs/{id}/records  fetch sorted keys + payloads (records jobs)
-//	GET  /stats              aggregate scheduler statistics as JSON
-//	GET  /metrics            the same in Prometheus text format
-//	GET  /debug/pprof/...    Go profiling handlers (only with -pprof)
-//
-// A submit body may set "kernel" ("auto", "comparison", or "radix") to
-// override the daemon's -kernel default for that job; the sorted output
-// is identical for any kernel, only wall-clock changes.
-//
-// Both output endpoints paginate with ?offset=N&limit=M: limit clamps
-// overflow-safely to the remaining records, while an offset beyond the
-// record count is a 400 — so a client paging with a stale total can tell
-// "end of data" (an empty 200 page at offset == n) from a bad request.
+// budgets, and this daemon exposes its job API as JSON endpoints.  The
+// handler itself lives in internal/pdmdapi (see its package doc for the
+// endpoint reference, including the staged-uploads protocol used by the
+// distributed-sort coordinator); this command is the flags and the
+// listener.
 //
 // Example session:
 //
@@ -38,20 +17,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/pdmdapi"
 )
 
 func main() {
@@ -68,6 +44,7 @@ func main() {
 	prefetch := flag.Int("prefetch", 2, "default per-job prefetch depth in stripes")
 	writeBehind := flag.Int("writebehind", 2, "default per-job write-behind depth in stripes")
 	maxBody := flag.Int64("maxbody", 64<<20, "largest accepted submit body in bytes")
+	maxStaged := flag.Int64("maxstaged", 256<<20, "total bytes held by in-flight staged uploads")
 	flag.Parse()
 
 	sch, err := repro.NewScheduler(repro.SchedulerConfig{
@@ -85,7 +62,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdmd: %v\n", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Addr: *addr, Handler: newServer(sch, *maxBody, *pprofOn)}
+	handler := pdmdapi.New(sch, pdmdapi.Options{
+		MaxBody:        *maxBody,
+		MaxStagedBytes: *maxStaged,
+		Pprof:          *pprofOn,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -101,323 +83,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdmd: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// submitRequest is the POST /jobs body.
-type submitRequest struct {
-	Keys []int64 `json:"keys,omitempty"`
-	// Payloads (base64-encoded byte strings, one per key) make the job a
-	// full-record sort; so does a workload with a "payload" spec.
-	Payloads [][]byte            `json:"payloads,omitempty"`
-	Workload *repro.WorkloadSpec `json:"workload,omitempty"`
-	// Alg names the algorithm (auto|one|mesh3|mesh2e|lmm3|exp2|exp3|seven|
-	// six|sevenmesh); "radix" selects the Section 7 RadixSort, whose key
-	// universe defaults to 2^32 unless set.
-	Alg      string `json:"alg,omitempty"`
-	Universe int64  `json:"universe,omitempty"`
-	Memory   int    `json:"memory,omitempty"`
-	Disks    int    `json:"disks,omitempty"`
-	Workers  int    `json:"workers,omitempty"`
-	// BlockLatencyUS models per-block device latency in microseconds.
-	BlockLatencyUS int64 `json:"blockLatencyUs,omitempty"`
-	// Backend overrides the scheduler's disk backend for this job ("file"
-	// or "mmap"); valid only on a file-backed scheduler.
-	Backend string `json:"backend,omitempty"`
-	// Kernel overrides the scheduler's in-memory sort kernel for this job
-	// ("auto", "comparison", or "radix"); output is identical either way.
-	Kernel   string `json:"kernel,omitempty"`
-	KeepKeys bool   `json:"keepKeys,omitempty"`
-	Label    string `json:"label,omitempty"`
-}
-
-// server wraps the scheduler with the HTTP surface.
-type server struct {
-	sch     *repro.Scheduler
-	maxBody int64
-}
-
-// newServer builds the pdmd handler around a scheduler (exposed for the
-// end-to-end tests, which mount it on httptest).  maxBody caps the
-// submit body size in bytes; <= 0 selects 64 MiB.  pprofOn additionally
-// mounts the net/http/pprof profiling handlers under /debug/pprof/ —
-// opt-in, because profiling endpoints on a job API are an operator
-// decision, not a default.
-func newServer(sch *repro.Scheduler, maxBody int64, pprofOn bool) http.Handler {
-	if maxBody <= 0 {
-		maxBody = 64 << 20
-	}
-	s := &server{sch: sch, maxBody: maxBody}
-	mux := http.NewServeMux()
-	if pprofOn {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	mux.HandleFunc("POST /jobs", s.submit)
-	mux.HandleFunc("GET /plan", s.plan)
-	mux.HandleFunc("POST /plan", s.plan)
-	mux.HandleFunc("GET /jobs", s.list)
-	mux.HandleFunc("GET /jobs/{id}", s.status)
-	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
-	mux.HandleFunc("GET /jobs/{id}/keys", s.keys)
-	mux.HandleFunc("GET /jobs/{id}/records", s.records)
-	mux.HandleFunc("GET /stats", s.stats)
-	mux.HandleFunc("GET /metrics", s.metrics)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// decodeSpec reads and validates a submit (or plan) body into a JobSpec.
-// The scheduler budgets every byte a job holds; the decode must not be
-// the unbudgeted exception, so the body is hard-capped.
-func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) (repro.JobSpec, bool) {
-	var req submitRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		code := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			code = http.StatusRequestEntityTooLarge
-		}
-		writeError(w, code, fmt.Errorf("bad request body: %w", err))
-		return repro.JobSpec{}, false
-	}
-	spec := repro.JobSpec{
-		Keys:         req.Keys,
-		Payloads:     req.Payloads,
-		Workload:     req.Workload,
-		Universe:     req.Universe,
-		Memory:       req.Memory,
-		Disks:        req.Disks,
-		Workers:      req.Workers,
-		BlockLatency: time.Duration(req.BlockLatencyUS) * time.Microsecond,
-		Backend:      req.Backend,
-		Kernel:       req.Kernel,
-		KeepKeys:     req.KeepKeys,
-		Label:        req.Label,
-	}
-	if req.Alg == "radix" {
-		if spec.Universe < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("universe %d: want > 0", spec.Universe))
-			return repro.JobSpec{}, false
-		}
-		if spec.Universe == 0 {
-			spec.Universe = 1 << 32
-		}
-	} else {
-		if spec.Universe != 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("universe is only valid with alg=radix"))
-			return repro.JobSpec{}, false
-		}
-		alg, err := repro.ParseAlgorithm(req.Alg)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return repro.JobSpec{}, false
-		}
-		spec.Algorithm = alg
-	}
-	return spec, true
-}
-
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	spec, ok := s.decodeSpec(w, r)
-	if !ok {
-		return
-	}
-	id, err := s.sch.Submit(spec)
-	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, repro.ErrQueueFull) {
-			code = http.StatusServiceUnavailable
-		}
-		writeError(w, code, err)
-		return
-	}
-	st, _ := s.sch.Status(id)
-	writeJSON(w, http.StatusAccepted, st)
-}
-
-// plan dry-runs the cost model for a would-be job: the body is the same
-// JSON a submit takes, the answer the ranked candidate table (predicted
-// passes, padded lengths, I/O words, calibrated seconds) with the chosen
-// algorithm — no job is created and no resources are reserved.  Accepted
-// on GET (the spec is a query, not a mutation) and POST (for clients that
-// refuse GET bodies).
-func (s *server) plan(w http.ResponseWriter, r *http.Request) {
-	spec, ok := s.decodeSpec(w, r)
-	if !ok {
-		return
-	}
-	rep, err := s.sch.Explain(spec)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, rep)
-}
-
-func (s *server) jobID(w http.ResponseWriter, r *http.Request) (int, bool) {
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
-		return 0, false
-	}
-	return id, true
-}
-
-func (s *server) status(w http.ResponseWriter, r *http.Request) {
-	id, ok := s.jobID(w, r)
-	if !ok {
-		return
-	}
-	st, ok := s.sch.Status(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sch.Jobs())
-}
-
-func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
-	id, ok := s.jobID(w, r)
-	if !ok {
-		return
-	}
-	if !s.sch.Cancel(id) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
-		return
-	}
-	st, _ := s.sch.Status(id)
-	writeJSON(w, http.StatusOK, st)
-}
-
-// pageBounds parses and validates ?offset=N&limit=M against n records.
-// The limit clamps overflow-safely to the remaining records (a huge limit
-// must not overflow offset+limit into a negative slice bound), but an
-// offset beyond n is a 400: silently rewriting it would hand a client
-// paging with a stale total an empty 200 page indistinguishable from the
-// end of the data.  offset == n is valid and yields the empty final page.
-func pageBounds(w http.ResponseWriter, r *http.Request, n int) (offset, limit int, ok bool) {
-	offset, limit = 0, n
-	var err error
-	if v := r.URL.Query().Get("offset"); v != "" {
-		if offset, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
-			return 0, 0, false
-		}
-	}
-	if v := r.URL.Query().Get("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
-			return 0, 0, false
-		}
-	}
-	if offset < 0 || offset > n {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("offset %d outside [0, %d]", offset, n))
-		return 0, 0, false
-	}
-	if limit < 0 || limit > n-offset {
-		limit = n - offset
-	}
-	return offset, limit, true
-}
-
-func (s *server) keys(w http.ResponseWriter, r *http.Request) {
-	id, ok := s.jobID(w, r)
-	if !ok {
-		return
-	}
-	keys, err := s.sch.SortedKeys(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	offset, limit, ok := pageBounds(w, r, len(keys))
-	if !ok {
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"n":      len(keys),
-		"offset": offset,
-		"keys":   keys[offset : offset+limit],
-	})
-}
-
-// records serves a completed records job's sorted output — keys paired
-// with base64-encoded payloads — with the same pagination contract as
-// keys.
-func (s *server) records(w http.ResponseWriter, r *http.Request) {
-	id, ok := s.jobID(w, r)
-	if !ok {
-		return
-	}
-	keys, payloads, err := s.sch.SortedRecords(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	offset, limit, ok := pageBounds(w, r, len(keys))
-	if !ok {
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"n":        len(keys),
-		"offset":   offset,
-		"keys":     keys[offset : offset+limit],
-		"payloads": payloads[offset : offset+limit],
-	})
-}
-
-func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sch.Stats())
-}
-
-// metrics renders the aggregate statistics in Prometheus text format: the
-// per-job pass/overlap/utilization observability rolled up for scraping.
-func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	st := s.sch.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	p("# TYPE pdmd_jobs_total counter\n")
-	p("pdmd_jobs_total{state=\"submitted\"} %d\n", st.Submitted)
-	p("pdmd_jobs_total{state=\"completed\"} %d\n", st.Completed)
-	p("pdmd_jobs_total{state=\"failed\"} %d\n", st.Failed)
-	p("pdmd_jobs_total{state=\"canceled\"} %d\n", st.Canceled)
-	p("# TYPE pdmd_jobs gauge\n")
-	p("pdmd_jobs{state=\"queued\"} %d\n", st.Queued)
-	p("pdmd_jobs{state=\"running\"} %d\n", st.Running)
-	p("# TYPE pdmd_mem_keys gauge\n")
-	p("pdmd_mem_keys{kind=\"in_use\"} %d\n", st.MemInUse)
-	p("pdmd_mem_keys{kind=\"capacity\"} %d\n", st.MemCapacity)
-	p("# TYPE pdmd_disk_keys gauge\n")
-	p("pdmd_disk_keys{kind=\"in_use\"} %d\n", st.DiskInUse)
-	p("pdmd_disk_keys{kind=\"capacity\"} %d\n", st.DiskCapacity)
-	p("# TYPE pdmd_workers gauge\npdmd_workers %d\n", st.Workers)
-	p("# TYPE pdmd_scratch_cleanup_failures_total counter\npdmd_scratch_cleanup_failures_total %d\n", st.CleanupFailures)
-	p("# TYPE pdmd_keys_sorted_total counter\npdmd_keys_sorted_total %d\n", st.KeysSorted)
-	p("# TYPE pdmd_passes_weighted_avg gauge\npdmd_passes_weighted_avg %g\n", st.PassesWeighted)
-	p("# TYPE pdmd_prefetch_chunks_total counter\n")
-	p("pdmd_prefetch_chunks_total{result=\"hit\"} %d\n", st.PrefetchHits)
-	p("pdmd_prefetch_chunks_total{result=\"stall\"} %d\n", st.PrefetchStalls)
-	p("# TYPE pdmd_write_stalls_total counter\npdmd_write_stalls_total %d\n", st.WriteStalls)
-	p("# TYPE pdmd_compute_seconds_total counter\npdmd_compute_seconds_total %g\n", st.ComputeSeconds)
-	p("# TYPE pdmd_worker_utilization gauge\npdmd_worker_utilization %g\n", st.WorkerUtilization)
-	p("# TYPE pdmd_jobs_per_second gauge\npdmd_jobs_per_second %g\n", st.JobsPerSecond)
-	p("# TYPE pdmd_uptime_seconds gauge\npdmd_uptime_seconds %g\n", st.UptimeSeconds)
 }

@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// DistConfig configures a DistSorter: the pdmd worker fleet one
+// distributed sort job runs across, and the per-shard job knobs.
+type DistConfig struct {
+	// Workers are pdmd base URLs, one per node.
+	Workers []string
+	// Client is the shared HTTP client; nil selects http.DefaultClient.
+	Client *http.Client
+	// PageKeys bounds one upload/download page in keys (0 = 8192).
+	PageKeys int
+	// Concurrency bounds in-flight page uploads across shards (0 = 4).
+	Concurrency int
+	// RequestTimeout is the per-request deadline (0 = 30s).
+	RequestTimeout time.Duration
+	// Retries bounds retries of transient worker failures (0 = 3, < 0 =
+	// none).
+	Retries int
+	// Alpha is the splitter-sampling confidence (0 = 1).
+	Alpha float64
+	// Alg, Kernel, Memory, Backend, BlockLatencyUS and Label pass through
+	// to every shard job (zero values defer to worker defaults).
+	Alg            string
+	Kernel         string
+	Memory         int
+	Backend        string
+	BlockLatencyUS int64
+	Label          string
+}
+
+// DistReport is the aggregated accounting of one distributed job: the
+// per-shard passes and I/O as each worker measured them, the keys-weighted
+// mean and critical-path passes across the fleet, and the splitters that
+// shaped the shards.
+type DistReport = dist.Report
+
+// DistShardReport is one worker's slice of a distributed job.
+type DistShardReport = dist.ShardReport
+
+// DistSorter executes sort jobs across a fleet of pdmd workers.  The
+// output of every method is bit-identical to its single-machine
+// counterpart (Sort, SortRecords) for any worker count; see internal/dist
+// for the determinism and failure contracts.
+type DistSorter struct {
+	c *dist.Coordinator
+}
+
+// NewDistSorter validates the config and builds the coordinator.
+func NewDistSorter(cfg DistConfig) (*DistSorter, error) {
+	c, err := dist.New(dist.Config{
+		Workers:        cfg.Workers,
+		Client:         cfg.Client,
+		PageKeys:       cfg.PageKeys,
+		Concurrency:    cfg.Concurrency,
+		RequestTimeout: cfg.RequestTimeout,
+		Retries:        cfg.Retries,
+		Alpha:          cfg.Alpha,
+		Alg:            cfg.Alg,
+		Kernel:         cfg.Kernel,
+		Memory:         cfg.Memory,
+		Backend:        cfg.Backend,
+		BlockLatencyUS: cfg.BlockLatencyUS,
+		Label:          cfg.Label,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DistSorter{c: c}, nil
+}
+
+// Sort runs one distributed key sort and returns the globally sorted keys
+// with the fleet's aggregated report.
+func (d *DistSorter) Sort(ctx context.Context, keys []int64) ([]int64, *DistReport, error) {
+	return d.c.Sort(ctx, keys)
+}
+
+// SortRecords runs one distributed full-record sort: payloads ride with
+// their keys and the stable order among equal keys matches the
+// single-machine SortRecords exactly.
+func (d *DistSorter) SortRecords(ctx context.Context, keys []int64, payloads [][]byte) ([]int64, [][]byte, *DistReport, error) {
+	return d.c.SortRecords(ctx, keys, payloads)
+}

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+	"time"
+)
+
+func testCoordinator(t *testing.T, workers int) *Coordinator {
+	t.Helper()
+	urls := make([]string, workers)
+	for i := range urls {
+		urls[i] = "http://worker" + string(rune('a'+i)) + ".invalid"
+	}
+	c, err := New(Config{Workers: urls})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatalf("New accepted an empty worker list")
+	}
+	c := testCoordinator(t, 2)
+	if got := c.WorkerURLs(); len(got) != 2 {
+		t.Fatalf("WorkerURLs = %v, want 2 entries", got)
+	}
+	// Defaults fill in: page size, concurrency, timeout, retries, label.
+	if c.cfg.PageKeys <= 0 || c.cfg.Concurrency <= 0 || c.cfg.RequestTimeout <= 0 {
+		t.Fatalf("defaults not applied: %+v", c.cfg)
+	}
+	if c.cfg.Retries != 3 {
+		t.Fatalf("default retries = %d, want 3", c.cfg.Retries)
+	}
+	// Retries < 0 means none at all.
+	c2, err := New(Config{Workers: []string{"http://w.invalid"}, Retries: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c2.cfg.Retries != 0 {
+		t.Fatalf("Retries=-1 resolved to %d, want 0", c2.cfg.Retries)
+	}
+}
+
+// Splitters must be a pure function of the input: same keys, same worker
+// count, same splitters — that determinism is half of the bit-identical
+// output contract (the merge tie-break is the other half).
+func TestSplittersDeterministicAndOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int64, 50000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+	}
+	for _, w := range []int{2, 3, 4, 8} {
+		c := testCoordinator(t, w)
+		sp1, s1 := c.splitters(keys, w)
+		sp2, s2 := c.splitters(slices.Clone(keys), w)
+		if !slices.Equal(sp1, sp2) || s1 != s2 {
+			t.Fatalf("w=%d: splitters not deterministic: %v/%d vs %v/%d", w, sp1, s1, sp2, s2)
+		}
+		if len(sp1) != w-1 {
+			t.Fatalf("w=%d: got %d splitters, want %d", w, len(sp1), w-1)
+		}
+		if !slices.IsSorted(sp1) {
+			t.Fatalf("w=%d: splitters not sorted: %v", w, sp1)
+		}
+		if s1 <= 0 || s1 > len(keys) {
+			t.Fatalf("w=%d: sample size %d out of range", w, s1)
+		}
+	}
+	// One worker needs no splitters.
+	c := testCoordinator(t, 1)
+	if sp, s := c.splitters(keys, 1); sp != nil || s != 0 {
+		t.Fatalf("w=1: got %v/%d, want nil/0", sp, s)
+	}
+}
+
+// Splitter balance on a uniform input: no shard should be pathologically
+// large, since that is exactly what the Θ(k·α·log n) oversampling bounds.
+func TestSplittersBalanceUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]int64, 100000)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	const w = 4
+	c := testCoordinator(t, w)
+	sp, _ := c.splitters(keys, w)
+	counts := make([]int, w)
+	for _, k := range keys {
+		i, _ := slices.BinarySearch(sp, k+1) // key == splitter goes right
+		counts[i]++
+	}
+	want := len(keys) / w
+	for i, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Fatalf("shard %d has %d keys, want within [%d, %d] of %d: %v",
+				i, got, want/2, want*2, want, counts)
+		}
+	}
+}
+
+func TestRetryableCodes(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout, http.StatusInsufficientStorage} {
+		if !retryable(code) {
+			t.Errorf("retryable(%d) = false, want true", code)
+		}
+	}
+	for _, code := range []int{http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+		http.StatusConflict, http.StatusInternalServerError} {
+		if retryable(code) {
+			t.Errorf("retryable(%d) = true, want false", code)
+		}
+	}
+}
+
+// The client retries transient statuses and surfaces the eventual answer;
+// non-retryable statuses fail immediately with a statusError.
+func TestClientRetriesTransient(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits < 3 {
+			http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	cl := &client{base: ts.URL, http: ts.Client(), timeout: 5 * time.Second, retries: 5}
+	h, err := cl.health(t.Context())
+	if err != nil {
+		t.Fatalf("health after transient 503s: %v", err)
+	}
+	if h.Status != "ok" || hits != 3 {
+		t.Fatalf("status %q after %d hits, want ok after 3", h.Status, hits)
+	}
+
+	hits = 0
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts2.Close()
+	cl2 := &client{base: ts2.URL, http: ts2.Client(), timeout: 5 * time.Second, retries: 5}
+	if _, err := cl2.status(t.Context(), 1); err == nil {
+		t.Fatalf("status on 404 succeeded")
+	}
+	if hits != 1 {
+		t.Fatalf("404 was retried %d times, want 1 attempt", hits)
+	}
+}

@@ -1,0 +1,37 @@
+// Package dist is the distributed-sort coordinator: it executes one sort
+// job across N pdmd worker nodes, speaking only the workers' public HTTP
+// API (internal/pdmdapi).  The parallelism story mirrors the paper's: the
+// Parallel Disk Model's D independent disks become D independent worker
+// machines, passes over the data remain the currency, and the splitter
+// sampling reuses the paper's Θ(k·α·log n) oversampling bound
+// (plan.SplitterSample) so shards are balanced w.h.p.
+//
+// One job runs in four phases:
+//
+//  1. Sample.  A deterministic stride sample of the input keys is sorted
+//     and N−1 splitters are read off at the quantiles.
+//  2. Partition + upload.  records.RangePartition assigns every record a
+//     shard by key range ("equal key goes right", so ties never straddle
+//     shards) preserving input order within each shard.  Shards ship to
+//     their workers through the staged-upload protocol: bounded-concurrency
+//     page uploads, each idempotent and independently retried, committed
+//     into one worker job per shard.
+//  3. Local sorts.  Each worker sorts its shard with its ordinary
+//     scheduler stack — the coordinator adds nothing worker-side.
+//  4. Merge.  The sorted shards stream back through the workers' paginated
+//     output endpoints into a loser-tree merge (memsort.StreamMerge) with
+//     lanes in splitter order.
+//
+// Determinism contract: the distributed output is bit-identical to the
+// single-machine sort for any worker count.  Splitters are a pure function
+// of the input; partition preserves order within shards; worker record
+// sorts are stable; and the merge's lane-order tie-break concatenates the
+// shards back in range order — so equal keys keep exactly the relative
+// order a single stable sort would give them.
+//
+// Failure contract: any shard failure (worker down, job failed, timeout)
+// cancels every job the run started on the surviving workers and returns
+// an error; staged uploads that never committed are aborted, with the
+// workers' TTL sweep as the backstop.  Cancellation of the caller's
+// context fans out the same way.
+package dist

@@ -1,0 +1,146 @@
+package memsort
+
+// Streaming k-way merge: the loser tree generalized to lanes that arrive in
+// chunks instead of living whole in memory.  The distributed-sort
+// coordinator (internal/dist) drives it over workers' paginated output
+// endpoints, but the contract is I/O-free: the caller supplies chunks and
+// receives (lane, count) take instructions, so the same merge works over
+// pages, files, or network streams carrying any per-key satellite data.
+
+// Refill returns the next sorted chunk of lane l, or nil when the lane is
+// exhausted.  Chunks of one lane must concatenate to a sorted sequence;
+// the returned slice must stay valid until the next Refill of that lane.
+// Empty non-nil chunks are allowed (the merge refills again).
+type Refill func(lane int) ([]int64, error)
+
+// streamLane is one lane's cursor: the current chunk and the position of
+// its head.  An exhausted lane has head == infKey.
+type streamLane struct {
+	buf  []int64
+	pos  int
+	head int64
+	done bool
+}
+
+// advance moves the cursor n keys forward, refilling when the chunk runs
+// out, and recomputes the head.
+func (l *streamLane) advance(lane, n int, refill Refill) error {
+	l.pos += n
+	return l.fill(lane, refill)
+}
+
+// fill establishes the invariant: either pos < len(buf) and head is
+// buf[pos], or the lane is done and head is the sentinel.
+func (l *streamLane) fill(lane int, refill Refill) error {
+	for !l.done && l.pos >= len(l.buf) {
+		chunk, err := refill(lane)
+		if err != nil {
+			return err
+		}
+		if chunk == nil {
+			l.done = true
+			break
+		}
+		l.buf, l.pos = chunk, 0
+	}
+	if l.done {
+		l.head = infKey
+		return nil
+	}
+	l.head = l.buf[l.pos]
+	return nil
+}
+
+// StreamMerge merges k sorted lanes delivered in chunks by refill, telling
+// the caller via emit(lane, n) to take the next n keys from that lane's
+// current chunk.  Ties resolve to the lowest-numbered lane, so the merge is
+// stable in lane order — the property the distributed sort's determinism
+// contract rests on (range-partitioned lanes are disjoint, and equal keys
+// never leave their shard, so lane order is original order).
+//
+// Like LoserTree.PopRun, each emission gallops the winning lane to the
+// runner-up's bound: a run of r consecutive winners costs O(log r)
+// comparisons instead of r sifts.  Emissions never split across a chunk
+// boundary, so the caller can copy keys (and any satellite data riding
+// with them) straight out of its current chunk.
+func StreamMerge(k int, refill Refill, emit func(lane, n int) error) error {
+	if k <= 0 {
+		return nil
+	}
+	lanes := make([]streamLane, k)
+	for i := range lanes {
+		if err := lanes[i].fill(i, refill); err != nil {
+			return err
+		}
+	}
+	// Loser tree over the lane heads, as in LoserTree but indexed into the
+	// refillable cursors.
+	tree := make([]int, k)
+	for i := range tree {
+		tree[i] = -1
+	}
+	var replay func(lane int)
+	replay = func(lane int) {
+		winner := lane
+		for node := (lane + k) / 2; node >= 1; node /= 2 {
+			if tree[node] == -1 {
+				tree[node] = winner
+				return
+			}
+			l := tree[node]
+			if lanes[l].head < lanes[winner].head ||
+				(lanes[l].head == lanes[winner].head && l < winner) {
+				winner, tree[node] = l, winner
+			}
+		}
+		tree[0] = winner
+	}
+	for lane := 0; lane < k; lane++ {
+		replay(lane)
+	}
+	sift := func(lane int) {
+		winner := lane
+		for node := (lane + k) / 2; node >= 1; node /= 2 {
+			loser := tree[node]
+			if lanes[loser].head < lanes[winner].head ||
+				(lanes[loser].head == lanes[winner].head && loser < winner) {
+				winner, tree[node] = loser, winner
+			}
+		}
+		tree[0] = winner
+	}
+	for {
+		w := tree[0]
+		if lanes[w].head == infKey {
+			return nil // every lane exhausted
+		}
+		// Runner-up: the best head among the losers on w's root path.
+		ru := -1
+		for node := (w + k) / 2; node >= 1; node /= 2 {
+			l := tree[node]
+			if ru == -1 || lanes[l].head < lanes[ru].head ||
+				(lanes[l].head == lanes[ru].head && l < ru) {
+				ru = l
+			}
+		}
+		rest := lanes[w].buf[lanes[w].pos:]
+		n := len(rest)
+		if ru >= 0 && lanes[ru].head != infKey {
+			if w < ru {
+				n = gallopLessEq(rest, lanes[ru].head)
+			} else {
+				n = gallopLess(rest, lanes[ru].head)
+			}
+			if n < 1 {
+				n = 1 // the winner's own head always beats the runner-up
+			}
+		}
+		if err := emit(w, n); err != nil {
+			return err
+		}
+		if err := lanes[w].advance(w, n, refill); err != nil {
+			return err
+		}
+		sift(w)
+	}
+}

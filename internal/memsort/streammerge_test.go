@@ -1,0 +1,173 @@
+package memsort
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// chunked serves a lane in fixed-size chunks, recording how often it was
+// asked.
+type chunked struct {
+	data  [][]int64 // per lane
+	pos   []int
+	size  int
+	calls int
+}
+
+func newChunked(lanes [][]int64, size int) *chunked {
+	return &chunked{data: lanes, pos: make([]int, len(lanes)), size: size}
+}
+
+func (c *chunked) refill(lane int) ([]int64, error) {
+	c.calls++
+	p := c.pos[lane]
+	if p >= len(c.data[lane]) {
+		return nil, nil
+	}
+	end := p + c.size
+	if end > len(c.data[lane]) {
+		end = len(c.data[lane])
+	}
+	c.pos[lane] = end
+	return c.data[lane][p:end], nil
+}
+
+// drive runs StreamMerge over the chunk source and materializes the output
+// by copying emitted runs out of the current chunks — exactly how the
+// distributed coordinator consumes it.
+func drive(t *testing.T, lanes [][]int64, chunkSize int) []int64 {
+	t.Helper()
+	src := newChunked(lanes, chunkSize)
+	heads := make([]int, len(lanes)) // consumed per lane
+	var out []int64
+	err := StreamMerge(len(lanes), src.refill, func(lane, n int) error {
+		out = append(out, lanes[lane][heads[lane]:heads[lane]+n]...)
+		heads[lane] += n
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamMerge: %v", err)
+	}
+	return out
+}
+
+// TestStreamMergeMatchesMultiMerge: for random lanes and chunk sizes the
+// streaming merge must produce exactly MultiMerge's output.
+func TestStreamMergeMatchesMultiMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(6)
+		lanes := make([][]int64, k)
+		total := 0
+		for i := range lanes {
+			n := rng.Intn(40)
+			lane := make([]int64, n)
+			for j := range lane {
+				lane[j] = int64(rng.Intn(30)) // duplicates on purpose
+			}
+			sort.Slice(lane, func(a, b int) bool { return lane[a] < lane[b] })
+			lanes[i] = lane
+			total += n
+		}
+		want := make([]int64, total)
+		MultiMerge(want, lanes)
+		for _, chunk := range []int{1, 3, 64} {
+			got := drive(t, lanes, chunk)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d chunk %d: got %v want %v", trial, chunk, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamMergeStability: on all-equal keys the merge must emit lanes in
+// lane order — the tie rule the distributed determinism contract needs.
+func TestStreamMergeStability(t *testing.T) {
+	lanes := [][]int64{{5, 5}, {5, 5, 5}, {5}}
+	src := newChunked(lanes, 2)
+	var order []int
+	err := StreamMerge(len(lanes), src.refill, func(lane, n int) error {
+		for i := 0; i < n; i++ {
+			order = append(order, lane)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(order, []int{0, 0, 1, 1, 1, 2}) {
+		t.Fatalf("tie order = %v, want lanes in index order", order)
+	}
+}
+
+// TestStreamMergeEdges: zero lanes, empty lanes, empty chunks, and error
+// propagation from both callbacks.
+func TestStreamMergeEdges(t *testing.T) {
+	if err := StreamMerge(0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// All-empty lanes emit nothing.
+	if out := drive(t, [][]int64{{}, {}}, 4); len(out) != 0 {
+		t.Fatalf("empty lanes emitted %v", out)
+	}
+	// Empty (non-nil) chunks are skipped, not treated as exhaustion.
+	served := 0
+	refill := func(lane int) ([]int64, error) {
+		served++
+		switch served {
+		case 1:
+			return []int64{}, nil
+		case 2:
+			return []int64{1, 2}, nil
+		default:
+			return nil, nil
+		}
+	}
+	var out []int64
+	if err := StreamMerge(1, refill, func(lane, n int) error {
+		out = append(out, make([]int64, n)...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("emitted %d keys through an empty chunk, want 2", len(out))
+	}
+	// Refill errors abort the merge.
+	boom := errors.New("boom")
+	if err := StreamMerge(1, func(int) ([]int64, error) { return nil, boom },
+		func(int, int) error { return nil }); !errors.Is(err, boom) {
+		t.Fatalf("refill error = %v", err)
+	}
+	// Emit errors abort the merge too.
+	src := newChunked([][]int64{{1, 2, 3}}, 2)
+	if err := StreamMerge(1, src.refill, func(int, int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("emit error = %v", err)
+	}
+}
+
+// TestStreamMergeGallops: a runs-shaped input must cost far fewer emit
+// calls than keys (the gallop emits whole runs).
+func TestStreamMergeGallops(t *testing.T) {
+	const n = 1 << 12
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i)     // 0..n-1
+		b[i] = int64(n + i) // n..2n-1: one giant run each
+	}
+	src := newChunked([][]int64{a, b}, n)
+	emits := 0
+	if err := StreamMerge(2, src.refill, func(lane, cnt int) error {
+		emits++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if emits > 8 {
+		t.Fatalf("runs-shaped merge took %d emissions, want a handful", emits)
+	}
+}

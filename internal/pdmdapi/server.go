@@ -1,0 +1,391 @@
+package pdmdapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro"
+)
+
+// Options sizes the handler's own limits (everything else is budgeted by
+// the scheduler it fronts).
+type Options struct {
+	// MaxBody caps one request body in bytes; <= 0 selects 64 MiB.
+	MaxBody int64
+	// MaxStagedBytes caps the total bytes held by in-flight staged uploads
+	// across all clients; <= 0 selects 256 MiB.
+	MaxStagedBytes int64
+	// UploadTTL drops staged uploads (and commit tombstones) not touched
+	// for this long, so a dead coordinator cannot pin staging forever;
+	// <= 0 selects 15 minutes.
+	UploadTTL time.Duration
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ —
+	// opt-in, because profiling endpoints on a job API are an operator
+	// decision, not a default.
+	Pprof bool
+}
+
+// SubmitRequest is the POST /jobs body (and, minus the inline input, the
+// POST /uploads/{id}/commit body).
+type SubmitRequest struct {
+	Keys []int64 `json:"keys,omitempty"`
+	// Payloads (base64-encoded byte strings, one per key) make the job a
+	// full-record sort; so does a workload with a "payload" spec.
+	Payloads [][]byte            `json:"payloads,omitempty"`
+	Workload *repro.WorkloadSpec `json:"workload,omitempty"`
+	// Alg names the algorithm (auto|one|mesh3|mesh2e|lmm3|exp2|exp3|seven|
+	// six|sevenmesh); "radix" selects the Section 7 RadixSort, whose key
+	// universe defaults to 2^32 unless set.
+	Alg      string `json:"alg,omitempty"`
+	Universe int64  `json:"universe,omitempty"`
+	Memory   int    `json:"memory,omitempty"`
+	Disks    int    `json:"disks,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	// BlockLatencyUS models per-block device latency in microseconds.
+	BlockLatencyUS int64 `json:"blockLatencyUs,omitempty"`
+	// Backend overrides the scheduler's disk backend for this job ("file"
+	// or "mmap"); valid only on a file-backed scheduler.
+	Backend string `json:"backend,omitempty"`
+	// Kernel overrides the scheduler's in-memory sort kernel for this job
+	// ("auto", "comparison", or "radix"); output is identical either way.
+	Kernel   string `json:"kernel,omitempty"`
+	KeepKeys bool   `json:"keepKeys,omitempty"`
+	Label    string `json:"label,omitempty"`
+}
+
+// server wraps the scheduler with the HTTP surface.
+type server struct {
+	sch  *repro.Scheduler
+	opts Options
+	ups  *uploadStore
+}
+
+// New builds the pdmd handler around a scheduler.  cmd/pdmd serves it;
+// tests and benchmarks mount it on httptest to get in-process worker
+// nodes.
+func New(sch *repro.Scheduler, opts Options) http.Handler {
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 64 << 20
+	}
+	if opts.MaxStagedBytes <= 0 {
+		opts.MaxStagedBytes = 256 << 20
+	}
+	if opts.UploadTTL <= 0 {
+		opts.UploadTTL = 15 * time.Minute
+	}
+	s := &server{sch: sch, opts: opts, ups: newUploadStore(opts.MaxStagedBytes, opts.UploadTTL)}
+	mux := http.NewServeMux()
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /plan", s.plan)
+	mux.HandleFunc("POST /plan", s.plan)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.status)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /jobs/{id}/keys", s.keys)
+	mux.HandleFunc("GET /jobs/{id}/records", s.records)
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("POST /uploads", s.uploadCreate)
+	mux.HandleFunc("POST /uploads/{id}/pages", s.uploadPage)
+	mux.HandleFunc("POST /uploads/{id}/commit", s.uploadCommit)
+	mux.HandleFunc("DELETE /uploads/{id}", s.uploadAbort)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// healthz is the coordinator's liveness probe: cheap (no allocation beyond
+// the snapshot, no locks held across I/O), and carrying the default job
+// geometry so a distributed-sort coordinator can plan shards for this node
+// before submitting anything.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sch.Health())
+}
+
+// decodeBody reads one JSON request body into v with the size cap and
+// unknown-field rejection every endpoint shares.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// specFromRequest validates a SubmitRequest into a JobSpec.  The scheduler
+// budgets every byte a job holds; the decode must not be the unbudgeted
+// exception, so callers decode through decodeBody's hard cap first.
+func specFromRequest(w http.ResponseWriter, req SubmitRequest) (repro.JobSpec, bool) {
+	spec := repro.JobSpec{
+		Keys:         req.Keys,
+		Payloads:     req.Payloads,
+		Workload:     req.Workload,
+		Universe:     req.Universe,
+		Memory:       req.Memory,
+		Disks:        req.Disks,
+		Workers:      req.Workers,
+		BlockLatency: time.Duration(req.BlockLatencyUS) * time.Microsecond,
+		Backend:      req.Backend,
+		Kernel:       req.Kernel,
+		KeepKeys:     req.KeepKeys,
+		Label:        req.Label,
+	}
+	if req.Alg == "radix" {
+		if spec.Universe < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("universe %d: want > 0", spec.Universe))
+			return repro.JobSpec{}, false
+		}
+		if spec.Universe == 0 {
+			spec.Universe = 1 << 32
+		}
+	} else {
+		if spec.Universe != 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("universe is only valid with alg=radix"))
+			return repro.JobSpec{}, false
+		}
+		alg, err := repro.ParseAlgorithm(req.Alg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return repro.JobSpec{}, false
+		}
+		spec.Algorithm = alg
+	}
+	return spec, true
+}
+
+// decodeSpec reads and validates a submit (or plan) body into a JobSpec.
+func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) (repro.JobSpec, bool) {
+	var req SubmitRequest
+	if !s.decodeBody(w, r, &req) {
+		return repro.JobSpec{}, false
+	}
+	return specFromRequest(w, req)
+}
+
+// submitSpec runs the shared admission path: submit, classify the error,
+// answer with the job's initial status.
+func (s *server) submitSpec(w http.ResponseWriter, spec repro.JobSpec) (int, bool) {
+	id, err := s.sch.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, repro.ErrQueueFull) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return 0, false
+	}
+	st, _ := s.sch.Status(id)
+	writeJSON(w, http.StatusAccepted, st)
+	return id, true
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	s.submitSpec(w, spec)
+}
+
+// plan dry-runs the cost model for a would-be job: the body is the same
+// JSON a submit takes, the answer the ranked candidate table (predicted
+// passes, padded lengths, I/O words, calibrated seconds) with the chosen
+// algorithm — no job is created and no resources are reserved.  Accepted
+// on GET (the spec is a query, not a mutation) and POST (for clients that
+// refuse GET bodies).
+func (s *server) plan(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.sch.Explain(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *server) jobID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	st, ok := s.sch.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sch.Jobs())
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	if !s.sch.Cancel(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
+		return
+	}
+	st, _ := s.sch.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// pageBounds parses and validates ?offset=N&limit=M against n records.
+// The limit clamps overflow-safely to the remaining records (a huge limit
+// must not overflow offset+limit into a negative slice bound), but an
+// offset beyond n is a 400: silently rewriting it would hand a client
+// paging with a stale total an empty 200 page indistinguishable from the
+// end of the data.  offset == n is valid and yields the empty final page.
+func pageBounds(w http.ResponseWriter, r *http.Request, n int) (offset, limit int, ok bool) {
+	offset, limit = 0, n
+	var err error
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
+			return 0, 0, false
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return 0, 0, false
+		}
+	}
+	if offset < 0 || offset > n {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("offset %d outside [0, %d]", offset, n))
+		return 0, 0, false
+	}
+	if limit < 0 || limit > n-offset {
+		limit = n - offset
+	}
+	return offset, limit, true
+}
+
+func (s *server) keys(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	keys, err := s.sch.SortedKeys(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	offset, limit, ok := pageBounds(w, r, len(keys))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":      len(keys),
+		"offset": offset,
+		"keys":   keys[offset : offset+limit],
+	})
+}
+
+// records serves a completed records job's sorted output — keys paired
+// with base64-encoded payloads — with the same pagination contract as
+// keys.
+func (s *server) records(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	keys, payloads, err := s.sch.SortedRecords(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	offset, limit, ok := pageBounds(w, r, len(keys))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":        len(keys),
+		"offset":   offset,
+		"keys":     keys[offset : offset+limit],
+		"payloads": payloads[offset : offset+limit],
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sch.Stats())
+}
+
+// metrics renders the aggregate statistics in Prometheus text format: the
+// per-job pass/overlap/utilization observability rolled up for scraping.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.sch.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# TYPE pdmd_jobs_total counter\n")
+	p("pdmd_jobs_total{state=\"submitted\"} %d\n", st.Submitted)
+	p("pdmd_jobs_total{state=\"completed\"} %d\n", st.Completed)
+	p("pdmd_jobs_total{state=\"failed\"} %d\n", st.Failed)
+	p("pdmd_jobs_total{state=\"canceled\"} %d\n", st.Canceled)
+	p("# TYPE pdmd_jobs gauge\n")
+	p("pdmd_jobs{state=\"queued\"} %d\n", st.Queued)
+	p("pdmd_jobs{state=\"running\"} %d\n", st.Running)
+	p("# TYPE pdmd_mem_keys gauge\n")
+	p("pdmd_mem_keys{kind=\"in_use\"} %d\n", st.MemInUse)
+	p("pdmd_mem_keys{kind=\"capacity\"} %d\n", st.MemCapacity)
+	p("# TYPE pdmd_disk_keys gauge\n")
+	p("pdmd_disk_keys{kind=\"in_use\"} %d\n", st.DiskInUse)
+	p("pdmd_disk_keys{kind=\"capacity\"} %d\n", st.DiskCapacity)
+	p("# TYPE pdmd_workers gauge\npdmd_workers %d\n", st.Workers)
+	p("# TYPE pdmd_scratch_cleanup_failures_total counter\npdmd_scratch_cleanup_failures_total %d\n", st.CleanupFailures)
+	p("# TYPE pdmd_keys_sorted_total counter\npdmd_keys_sorted_total %d\n", st.KeysSorted)
+	p("# TYPE pdmd_passes_weighted_avg gauge\npdmd_passes_weighted_avg %g\n", st.PassesWeighted)
+	p("# TYPE pdmd_prefetch_chunks_total counter\n")
+	p("pdmd_prefetch_chunks_total{result=\"hit\"} %d\n", st.PrefetchHits)
+	p("pdmd_prefetch_chunks_total{result=\"stall\"} %d\n", st.PrefetchStalls)
+	p("# TYPE pdmd_write_stalls_total counter\npdmd_write_stalls_total %d\n", st.WriteStalls)
+	p("# TYPE pdmd_compute_seconds_total counter\npdmd_compute_seconds_total %g\n", st.ComputeSeconds)
+	p("# TYPE pdmd_worker_utilization gauge\npdmd_worker_utilization %g\n", st.WorkerUtilization)
+	p("# TYPE pdmd_jobs_per_second gauge\npdmd_jobs_per_second %g\n", st.JobsPerSecond)
+	p("# TYPE pdmd_uptime_seconds gauge\npdmd_uptime_seconds %g\n", st.UptimeSeconds)
+	p("# TYPE pdmd_staged_uploads gauge\npdmd_staged_uploads %d\n", s.ups.count())
+	p("# TYPE pdmd_staged_bytes gauge\npdmd_staged_bytes %d\n", s.ups.bytes())
+}

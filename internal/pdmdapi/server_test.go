@@ -1,4 +1,4 @@
-package main
+package pdmdapi
 
 import (
 	"bytes"
@@ -15,6 +15,12 @@ import (
 	"repro"
 )
 
+// testClient is the only HTTP client the handler tests use: a hard
+// per-request timeout means a wedged handler fails the test instead of
+// hanging the suite, the same hygiene the distributed coordinator applies
+// to its worker calls.
+var testClient = &http.Client{Timeout: 60 * time.Second}
+
 // testServer mounts the pdmd handler on httptest over a small scheduler.
 func testServer(t *testing.T) (*httptest.Server, *repro.Scheduler) {
 	t.Helper()
@@ -27,7 +33,7 @@ func testServer(t *testing.T) (*httptest.Server, *repro.Scheduler) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(sch, 1<<20, false))
+	ts := httptest.NewServer(New(sch, Options{MaxBody: 1 << 20}))
 	t.Cleanup(func() {
 		ts.Close()
 		sch.Close()
@@ -41,7 +47,7 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]js
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	resp, err := testClient.Post(url, "application/json", bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +66,7 @@ func decodeObject(t *testing.T, resp *http.Response) map[string]json.RawMessage 
 
 func getStatus(t *testing.T, base string, id int) repro.JobStatus {
 	t.Helper()
-	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+	resp, err := testClient.Get(fmt.Sprintf("%s/jobs/%d", base, id))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +129,7 @@ func TestSubmitPollResult(t *testing.T) {
 	}
 
 	// Fetch the sorted keys, sliced and whole.
-	resp2, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys", ts.URL, id))
+	resp2, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/keys", ts.URL, id))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +144,7 @@ func TestSubmitPollResult(t *testing.T) {
 	if keysResp.N != 16*1024 || !slices.IsSorted(keysResp.Keys) {
 		t.Fatalf("keys endpoint returned %d keys, sorted=%v", keysResp.N, slices.IsSorted(keysResp.Keys))
 	}
-	resp3, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys?offset=100&limit=10", ts.URL, id))
+	resp3, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/keys?offset=100&limit=10", ts.URL, id))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +179,7 @@ func TestCancelOverHTTP(t *testing.T) {
 	}
 	pollUntil(t, ts.URL, id, repro.JobRunning)
 	canceledAt := time.Now()
-	creq, err := http.Post(fmt.Sprintf("%s/jobs/%d/cancel", ts.URL, id), "", nil)
+	creq, err := testClient.Post(fmt.Sprintf("%s/jobs/%d/cancel", ts.URL, id), "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +222,7 @@ func TestSubmitRejections(t *testing.T) {
 	}
 	// Unknown job ids are 404s.
 	for _, path := range []string{"/jobs/99", "/jobs/99/keys"} {
-		resp, err := http.Get(ts.URL + path)
+		resp, err := testClient.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,7 +231,7 @@ func TestSubmitRejections(t *testing.T) {
 			t.Fatalf("GET %s = %d", path, resp.StatusCode)
 		}
 	}
-	resp, err := http.Post(ts.URL+"/jobs/99/cancel", "", nil)
+	resp, err := testClient.Post(ts.URL+"/jobs/99/cancel", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +245,7 @@ func TestSubmitRejections(t *testing.T) {
 	big.WriteString(`{"alg":"lmm3","keys":[0`)
 	big.WriteString(strings.Repeat(",1", 1<<20))
 	big.WriteString("]}")
-	bresp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(big.Bytes()))
+	bresp, err := testClient.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(big.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +310,7 @@ func TestPaginationSemantics(t *testing.T) {
 	for _, endpoint := range []string{"keys", "records"} {
 		for _, tc := range cases {
 			url := fmt.Sprintf("%s/jobs/%d/%s?%s", ts.URL, id, endpoint, tc.query)
-			resp, err := http.Get(url)
+			resp, err := testClient.Get(url)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -369,7 +375,7 @@ func TestRecordsJobEndToEnd(t *testing.T) {
 	var gotKeys []int64
 	var gotPayloads [][]byte
 	for off := 0; ; {
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/records?offset=%d&limit=128", ts.URL, id, off))
+		resp, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/records?offset=%d&limit=128", ts.URL, id, off))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -434,7 +440,7 @@ func TestStatsAndMetrics(t *testing.T) {
 		pollUntil(t, ts.URL, id, repro.JobDone)
 	}
 
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err := testClient.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +457,7 @@ func TestStatsAndMetrics(t *testing.T) {
 		t.Fatalf("memory not drained: %+v", stats)
 	}
 
-	mresp, err := http.Get(ts.URL + "/metrics")
+	mresp, err := testClient.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +480,7 @@ func TestStatsAndMetrics(t *testing.T) {
 	}
 
 	// The job list includes all three, in submission order.
-	lresp, err := http.Get(ts.URL + "/jobs")
+	lresp, err := testClient.Get(ts.URL + "/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +507,7 @@ func TestPlanEndpoint(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(raw))
+		resp, err := testClient.Post(ts.URL+"/plan", "application/json", bytes.NewReader(raw))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -529,7 +535,7 @@ func TestPlanEndpoint(t *testing.T) {
 		t.Fatalf("candidate table = %+v", rep.Candidates)
 	}
 	// Nothing was admitted.
-	listResp, err := http.Get(ts.URL + "/jobs")
+	listResp, err := testClient.Get(ts.URL + "/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -583,7 +589,7 @@ func TestPlanEndpoint(t *testing.T) {
 // -pprof flag turned them on: same scheduler, two handlers.
 func TestPprofOptIn(t *testing.T) {
 	ts, _ := testServer(t) // pprof off
-	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	resp, err := testClient.Get(ts.URL + "/debug/pprof/cmdline")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -599,13 +605,13 @@ func TestPprofOptIn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	on := httptest.NewServer(newServer(sch, 1<<20, true))
+	on := httptest.NewServer(New(sch, Options{MaxBody: 1 << 20, Pprof: true}))
 	defer func() {
 		on.Close()
 		sch.Close()
 	}()
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
-		resp, err := http.Get(on.URL + path)
+		resp, err := testClient.Get(on.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -638,7 +644,7 @@ func TestSubmitKernel(t *testing.T) {
 			t.Fatal(err)
 		}
 		pollUntil(t, ts.URL, id, repro.JobDone)
-		keysResp, err := http.Get(fmt.Sprintf("%s/jobs/%d/keys", ts.URL, id))
+		keysResp, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/keys", ts.URL, id))
 		if err != nil {
 			t.Fatal(err)
 		}

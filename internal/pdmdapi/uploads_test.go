@@ -1,0 +1,459 @@
+package pdmdapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestHealthz: the liveness probe answers 200 with the scheduler's default
+// job geometry — enough for a coordinator to plan shards before submitting.
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := testClient.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("healthz content type %q", ct)
+	}
+	var h repro.SchedHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.JobMemory != 1024 || h.Workers != 2 {
+		t.Fatalf("geometry = %+v, want jobMemory 1024, workers 2", h)
+	}
+	if h.BlockSize <= 0 || h.Disks <= 0 || h.Alpha <= 0 {
+		t.Fatalf("derived geometry missing: %+v", h)
+	}
+	if h.Queued != 0 || h.Running != 0 {
+		t.Fatalf("idle scheduler reports load: %+v", h)
+	}
+	// POST is not a liveness probe.
+	presp, err := testClient.Post(ts.URL+"/healthz", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz = %d, want 405", presp.StatusCode)
+	}
+}
+
+func uploadCreateReq(t *testing.T, base, id string) *http.Response {
+	t.Helper()
+	resp, err := testClient.Post(base+"/uploads", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"id":%q}`, id))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func uploadPageReq(t *testing.T, base, id string, seq int, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := testClient.Post(fmt.Sprintf("%s/uploads/%s/pages?seq=%d", base, id, seq),
+		"application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func uploadCommitReq(t *testing.T, base, id string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := testClient.Post(base+"/uploads/"+id+"/commit", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeObject(t, resp)
+}
+
+// TestUploadProtocol drives the staged-upload happy path the distributed
+// coordinator relies on: create (retried), pages out of order (one
+// retried), commit, and a re-commit that must return the same job.
+func TestUploadProtocol(t *testing.T) {
+	ts, _ := testServer(t)
+
+	for i := 0; i < 2; i++ { // create is idempotent
+		resp := uploadCreateReq(t, ts.URL, "shard-0")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("create #%d = %d", i, resp.StatusCode)
+		}
+	}
+
+	// Three pages arriving 2, 0, 1, with page 0 retried.
+	n := 3 * 1024
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64((i * 7919) % 4096)
+	}
+	pages := [][]int64{keys[:1024], keys[1024:2048], keys[2048:]}
+	for _, seq := range []int{2, 0, 0, 1} {
+		resp := uploadPageReq(t, ts.URL, "shard-0", seq, map[string]any{"keys": pages[seq]})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d = %d", seq, resp.StatusCode)
+		}
+	}
+
+	resp, obj := uploadCommitReq(t, ts.URL, "shard-0", map[string]any{"alg": "lmm3", "keepKeys": true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("commit = %d: %v", resp.StatusCode, obj)
+	}
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, ts.URL, id, repro.JobDone)
+
+	// Re-commit: same job, no duplicate submission.
+	resp2, obj2 := uploadCommitReq(t, ts.URL, "shard-0", map[string]any{"alg": "lmm3", "keepKeys": true})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-commit = %d: %v", resp2.StatusCode, obj2)
+	}
+	var id2 int
+	if err := json.Unmarshal(obj2["id"], &id2); err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("re-commit made job %d, first commit made %d", id2, id)
+	}
+
+	// The sorted output is the pages' concatenation, sorted.
+	kresp, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/keys", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		N    int     `json:"n"`
+		Keys []int64 `json:"keys"`
+	}
+	err = json.NewDecoder(kresp.Body).Decode(&out)
+	kresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	if out.N != n || !slices.Equal(out.Keys, want) {
+		t.Fatalf("committed job sorted %d keys, equal=%v", out.N, slices.Equal(out.Keys, want))
+	}
+
+	// New pages on a committed upload are 409s, and a new create under the
+	// same id is refused rather than silently resurrecting the tombstone.
+	presp := uploadPageReq(t, ts.URL, "shard-0", 3, map[string]any{"keys": []int64{1}})
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusConflict {
+		t.Fatalf("page after commit = %d, want 409", presp.StatusCode)
+	}
+	cresp := uploadCreateReq(t, ts.URL, "shard-0")
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusConflict {
+		t.Fatalf("create after commit = %d, want 409", cresp.StatusCode)
+	}
+}
+
+// TestUploadRecords stages keyed payloads across pages and checks the
+// committed records job keeps the pairing.
+func TestUploadRecords(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := uploadCreateReq(t, ts.URL, "rec")
+	resp.Body.Close()
+	for seq := 0; seq < 2; seq++ {
+		keys := make([]int64, 100)
+		payloads := make([][]byte, 100)
+		for i := range keys {
+			keys[i] = int64((seq*100 + i*37) % 53)
+			payloads[i] = []byte(fmt.Sprintf("k%03d", keys[i]))
+		}
+		presp := uploadPageReq(t, ts.URL, "rec", seq, map[string]any{"keys": keys, "payloads": payloads})
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("records page %d = %d", seq, presp.StatusCode)
+		}
+	}
+	cresp, obj := uploadCommitReq(t, ts.URL, "rec", map[string]any{"alg": "lmm3", "keepKeys": true})
+	if cresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("records commit = %d: %v", cresp.StatusCode, obj)
+	}
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, ts.URL, id, repro.JobDone)
+	rresp, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/records", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Keys     []int64  `json:"keys"`
+		Payloads [][]byte `json:"payloads"`
+	}
+	err = json.NewDecoder(rresp.Body).Decode(&page)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Keys) != 200 || !slices.IsSorted(page.Keys) {
+		t.Fatalf("records job: %d keys, sorted=%v", len(page.Keys), slices.IsSorted(page.Keys))
+	}
+	for i, p := range page.Payloads {
+		if want := fmt.Sprintf("k%03d", page.Keys[i]); string(p) != want {
+			t.Fatalf("record %d: payload %q rode with key %d", i, p, page.Keys[i])
+		}
+	}
+}
+
+// TestUploadRejections is the error contract: unknown ids are 404s, bad
+// pages and gappy commits are 400s, and the staging cap is a 507.
+func TestUploadRejections(t *testing.T) {
+	ts, _ := testServer(t)
+
+	// Unknown upload id on every mutating route.
+	presp := uploadPageReq(t, ts.URL, "ghost", 0, map[string]any{"keys": []int64{1}})
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNotFound {
+		t.Fatalf("page on unknown upload = %d", presp.StatusCode)
+	}
+	cresp, _ := uploadCommitReq(t, ts.URL, "ghost", map[string]any{"alg": "lmm3"})
+	if cresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("commit on unknown upload = %d", cresp.StatusCode)
+	}
+	dreq, err := http.NewRequest(http.MethodDelete, ts.URL+"/uploads/ghost", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := testClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete unknown upload = %d", dresp.StatusCode)
+	}
+
+	// Malformed creates and pages.
+	resp := uploadCreateReq(t, ts.URL, "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty id create = %d", resp.StatusCode)
+	}
+	resp = uploadCreateReq(t, ts.URL, "u")
+	resp.Body.Close()
+	for _, tc := range []struct {
+		seq  string
+		body map[string]any
+	}{
+		{"-1", map[string]any{"keys": []int64{1}}},
+		{"banana", map[string]any{"keys": []int64{1}}},
+		{"0", map[string]any{"keys": []int64{}}},
+		{"0", map[string]any{"keys": []int64{1, 2}, "payloads": [][]byte{{1}}}},
+	} {
+		raw, _ := json.Marshal(tc.body)
+		presp, err := testClient.Post(ts.URL+"/uploads/u/pages?seq="+tc.seq, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("page seq=%s body=%v = %d, want 400", tc.seq, tc.body, presp.StatusCode)
+		}
+	}
+
+	// Commit with no pages, with a gap, or with inline input in the body.
+	if cresp, _ := uploadCommitReq(t, ts.URL, "u", map[string]any{"alg": "lmm3"}); cresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("commit with no pages = %d", cresp.StatusCode)
+	}
+	presp = uploadPageReq(t, ts.URL, "u", 1, map[string]any{"keys": []int64{1}}) // seq 0 missing
+	presp.Body.Close()
+	if cresp, _ := uploadCommitReq(t, ts.URL, "u", map[string]any{"alg": "lmm3"}); cresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("gappy commit = %d", cresp.StatusCode)
+	}
+	if cresp, _ := uploadCommitReq(t, ts.URL, "u", map[string]any{"alg": "lmm3", "keys": []int64{1}}); cresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("commit with inline keys = %d", cresp.StatusCode)
+	}
+
+	// A commit whose spec the scheduler rejects keeps the pages, so the
+	// client can fix the spec and retry the same upload.
+	if cresp, _ := uploadCommitReq(t, ts.URL, "u", map[string]any{"alg": "bogus"}); cresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad alg commit = %d", cresp.StatusCode)
+	}
+	presp = uploadPageReq(t, ts.URL, "u", 0, map[string]any{"keys": []int64{2}})
+	presp.Body.Close()
+	cresp2, obj := uploadCommitReq(t, ts.URL, "u", map[string]any{"alg": "lmm3"})
+	if cresp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("retried commit after fixing spec = %d: %v", cresp2.StatusCode, obj)
+	}
+
+	// The staging cap: a handler with a tiny cap refuses the page that
+	// would exceed it with 507 and keeps its accounting intact.
+	sch, err := repro.NewScheduler(repro.SchedulerConfig{
+		Memory: 12000, Workers: 1, JobMemory: 1024,
+		Pipeline: repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := httptest.NewServer(New(sch, Options{MaxBody: 1 << 20, MaxStagedBytes: 1000}))
+	defer func() {
+		small.Close()
+		sch.Close()
+	}()
+	resp = uploadCreateReq(t, small.URL, "cap")
+	resp.Body.Close()
+	presp = uploadPageReq(t, small.URL, "cap", 0, map[string]any{"keys": make([]int64, 100)}) // 800 bytes
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("first page under cap = %d", presp.StatusCode)
+	}
+	presp = uploadPageReq(t, small.URL, "cap", 1, map[string]any{"keys": make([]int64, 100)})
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("page over cap = %d, want 507", presp.StatusCode)
+	}
+	// Aborting frees the bytes; the refused page now fits.
+	dreq2, _ := http.NewRequest(http.MethodDelete, small.URL+"/uploads/cap", nil)
+	dresp2, err := testClient.Do(dreq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("abort = %d", dresp2.StatusCode)
+	}
+	resp = uploadCreateReq(t, small.URL, "cap2")
+	resp.Body.Close()
+	presp = uploadPageReq(t, small.URL, "cap2", 0, map[string]any{"keys": make([]int64, 100)})
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("page after abort = %d, want 200", presp.StatusCode)
+	}
+}
+
+// TestUploadExpiry exercises the TTL sweep at the store level with an
+// injected clock: an upload a dead coordinator abandoned stops holding
+// staged bytes once the TTL passes.
+func TestUploadExpiry(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	u := newUploadStore(1<<20, time.Minute)
+	u.now = clock
+	u.ups["dead"] = &upload{pages: map[int]uploadPage{0: {keys: []int64{1, 2}}}, bytes: 16, touched: clock()}
+	u.used = 16
+	if u.count() != 1 || u.bytes() != 16 {
+		t.Fatalf("fresh upload swept early: count=%d bytes=%d", u.count(), u.bytes())
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if u.count() != 0 || u.bytes() != 0 {
+		t.Fatalf("expired upload survived: count=%d bytes=%d", u.count(), u.bytes())
+	}
+}
+
+// trackedBody wraps a response body to observe Close.
+type trackedBody struct {
+	io.ReadCloser
+	closed *atomic.Int64
+	once   sync.Once
+}
+
+func (b *trackedBody) Close() error {
+	b.once.Do(func() { b.closed.Add(1) })
+	return b.ReadCloser.Close()
+}
+
+// leakTransport counts bodies handed out vs closed.
+type leakTransport struct {
+	opened atomic.Int64
+	closed atomic.Int64
+}
+
+func (lt *leakTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(r)
+	if resp != nil && resp.Body != nil {
+		lt.opened.Add(1)
+		resp.Body = &trackedBody{ReadCloser: resp.Body, closed: &lt.closed}
+	}
+	return resp, err
+}
+
+// TestNoBodyLeaks replays a request mix — successes, 400s, 404s, an
+// oversized body — through a transport that counts opened response bodies
+// against closed ones.  Every body must be closed, including on every
+// error path: an unclosed body pins a connection and eventually starves
+// the client pool the distributed coordinator shares across workers.
+func TestNoBodyLeaks(t *testing.T) {
+	ts, _ := testServer(t)
+	lt := &leakTransport{}
+	client := &http.Client{Transport: lt, Timeout: 60 * time.Second}
+
+	do := func(method, path, body string) int {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = bytes.NewReader([]byte(body))
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := do("GET", "/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	do("GET", "/jobs/99", "")                                // 404
+	do("POST", "/jobs", `{"alg":"bogus"}`)                   // 400
+	do("POST", "/jobs", `{"nope`)                            // malformed JSON
+	do("POST", "/uploads", `{"id":"x"}`)                     // 200
+	do("POST", "/uploads/x/pages?seq=banana", `{"keys":[]}`) // 400
+	do("DELETE", "/uploads/x", "")                           // 204
+	if code := do("POST", "/jobs", `{"workload":{"kind":"perm","n":2048,"seed":1},"alg":"lmm3"}`); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+
+	if opened, closed := lt.opened.Load(), lt.closed.Load(); opened != closed || opened == 0 {
+		t.Fatalf("body leak: %d opened, %d closed", opened, closed)
+	}
+}

@@ -1,0 +1,39 @@
+package plan
+
+import "math/bits"
+
+// Splitter sampling for the distributed coordinator (internal/dist).  The
+// paper's probabilistic algorithms (Sections 5 and 6) pick bucket splitters
+// from a random sample with an oversampling factor that grows with the
+// confidence parameter: a sample of Θ(k·α·log n) keys makes every one of k
+// ranges carry at most a constant multiple of n/k keys with probability
+// ≥ 1 − n^−α (the standard sample-sort balance bound the Lemma 4.2 window
+// analysis instantiates).  The coordinator applies the same math with k =
+// the worker count: shard sizes are balanced w.h.p., so per-node work — and
+// the planner's per-shard cost predictions — stay near n/k.
+
+// splitterOversample is the constant in the Θ(k·α·log n) sample bound.
+const splitterOversample = 16
+
+// SplitterSample returns how many keys to sample from an n-key input to
+// choose shards−1 splitters with balanced ranges w.h.p. at confidence
+// alpha (zero selects 1, matching Shape.Alpha's convention).  The result
+// is clamped to [shards, n] and is a pure function of its inputs, so a
+// coordinator re-planning the same job samples identically.
+func SplitterSample(n, shards int, alpha float64) int {
+	if n <= 0 || shards <= 0 {
+		return 0
+	}
+	if alpha <= 0 {
+		alpha = 1
+	}
+	log2n := bits.Len64(uint64(n)) // ⌈log₂(n+1)⌉
+	s := int(float64(shards) * (alpha + 1) * splitterOversample * float64(log2n))
+	if s < shards {
+		s = shards
+	}
+	if s > n {
+		s = n
+	}
+	return s
+}

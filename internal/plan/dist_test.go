@@ -1,0 +1,41 @@
+package plan
+
+import "testing"
+
+func TestSplitterSample(t *testing.T) {
+	// Degenerate inputs.
+	if got := SplitterSample(0, 4, 1); got != 0 {
+		t.Fatalf("n=0: %d", got)
+	}
+	if got := SplitterSample(100, 0, 1); got != 0 {
+		t.Fatalf("shards=0: %d", got)
+	}
+	// Clamped to n on small inputs.
+	if got := SplitterSample(10, 4, 1); got != 10 {
+		t.Fatalf("small n: sample %d, want n=10", got)
+	}
+	// Large inputs: at least one key per shard, well below n, and
+	// monotone in every argument.
+	n := 1 << 20
+	base := SplitterSample(n, 4, 1)
+	if base < 4 || base >= n {
+		t.Fatalf("sample %d outside (shards, n)", base)
+	}
+	if more := SplitterSample(n, 8, 1); more <= base {
+		t.Fatalf("more shards shrank the sample: %d <= %d", more, base)
+	}
+	if conf := SplitterSample(n, 4, 2); conf <= base {
+		t.Fatalf("higher alpha shrank the sample: %d <= %d", conf, base)
+	}
+	if big := SplitterSample(n<<8, 4, 1); big < base {
+		t.Fatalf("bigger n shrank the sample: %d < %d", big, base)
+	}
+	// alpha = 0 means 1 (Shape.Alpha's convention).
+	if SplitterSample(n, 4, 0) != base {
+		t.Fatal("alpha=0 should price as alpha=1")
+	}
+	// Determinism: a pure function of its inputs.
+	if SplitterSample(n, 4, 1) != base {
+		t.Fatal("sample size not deterministic")
+	}
+}

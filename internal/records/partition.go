@@ -1,0 +1,45 @@
+package records
+
+import "sort"
+
+// Range partitioning for the distributed coordinator (internal/dist): the
+// same order-preserving bucket discipline the external distribution
+// permutation uses for its scatter, applied at record granularity across
+// worker shards instead of block granularity across scratch chunks.
+
+// RangeShard returns the shard a key belongs to under the given sorted
+// splitters: shard i receives keys in [splitters[i-1], splitters[i]), with
+// the first shard open below and the last open above.  A key equal to a
+// splitter goes right — so every occurrence of a key lands in the same
+// shard, which is what keeps a range-partitioned sort stable (ties never
+// straddle a shard boundary).
+func RangeShard(key int64, splitters []int64) int {
+	return sort.Search(len(splitters), func(i int) bool { return key < splitters[i] })
+}
+
+// RangePartition buckets keys across len(splitters)+1 shards, preserving
+// input order within each shard: shards[s] lists, in increasing original
+// position, the indices of the keys shard s receives.  Empty shards come
+// back as empty (non-nil) slices so callers can index by shard without
+// nil checks.
+func RangePartition(keys []int64, splitters []int64) [][]int {
+	shards := make([][]int, len(splitters)+1)
+	counts := make([]int, len(shards))
+	which := make([]int, len(keys))
+	for i, k := range keys {
+		s := RangeShard(k, splitters)
+		which[i] = s
+		counts[s]++
+	}
+	backing := make([]int, len(keys))
+	off := 0
+	for s := range shards {
+		shards[s] = backing[off : off : off+counts[s]]
+		off += counts[s]
+	}
+	for i := range keys {
+		s := which[i]
+		shards[s] = append(shards[s], i)
+	}
+	return shards
+}
