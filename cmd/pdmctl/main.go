@@ -6,6 +6,7 @@
 //	pdmctl health -worker http://host:8080
 //	pdmctl submit -worker http://host:8080 -spec '{"workload":{"kind":"zipf","n":100000,"seed":7}}'
 //	pdmctl status -worker http://host:8080 -id 1 -watch
+//	pdmctl jobs -worker http://host:8080
 //	pdmctl cancel -worker http://host:8080 -id 1
 //	pdmctl sort -workers http://a:8080,http://b:8080 -kind perm -n 1000000 -seed 1
 //
@@ -27,6 +28,7 @@ import (
 	"slices"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"repro"
@@ -45,6 +47,8 @@ func main() {
 		err = cmdSubmit(os.Args[2:])
 	case "status":
 		err = cmdStatus(os.Args[2:])
+	case "jobs":
+		err = cmdJobs(os.Args[2:])
 	case "cancel":
 		err = cmdCancel(os.Args[2:])
 	case "sort":
@@ -66,6 +70,7 @@ commands:
   health  probe one daemon's /healthz
   submit  submit a job spec to one daemon
   status  poll one job's status (-watch follows it to completion)
+  jobs    list every job the daemon knows, with recovery provenance
   cancel  cancel one job
   sort    run a distributed sort across many daemons`)
 }
@@ -149,17 +154,66 @@ func cmdStatus(args []string) error {
 		if err != nil {
 			return err
 		}
-		var st struct {
-			State string `json:"state"`
-		}
+		var st repro.JobStatus
 		if err := json.Unmarshal(raw, &st); err != nil {
 			return err
 		}
-		if !*watch || st.State == "done" || st.State == "failed" || st.State == "canceled" {
+		// Suspended is terminal for this daemon life: the job will not move
+		// again until a new pdmd replays the journal.
+		terminal := st.State == repro.JobDone || st.State == repro.JobFailed ||
+			st.State == repro.JobCanceled || st.State == repro.JobSuspended
+		if !*watch || terminal {
+			if p := provenance(st.Recovery); p != "" {
+				fmt.Fprintf(os.Stderr, "pdmctl: job %d %s\n", st.ID, p)
+			}
 			return printJSON(raw)
 		}
 		time.Sleep(250 * time.Millisecond)
 	}
+}
+
+// provenance renders a recovered job's origin for humans; "" for jobs
+// submitted to this daemon life.
+func provenance(rec *repro.RecoveryInfo) string {
+	switch {
+	case rec == nil:
+		return ""
+	case rec.ResumedFromPass > 0:
+		return fmt.Sprintf("resumed from pass %d checkpoint", rec.ResumedFromPass)
+	case rec.RestartedFromInput:
+		return "recovered; restarted from input (scratch unusable)"
+	case rec.WasRunning:
+		return "recovered mid-run; not rerun yet"
+	default:
+		return "recovered from the journal queue"
+	}
+}
+
+// cmdJobs lists every job the daemon knows — including ones replayed from
+// the journal after a restart — as a table, or raw JSON with -json.
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	worker := fs.String("worker", "http://localhost:8080", "daemon base URL")
+	asJSON := fs.Bool("json", false, "print the raw status list instead of a table")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	raw, err := call(http.MethodGet, *worker+"/jobs", nil)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(raw)
+	}
+	var jobs []repro.JobStatus
+	if err := json.Unmarshal(raw, &jobs); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tSTATE\tALG\tN\tLABEL\tRECOVERY")
+	for _, j := range jobs {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%s\t%s\n",
+			j.ID, j.State, j.Algorithm, j.N, j.Label, provenance(j.Recovery))
+	}
+	return tw.Flush()
 }
 
 func cmdCancel(args []string) error {

@@ -45,6 +45,8 @@ func main() {
 	writeBehind := flag.Int("writebehind", 2, "default per-job write-behind depth in stripes")
 	maxBody := flag.Int64("maxbody", 64<<20, "largest accepted submit body in bytes")
 	maxStaged := flag.Int64("maxstaged", 256<<20, "total bytes held by in-flight staged uploads")
+	journalDir := flag.String("journal", "", "journal directory for durable jobs: submissions and pass checkpoints are fsynced there and replayed on restart")
+	drainWait := flag.Duration("drainwait", 30*time.Second, "how long SIGTERM waits for running jobs to park at a pass checkpoint (journaled daemons only)")
 	flag.Parse()
 
 	sch, err := repro.NewScheduler(repro.SchedulerConfig{
@@ -57,10 +59,14 @@ func main() {
 		Kernel:     *kernel,
 		MaxQueue:   *queue,
 		Pipeline:   repro.PipelineConfig{Prefetch: *prefetch, WriteBehind: *writeBehind},
+		JournalDir: *journalDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pdmd: %v\n", err)
 		os.Exit(1)
+	}
+	if n := sch.Health().Recovered; n > 0 {
+		log.Printf("pdmd: recovered %d job(s) from the journal", n)
 	}
 	handler := pdmdapi.New(sch, pdmdapi.Options{
 		MaxBody:        *maxBody,
@@ -71,12 +77,24 @@ func main() {
 	go func() {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-		<-stop
-		log.Printf("pdmd: shutting down")
+		sig := <-stop
+		log.Printf("pdmd: shutting down (%v)", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck // exiting either way
-		sch.Close()
+		if sig == syscall.SIGTERM && *journalDir != "" {
+			// A journaled daemon drains on SIGTERM: running jobs park at
+			// their next pass checkpoint (scratch kept, manifest fsynced)
+			// and queued jobs stay journaled, so the next pdmd over the
+			// same -journal and -scratch picks everything back up.
+			dctx, dcancel := context.WithTimeout(context.Background(), *drainWait)
+			defer dcancel()
+			if err := sch.Drain(dctx); err != nil {
+				log.Printf("pdmd: forced drain: %v", err)
+			}
+		} else {
+			sch.Close()
+		}
 	}()
 	log.Printf("pdmd: serving on %s (mem budget %d keys, job M %d)", *addr, *mem, *jobMem)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -1,0 +1,292 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/pdm"
+)
+
+// A journaled scheduler must make jobs durable across lives: Drain parks a
+// running multi-pass sort at its last journaled checkpoint, and the next
+// NewScheduler over the same JournalDir and Dir resumes it from that pass —
+// with an end state bit-identical to an uninterrupted run — while queued
+// jobs re-admit in their original FIFO order.  These tests exercise the
+// whole facade path (journalSpec round-trip, manifest arming, resume,
+// restart-from-input fallback) in-process; the daemon-level SIGKILL
+// variant lives in cmd/pdmd's e2e test.
+
+// durabilityConfig is the shared scheduler shape: one job envelope, so a
+// running job is always alone and everything behind it queues in order.
+func durabilityConfig(dir, jdir string) SchedulerConfig {
+	return SchedulerConfig{
+		Memory:     4000,
+		Workers:    4,
+		JobMemory:  schedJobMem,
+		Dir:        dir,
+		JournalDir: jdir,
+		Pipeline:   PipelineConfig{Prefetch: 2, WriteBehind: 2},
+	}
+}
+
+// durabilitySpecs returns the three-job batch: a latency-slowed three-pass
+// sort to interrupt, and two queued jobs behind it.
+func durabilitySpecs() []JobSpec {
+	return []JobSpec{
+		{Workload: &WorkloadSpec{Kind: "perm", N: 16 * schedJobMem, Seed: 11},
+			Algorithm: ThreePassLMM, BlockLatency: 2 * time.Millisecond,
+			KeepKeys: true, Label: "interrupted"},
+		{Workload: &WorkloadSpec{Kind: "sortedruns", N: 8 * schedJobMem, Seed: 12},
+			Algorithm: TwoPassExpected, KeepKeys: true, Label: "queued-a"},
+		{Workload: &WorkloadSpec{Kind: "uniform", N: 16 * schedJobMem, Seed: 13},
+			Algorithm: ThreePassMesh, KeepKeys: true, Label: "queued-b"},
+	}
+}
+
+// soloDurabilityRun runs one spec alone on a dedicated machine with the
+// scheduler's job geometry: the bit-identity control.
+func soloDurabilityRun(t *testing.T, spec JobSpec) ([]int64, *Report) {
+	t.Helper()
+	m, err := NewMachine(MachineConfig{
+		Memory:       schedJobMem,
+		Pipeline:     PipelineConfig{Prefetch: 2, WriteBehind: 2},
+		Workers:      4,
+		BlockLatency: spec.BlockLatency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	keys, err := spec.Workload.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Sort(keys, spec.Algorithm)
+	if err != nil {
+		t.Fatalf("%s solo: %v", spec.Label, err)
+	}
+	return keys, rep
+}
+
+// submitBatch submits the specs and returns their ids.
+func submitBatch(t *testing.T, s *Scheduler, specs []JobSpec) []int {
+	t.Helper()
+	ids := make([]int, len(specs))
+	for i, spec := range specs {
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %s: %v", spec.Label, err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// awaitCheckpoint polls the journal (read-only, from the side) until the
+// job has a checkpoint record with Pass >= 1, then returns that pass.
+func awaitCheckpoint(t *testing.T, jdir string, job int) int {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		recs, _, err := journal.Replay(jdir)
+		if err == nil {
+			for _, rec := range recs {
+				if rec.Type != journal.Checkpoint || rec.Job != job {
+					continue
+				}
+				var cp pdm.Checkpoint
+				if json.Unmarshal(rec.Data, &cp) == nil && cp.Pass >= 1 {
+					return cp.Pass
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d never journaled a checkpoint", job)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSchedulerDrainResumeBitIdentical interrupts a three-pass sort at a
+// journaled pass boundary via Drain, restarts the scheduler over the same
+// directories, and demands the resumed job's output and deterministic
+// report match an uninterrupted control run — with the two queued jobs
+// re-admitted behind it in their original order.
+func TestSchedulerDrainResumeBitIdentical(t *testing.T) {
+	dir, jdir := t.TempDir(), t.TempDir()
+	specs := durabilitySpecs()
+	wantKeys, wantRep := soloDurabilityRun(t, specs[0])
+
+	// Life 1: submit all three, wait for the first pass boundary to hit
+	// the journal, then drain cleanly.
+	s1, err := NewScheduler(durabilityConfig(dir, jdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := submitBatch(t, s1, specs)
+	awaitCheckpoint(t, jdir, ids[0])
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	err = s1.Drain(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, ok := s1.Status(ids[0])
+	if !ok || st.State != JobSuspended {
+		t.Fatalf("after drain: job %d state %q, want suspended", ids[0], st.State)
+	}
+	for _, id := range ids[1:] {
+		if st, _ := s1.Status(id); st.State != JobQueued {
+			t.Fatalf("after drain: job %d state %q, want queued", id, st.State)
+		}
+	}
+
+	// Life 2: the same directories.  Recovery replays the journal,
+	// re-admits everything, and resumes the suspended sort mid-flight.
+	s2, err := NewScheduler(durabilityConfig(dir, jdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	final := make([]JobStatus, len(ids))
+	for i, id := range ids {
+		fst, err := s2.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatalf("wait %d: %v", id, err)
+		}
+		if fst.State != JobDone {
+			t.Fatalf("job %d state %q, error %q", id, fst.State, fst.Error)
+		}
+		final[i] = fst
+	}
+
+	// Resume provenance: the interrupted job picked up from a checkpointed
+	// pass, and only it carries recovery info from a running state.
+	rec := final[0].Recovery
+	if rec == nil || !rec.WasRunning || rec.ResumedFromPass < 1 || rec.RestartedFromInput {
+		t.Fatalf("interrupted job recovery = %+v, want resumed from pass >= 1", rec)
+	}
+	for _, fst := range final[1:] {
+		if fst.Recovery == nil || fst.Recovery.WasRunning {
+			t.Fatalf("queued job %d recovery = %+v, want recovered but not running", fst.ID, fst.Recovery)
+		}
+	}
+
+	// FIFO order: one envelope means strictly serial execution, so start
+	// times must follow the original submission order.
+	for i := 1; i < len(final); i++ {
+		if final[i].Started.Before(final[i-1].Started) {
+			t.Fatalf("job %d started %v before its FIFO predecessor's %v",
+				final[i].ID, final[i].Started, final[i-1].Started)
+		}
+	}
+
+	// Bit-identity: the resumed run's output and deterministic report
+	// match the uninterrupted control exactly.
+	got, err := s2.SortedKeys(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, wantKeys) {
+		t.Fatal("resumed output differs from the uninterrupted control")
+	}
+	rep := final[0].Report
+	if rep.Passes != wantRep.Passes || rep.ReadPasses != wantRep.ReadPasses ||
+		rep.WritePasses != wantRep.WritePasses || rep.PaddedN != wantRep.PaddedN ||
+		rep.Algorithm != wantRep.Algorithm || rep.FellBack != wantRep.FellBack {
+		t.Fatalf("resumed report differs:\nresumed %+v\ncontrol %+v", rep, wantRep)
+	}
+	if normalizeStats(rep.IO) != normalizeStats(wantRep.IO) {
+		t.Fatalf("resumed I/O stats differ:\nresumed %+v\ncontrol %+v",
+			normalizeStats(rep.IO), normalizeStats(wantRep.IO))
+	}
+
+	// The queued jobs still sort correctly after their journal round-trip.
+	for i, id := range ids[1:] {
+		keys, err := s2.SortedKeys(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.IsSorted(keys) || len(keys) != specs[i+1].Workload.N {
+			t.Fatalf("recovered job %d output wrong (%d keys)", id, len(keys))
+		}
+	}
+
+	stats := s2.Stats()
+	if stats.Recovered != 3 || stats.JobsResumed != 1 || stats.JobsRestarted != 0 {
+		t.Fatalf("recovery stats: recovered %d, resumed %d, restarted %d",
+			stats.Recovered, stats.JobsResumed, stats.JobsRestarted)
+	}
+	if stats.JournalAppends == 0 || stats.JournalReplayed == 0 || stats.JournalFsyncErrors != 0 {
+		t.Fatalf("journal metrics: %+v", stats)
+	}
+	if h := s2.Health(); !h.Durable || h.Recovered != 3 {
+		t.Fatalf("health after recovery: %+v", h)
+	}
+}
+
+// TestSchedulerRecoveryRestartFromInput deletes a suspended job's scratch
+// between lives: the manifest no longer validates against the disks, so
+// the rerun must fall back to a clean restart from the input and still
+// produce the correct result, reported as RestartedFromInput.
+func TestSchedulerRecoveryRestartFromInput(t *testing.T) {
+	dir, jdir := t.TempDir(), t.TempDir()
+	specs := durabilitySpecs()[:1]
+	wantKeys, _ := soloDurabilityRun(t, specs[0])
+
+	s1, err := NewScheduler(durabilityConfig(dir, jdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := submitBatch(t, s1, specs)
+	awaitCheckpoint(t, jdir, ids[0])
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	err = s1.Drain(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Lose the surviving scratch: the journal still has the manifest, but
+	// the files it points at are gone.
+	scratch := filepath.Join(dir, "job-0001")
+	if _, err := os.Stat(scratch); err != nil {
+		t.Fatalf("suspended scratch missing before the test even deleted it: %v", err)
+	}
+	if err := os.RemoveAll(scratch); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewScheduler(durabilityConfig(dir, jdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	fst, err := s2.Wait(context.Background(), ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.State != JobDone {
+		t.Fatalf("job state %q, error %q", fst.State, fst.Error)
+	}
+	rec := fst.Recovery
+	if rec == nil || !rec.WasRunning || !rec.RestartedFromInput || rec.ResumedFromPass != 0 {
+		t.Fatalf("recovery = %+v, want restarted from input", rec)
+	}
+	got, err := s2.SortedKeys(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, wantKeys) {
+		t.Fatal("restarted output differs from the control")
+	}
+	if stats := s2.Stats(); stats.JobsRestarted != 1 || stats.JobsResumed != 0 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+}

@@ -58,6 +58,13 @@ func ExpectedSixPass(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 			return nil, err
 		}
 		fellBack = fellBack || fb
+		// Reporting-only boundary: superrun i complete (recovery
+		// restarts from input).
+		if err := a.PassDone(pdm.Checkpoint{Alg: "six", Pass: i + 1, N: n}); err != nil {
+			a.Arena().Free(staging)
+			freeAll2(subseqs)
+			return nil, err
+		}
 	}
 	a.Arena().Free(staging)
 

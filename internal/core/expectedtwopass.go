@@ -80,6 +80,17 @@ func expectedTwoPassRange(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFun
 	if err != nil {
 		return nil, false, err
 	}
+	// Reporting-only boundary at the top-level invocation (nested calls
+	// — ExpectedSixPass superruns, ExpectedThreePass segments — report
+	// their own structure).  No resume manifest: the expected algorithm
+	// must rerun its shuffle gamble from input to keep the fallback
+	// decision deterministic.
+	if emit == nil {
+		if err := a.PassDone(pdm.Checkpoint{Alg: "exp2", Pass: 1, N: n}); err != nil {
+			freeAll(runs)
+			return nil, false, err
+		}
+	}
 	var out *pdm.Stripe
 	var w *stream.Writer
 	userEmit := emit != nil
@@ -121,7 +132,7 @@ func expectedTwoPassRange(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFun
 	if userEmit {
 		fbEmit = emit
 	}
-	fb, err := threePass2Range(a, in, off, n, fbEmit)
+	fb, err := threePass2Range(a, in, off, n, fbEmit, false)
 	if err != nil {
 		return nil, true, err
 	}

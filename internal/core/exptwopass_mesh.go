@@ -142,7 +142,7 @@ func ExpTwoPassMesh(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 		return nil, err
 	}
 	// Problem detected: abort and re-sort with the Lemma 4.1 algorithm.
-	fallback, err := threePass2Range(a, in, 0, n, nil)
+	fallback, err := threePass2Range(a, in, 0, n, nil, false)
 	if err != nil {
 		return nil, err
 	}

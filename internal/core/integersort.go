@@ -471,11 +471,19 @@ func IntegerSort(a *pdm.Array, in *pdm.Stripe, r int, rearrange bool) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	// Reporting-only pass boundary: the scatter's bucket directory lives
+	// in memory, so recovery restarts from input rather than resuming.
+	if err := a.PassDone(pdm.Checkpoint{Alg: "intsort", Pass: 1, N: in.Len()}); err != nil {
+		return nil, err
+	}
 	var out *pdm.Stripe
 	if rearrange {
 		a.Arena().SetPhase("integersort/rearrange")
 		out, err = rearrangePass(a, runs, in.Len())
 		if err != nil {
+			return nil, err
+		}
+		if err := a.PassDone(pdm.Checkpoint{Alg: "intsort", Pass: 2, N: in.Len()}); err != nil {
 			return nil, err
 		}
 	}

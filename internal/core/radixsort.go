@@ -75,6 +75,11 @@ func RadixSort(a *pdm.Array, in *pdm.Stripe, universe int64) (*Result, error) {
 			}
 			node.seq = blockSeq{} // parent blocks are dead after refinement
 		}
+		// Reporting-only round boundary: the radix tree's bucket
+		// directory lives in memory, so recovery restarts from input.
+		if err := a.PassDone(pdm.Checkpoint{Alg: "radix", Pass: depth + 1, N: in.Len()}); err != nil {
+			return nil, err
+		}
 		level = next
 	}
 

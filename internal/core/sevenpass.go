@@ -46,7 +46,14 @@ func SevenPass(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 		return nil, err
 	}
 	for i := 0; i < l; i++ {
-		if _, err := threePass2Range(a, in, i*l*g.m, l*g.m, unshuffleEmit(a, subseqs[i], staging)); err != nil {
+		if _, err := threePass2Range(a, in, i*l*g.m, l*g.m, unshuffleEmit(a, subseqs[i], staging), false); err != nil {
+			a.Arena().Free(staging)
+			freeAll2(subseqs)
+			return nil, err
+		}
+		// Reporting-only boundary: superrun i complete.  The superrun
+		// grid is rebuilt from input on recovery (no resume manifest).
+		if err := a.PassDone(pdm.Checkpoint{Alg: "seven", Pass: i + 1, N: n}); err != nil {
 			a.Arena().Free(staging)
 			freeAll2(subseqs)
 			return nil, err

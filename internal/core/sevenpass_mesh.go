@@ -42,7 +42,14 @@ func SevenPassMesh(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 		return nil, err
 	}
 	for i := 0; i < l; i++ {
-		if _, err := threePass1Range(a, in, i*l*g.m, l*g.m, unshuffleEmit(a, subseqs[i], staging)); err != nil {
+		if _, err := threePass1Range(a, in, i*l*g.m, l*g.m, unshuffleEmit(a, subseqs[i], staging), false); err != nil {
+			a.Arena().Free(staging)
+			freeAll2(subseqs)
+			return nil, err
+		}
+		// Reporting-only boundary: superrun i complete (recovery
+		// restarts from input).
+		if err := a.PassDone(pdm.Checkpoint{Alg: "sevenmesh", Pass: i + 1, N: n}); err != nil {
 			a.Arena().Free(staging)
 			freeAll2(subseqs)
 			return nil, err

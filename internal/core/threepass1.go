@@ -26,7 +26,7 @@ import (
 // paper's headline case).
 func ThreePass1(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 	start := a.Stats()
-	out, err := threePass1Range(a, in, 0, in.Len(), nil)
+	out, err := threePass1Range(a, in, 0, in.Len(), nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +38,11 @@ func ThreePass1(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 // returned; otherwise every sorted M-chunk is handed to emit (SevenPassMesh
 // uses this to write its superruns unshuffled) and the returned stripe is
 // nil.
-func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*pdm.Stripe, error) {
+//
+// ckpt marks the top-level three-pass invocation: only then does the range
+// report pass boundaries through the array's checkpointer and honor an
+// armed resume point (see threePass2Range).
+func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc, ckpt bool) (*pdm.Stripe, error) {
 	g, err := checkGeometry(a)
 	if err != nil {
 		return nil, err
@@ -49,26 +53,152 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 	}
 	sq := g.sqM
 
+	var cols, bands []*pdm.Stripe
+	startPass := 0
+	if ckpt {
+		if cp := a.TakeResume(algMesh3, n); cp != nil {
+			if cp.Pass < 1 || cp.Pass > 2 {
+				return nil, fmt.Errorf("%w: ThreePass1 manifest at pass %d", ErrResumeInvalid, cp.Pass)
+			}
+			// The column stripes stay allocated until the function
+			// returns (the uninterrupted run frees them on exit), so
+			// every manifest names them alongside the pass-2 bands.
+			cols, err = adoptStripes(a, cp.Stripes["cols"])
+			if err != nil {
+				return nil, err
+			}
+			if cp.Pass >= 2 {
+				bands, err = adoptStripes(a, cp.Stripes["bands"])
+				if err != nil {
+					return nil, err
+				}
+			}
+			startPass = cp.Pass
+		}
+	}
+
 	// Pass 1: submesh sort.  Submesh k is the input range [k·M, (k+1)·M);
 	// its column c goes to block k of column-stripe c.
-	a.Arena().SetPhase("threepass1/submesh")
-	cols := make([]*pdm.Stripe, sq)
-	for c := range cols {
-		s, err := a.NewStripeSkew(l*g.b, c)
+	if startPass < 1 {
+		a.Arena().SetPhase("threepass1/submesh")
+		cols = make([]*pdm.Stripe, sq)
+		for c := range cols {
+			s, err := a.NewStripeSkew(l*g.b, c)
+			if err != nil {
+				return nil, err
+			}
+			cols[c] = s
+		}
+	}
+	defer freeAll(cols)
+	if startPass < 1 {
+		if err := threePass1Submesh(a, in, cols, off, n, l); err != nil {
+			return nil, err
+		}
+		if ckpt {
+			if err := a.PassDone(pdm.Checkpoint{Alg: algMesh3, Pass: 1, N: n,
+				Stripes: map[string][]pdm.StripeRef{"cols": stripeRefs(cols)}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 2: column sort (threePass1Columns).  Band stripes are created
+	// here and freed on exit.
+	if startPass < 2 {
+		a.Arena().SetPhase("threepass1/columns")
+		bands = make([]*pdm.Stripe, l)
+		for j := range bands {
+			s, err := a.NewStripeSkew(g.m, j)
+			if err != nil {
+				return nil, err
+			}
+			bands[j] = s
+		}
+	}
+	defer freeAll(bands)
+	if startPass < 2 {
+		if err := threePass1Columns(a, cols, bands, l); err != nil {
+			return nil, err
+		}
+		if ckpt {
+			if err := a.PassDone(pdm.Checkpoint{Alg: algMesh3, Pass: 2, N: n,
+				Stripes: map[string][]pdm.StripeRef{
+					"cols":  stripeRefs(cols),
+					"bands": stripeRefs(bands),
+				}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 3: rolling cleanup over bands in row-major order.  Band j holds
+	// exactly the mesh rows [j·√M, (j+1)·√M) as a set; the rolling pass
+	// re-sorts each chunk, so the within-band order is immaterial.
+	a.Arena().SetPhase("threepass1/cleanup")
+	var out *pdm.Stripe
+	var w *stream.Writer
+	if emit == nil {
+		out, err = a.NewStripe(n)
 		if err != nil {
 			return nil, err
 		}
-		cols[c] = s
+		w, err = stream.NewWriter(a)
+		if err != nil {
+			out.Free()
+			return nil, err
+		}
+		emit = streamEmit(w, out)
 	}
-	defer freeAll(cols)
+	rd, err := stream.NewReader(a, l, func(t int) []pdm.BlockAddr {
+		return stripeAddrs(bands[t], 0, g.m)
+	})
+	if err != nil {
+		if w != nil {
+			w.Close() //nolint:errcheck // the alloc error takes precedence
+		}
+		if out != nil {
+			out.Free()
+		}
+		return nil, err
+	}
+	readBand := func(t int, dst []int64) error {
+		return rd.FillFlat(dst)
+	}
+	err = rollingPass(a, g.m, l, readBand, emit)
+	rd.Close()
+	if w != nil {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		if out != nil {
+			out.Free()
+		}
+		return nil, fmt.Errorf("core: ThreePass1 internal error: %w", err)
+	}
+	a.Arena().SetPhase("")
+	return out, nil
+}
+
+// threePass1Submesh is pass 1 of ThreePass1: sort each √M×√M submesh and
+// scatter its columns (snake direction) into the per-column skewed
+// stripes.
+func threePass1Submesh(a *pdm.Array, in *pdm.Stripe, cols []*pdm.Stripe, off, n, l int) error {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return err
+	}
+	sq := g.sqM
 	buf, err := a.Arena().Alloc(g.m)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	gather, err := a.Arena().Alloc(g.m)
 	if err != nil {
 		a.Arena().Free(buf)
-		return nil, err
+		return err
 	}
 	pass1 := func() error {
 		rd, err := stream.NewStripeReader(in, off, n, g.m)
@@ -117,25 +247,22 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 	err = pass1()
 	a.Arena().Free(buf)
 	a.Arena().Free(gather)
-	if err != nil {
-		return nil, err
-	}
+	return err
+}
 
-	// Pass 2: column sort.  Column c is l·√M ≤ M keys; its sorted segment j
-	// (√M keys = the column's share of band j) goes to block c of
-	// band-stripe j.  Columns are processed G = min(√M, M/colLen) at a time
-	// so every I/O request spans ~√M blocks even when the columns are short
-	// (l < D), keeping the pass fully parallel at any input size.
-	a.Arena().SetPhase("threepass1/columns")
-	bands := make([]*pdm.Stripe, l)
-	for j := range bands {
-		s, err := a.NewStripeSkew(g.m, j)
-		if err != nil {
-			return nil, err
-		}
-		bands[j] = s
+// threePass1Columns is pass 2 of ThreePass1: sort every mesh column,
+// writing each sorted column's band segments into the per-band skewed
+// stripes.  Column c is l·√M ≤ M keys; its sorted segment j (√M keys =
+// the column's share of band j) goes to block c of band-stripe j.
+// Columns are processed G = min(√M, M/colLen) at a time so every I/O
+// request spans ~√M blocks even when the columns are short (l < D),
+// keeping the pass fully parallel at any input size.
+func threePass1Columns(a *pdm.Array, cols, bands []*pdm.Stripe, l int) error {
+	g, err := checkGeometry(a)
+	if err != nil {
+		return err
 	}
-	defer freeAll(bands)
+	sq := g.sqM
 	colLen := l * sq
 	batch := g.m / colLen // = √M/l ≥ 1
 	if batch > sq {
@@ -143,7 +270,7 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 	}
 	colBuf, err := a.Arena().Alloc(batch * colLen)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	pass2 := func() error {
 		// The column gathers are pure address arithmetic over the immutable
@@ -200,56 +327,5 @@ func threePass1Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 	}
 	err = pass2()
 	a.Arena().Free(colBuf)
-	if err != nil {
-		return nil, err
-	}
-
-	// Pass 3: rolling cleanup over bands in row-major order.  Band j holds
-	// exactly the mesh rows [j·√M, (j+1)·√M) as a set; the rolling pass
-	// re-sorts each chunk, so the within-band order is immaterial.
-	a.Arena().SetPhase("threepass1/cleanup")
-	var out *pdm.Stripe
-	var w *stream.Writer
-	if emit == nil {
-		out, err = a.NewStripe(n)
-		if err != nil {
-			return nil, err
-		}
-		w, err = stream.NewWriter(a)
-		if err != nil {
-			out.Free()
-			return nil, err
-		}
-		emit = streamEmit(w, out)
-	}
-	rd, err := stream.NewReader(a, l, func(t int) []pdm.BlockAddr {
-		return stripeAddrs(bands[t], 0, g.m)
-	})
-	if err != nil {
-		if w != nil {
-			w.Close() //nolint:errcheck // the alloc error takes precedence
-		}
-		if out != nil {
-			out.Free()
-		}
-		return nil, err
-	}
-	readBand := func(t int, dst []int64) error {
-		return rd.FillFlat(dst)
-	}
-	err = rollingPass(a, g.m, l, readBand, emit)
-	rd.Close()
-	if w != nil {
-		if cerr := w.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
-		if out != nil {
-			out.Free()
-		}
-		return nil, fmt.Errorf("core: ThreePass1 internal error: %w", err)
-	}
-	a.Arena().SetPhase("")
-	return out, nil
+	return err
 }

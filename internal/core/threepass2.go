@@ -20,7 +20,7 @@ import (
 // N must be a positive multiple of M with N/M ≤ √M.
 func ThreePass2(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 	start := a.Stats()
-	out, err := threePass2Range(a, in, 0, in.Len(), nil)
+	out, err := threePass2Range(a, in, 0, in.Len(), nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +32,13 @@ func ThreePass2(a *pdm.Array, in *pdm.Stripe) (*Result, error) {
 // returned; otherwise every sorted M-chunk is handed to emit (SevenPass uses
 // this to combine its step 2 unshuffle with the final write) and the
 // returned stripe is nil.
-func threePass2Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*pdm.Stripe, error) {
+//
+// ckpt marks the top-level three-pass invocation: only then does the range
+// report pass boundaries through the array's checkpointer and honor an
+// armed resume point (nested invocations — SevenPass superruns, the
+// expected-algorithm fallbacks — are passes of someone else's structure,
+// whose cumulative statistics a mid-range manifest could not reconstruct).
+func threePass2Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc, ckpt bool) (*pdm.Stripe, error) {
 	g, err := checkGeometry(a)
 	if err != nil {
 		return nil, err
@@ -40,17 +46,65 @@ func threePass2Range(a *pdm.Array, in *pdm.Stripe, off, n int, emit emitFunc) (*
 	if n <= 0 || n%g.m != 0 || n/g.m > g.sqM {
 		return nil, fmt.Errorf("core: ThreePass2 needs N a multiple of M with N/M <= sqrt(M); N = %d, M = %d", n, g.m)
 	}
-	a.Arena().SetPhase("threepass2/runs")
-	runs, err := formRunsUnshuffled(a, in, off, n, g.m, g.sqM) // pass 1
-	if err != nil {
-		return nil, err
+	var (
+		runs      []*pdm.Stripe
+		merged    []seqView
+		backing   []*pdm.Stripe
+		startPass int
+	)
+	if ckpt {
+		if cp := a.TakeResume(algLMM3, n); cp != nil {
+			switch cp.Pass {
+			case 1:
+				runs, err = adoptStripes(a, cp.Stripes["runs"])
+			case 2:
+				backing, err = adoptStripes(a, cp.Stripes["backing"])
+				if err == nil {
+					merged, err = adoptViews(cp.Views, backing)
+				}
+			default:
+				err = fmt.Errorf("%w: ThreePass2 manifest at pass %d", ErrResumeInvalid, cp.Pass)
+			}
+			if err != nil {
+				return nil, err
+			}
+			startPass = cp.Pass
+		}
 	}
-	a.Arena().SetPhase("threepass2/merge")
-	merged, backing, err := mergePartGroups(a, runs, g.sqM, g.sqM) // pass 2
-	freeAll(runs)
-	if err != nil {
-		freeAll(backing)
-		return nil, err
+	if startPass < 1 {
+		a.Arena().SetPhase("threepass2/runs")
+		runs, err = formRunsUnshuffled(a, in, off, n, g.m, g.sqM) // pass 1
+		if err != nil {
+			return nil, err
+		}
+		if ckpt {
+			if err := a.PassDone(pdm.Checkpoint{Alg: algLMM3, Pass: 1, N: n,
+				Stripes: map[string][]pdm.StripeRef{"runs": stripeRefs(runs)}}); err != nil {
+				freeAll(runs)
+				return nil, err
+			}
+		}
+	}
+	if startPass < 2 {
+		a.Arena().SetPhase("threepass2/merge")
+		merged, backing, err = mergePartGroups(a, runs, g.sqM, g.sqM) // pass 2
+		freeAll(runs)
+		if err != nil {
+			freeAll(backing)
+			return nil, err
+		}
+		if ckpt {
+			vrefs, verr := viewRefs(merged, backing)
+			if verr == nil {
+				verr = a.PassDone(pdm.Checkpoint{Alg: algLMM3, Pass: 2, N: n,
+					Stripes: map[string][]pdm.StripeRef{"backing": stripeRefs(backing)},
+					Views:   vrefs})
+			}
+			if verr != nil {
+				freeAll(backing)
+				return nil, verr
+			}
+		}
 	}
 	defer freeAll(backing)
 	var out *pdm.Stripe

@@ -1,0 +1,321 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func mustAppend(t *testing.T, j *Journal, typ Type, job int, data string) Record {
+	t.Helper()
+	var raw []byte
+	if data != "" {
+		raw = []byte(data)
+	}
+	r, err := j.Append(typ, job, raw)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return r
+}
+
+func segPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if isSegName(e.Name()) {
+			segs = append(segs, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := []Record{
+		mustAppend(t, j, Submitted, 1, `{"label":"a"}`),
+		mustAppend(t, j, Admitted, 1, ""),
+		mustAppend(t, j, Checkpoint, 1, `{"pass":1}`),
+		mustAppend(t, j, Terminal, 1, `{"state":"done"}`),
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Type != want[i].Type || got[i].Job != want[i].Job ||
+			string(got[i].Data) != string(want[i].Data) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if m := j2.Metrics(); m.ReplayedRecords != 4 || m.TornTails != 0 || m.ReplayErrors != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	// Appends continue the sequence.
+	r := mustAppend(t, j2, Submitted, 2, "")
+	if r.Seq != want[len(want)-1].Seq+1 {
+		t.Fatalf("seq after reopen = %d, want %d", r.Seq, want[len(want)-1].Seq+1)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j, Submitted, 1, `{"label":"a"}`)
+	mustAppend(t, j, Admitted, 1, "")
+	j.Close()
+
+	// Simulate a crash mid-append: a frame header plus only the first
+	// few bytes of its payload.
+	segs := segPaths(t, dir)
+	seg := segs[len(segs)-1]
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, raw...), raw[:frameHeader+4]...)
+	if err := os.WriteFile(seg, torn, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-only replay tolerates it and leaves the file alone.
+	recs, info, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(recs) != 2 || info.TornTails != 1 {
+		t.Fatalf("replay got %d records, info %+v", len(recs), info)
+	}
+	if st, _ := os.Stat(seg); st.Size() != int64(len(torn)) {
+		t.Fatalf("read-only Replay modified the segment")
+	}
+
+	// Open repairs: truncates the tail and counts it.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	if m := j2.Metrics(); m.TornTails != 1 || m.ReplayErrors != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if st, _ := os.Stat(seg); st.Size() != int64(len(raw)) {
+		t.Fatalf("repair left %d bytes, want %d", fileSize(seg), len(raw))
+	}
+	// Appends after repair land cleanly and replay again.
+	mustAppend(t, j2, Terminal, 1, `{"state":"done"}`)
+	j2.Close()
+	recs, info, err = Replay(dir)
+	if err != nil || len(recs) != 3 || info.TornTails != 0 {
+		t.Fatalf("post-repair replay: %d records, info %+v, err %v", len(recs), info, err)
+	}
+}
+
+func fileSize(p string) int64 {
+	st, err := os.Stat(p)
+	if err != nil {
+		return -1
+	}
+	return st.Size()
+}
+
+func TestCorruptCRCMidLog(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var frames []int64
+	prev := int64(0)
+	for i := 1; i <= 4; i++ {
+		mustAppend(t, j, Submitted, i, fmt.Sprintf(`{"label":"job%d"}`, i))
+		sz := j.LogBytes()
+		frames = append(frames, sz-prev)
+		prev = sz
+	}
+	j.Close()
+
+	// Flip a payload byte inside frame 2 (0-indexed: second record).
+	segs := segPaths(t, dir)
+	seg := segs[len(segs)-1]
+	raw, _ := os.ReadFile(seg)
+	off := frames[0] + frameHeader + 2 // inside record 2's payload
+	raw[off] ^= 0xff
+	if err := os.WriteFile(seg, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything from the corrupt frame on is dropped, deterministically.
+	recs, info, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Job != 1 {
+		t.Fatalf("replay got %d records (want 1): %+v", len(recs), recs)
+	}
+	if info.ReplayErrors != 1 {
+		t.Fatalf("info: %+v", info)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Replayed(); len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+	if m := j2.Metrics(); m.ReplayErrors != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if sz := fileSize(seg); sz != frames[0] {
+		t.Fatalf("repair left %d bytes, want %d", sz, frames[0])
+	}
+}
+
+func TestRotationCompactReopen(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation almost every append.
+	j, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var live []Record
+	for i := 1; i <= 8; i++ {
+		r := mustAppend(t, j, Submitted, i, fmt.Sprintf(`{"label":"job%d"}`, i))
+		if i >= 7 {
+			live = append(live, r) // jobs 7,8 stay live
+		} else {
+			mustAppend(t, j, Terminal, i, `{"state":"done"}`)
+		}
+	}
+	if n := len(segPaths(t, dir)); n < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", n)
+	}
+	before := j.LogBytes()
+	if err := j.Compact(live); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if after := j.LogBytes(); after >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before, after)
+	}
+	// Records appended after compaction replay alongside the snapshot.
+	post := mustAppend(t, j, Admitted, 7, "")
+	j.Close()
+
+	j2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got := j2.Replayed()
+	want := append(append([]Record{}, live...), post)
+	if !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Fatalf("replay after compaction:\n got %+v\nwant %+v", got, want)
+	}
+	// Sequence numbers keep increasing across compaction + reopen.
+	r := mustAppend(t, j2, Checkpoint, 7, `{"pass":1}`)
+	if r.Seq <= post.Seq {
+		t.Fatalf("seq went backwards: %d after %d", r.Seq, post.Seq)
+	}
+}
+
+// normalize strips the json.RawMessage wrapper differences for
+// comparison.
+func normalize(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = fmt.Sprintf("%d/%d/%d/%s", r.Seq, r.Type, r.Job, string(r.Data))
+	}
+	return out
+}
+
+func TestBadLengthFrame(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j, Submitted, 1, "")
+	j.Close()
+
+	segs := segPaths(t, dir)
+	seg := segs[len(segs)-1]
+	// Append a frame header claiming an absurd length.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+	f.Write(hdr[:]) //nolint:errcheck
+	f.Close()
+
+	recs, info, err := Replay(dir)
+	if err != nil || len(recs) != 1 || info.ReplayErrors != 1 {
+		t.Fatalf("replay: %d records, info %+v, err %v", len(recs), info, err)
+	}
+}
+
+func TestReplayedConsumedOnce(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	_ = j2.Replayed()
+	if r := j2.Replayed(); r != nil {
+		t.Fatalf("second Replayed returned %v, want nil", r)
+	}
+}
+
+func TestRecordJSONStable(t *testing.T) {
+	r := Record{Seq: 3, Type: Checkpoint, Job: 7, Data: json.RawMessage(`{"pass":2}`)}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != 3 || back.Type != Checkpoint || back.Job != 7 || string(back.Data) != `{"pass":2}` {
+		t.Fatalf("round trip: %+v", back)
+	}
+}

@@ -62,6 +62,48 @@ func NewFileDisk(path string, b int) (*FileDisk, error) {
 	return d, nil
 }
 
+// OpenFileDisk reopens an existing file-backed disk at path without
+// truncating it: the write frontier is initialized from the file size,
+// so blocks written by a previous process stay readable.  The resume
+// path uses it to re-attach a job's surviving scratch files.
+func OpenFileDisk(path string, b int) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pdm: opening file disk: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close() //nolint:errcheck // surface the stat error instead
+		return nil, fmt.Errorf("pdm: opening file disk: %w", err)
+	}
+	d := &FileDisk{f: f, b: b}
+	blocks := st.Size() / (int64(b) * 8)
+	d.blocks.Store(blocks)
+	d.grown.Store(blocks)
+	d.bufs.New = func() any {
+		buf := make([]byte, 8*b)
+		return &buf
+	}
+	return d, nil
+}
+
+// OpenFileDisks reopens d existing file disks named disk0000.bin …
+// inside dir without truncating them (see OpenFileDisk).
+func OpenFileDisks(dir string, d, b int) ([]Disk, error) {
+	disks := make([]Disk, d)
+	for i := range disks {
+		fd, err := OpenFileDisk(filepath.Join(dir, fmt.Sprintf("disk%04d.bin", i)), b)
+		if err != nil {
+			for _, prev := range disks[:i] {
+				prev.Close() //nolint:errcheck // best-effort cleanup
+			}
+			return nil, err
+		}
+		disks[i] = fd
+	}
+	return disks, nil
+}
+
 // NewFileDisks creates d file-backed disks named disk0000.bin … inside
 // dir, with block size b keys, closing any already-created disks on
 // failure.  NewFileArray and the facade's machine constructor share it.

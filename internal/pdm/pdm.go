@@ -165,6 +165,13 @@ type Array struct {
 	stats Stats
 	alloc rowAllocator
 	trace []TraceOp
+
+	// ckpt/resume are the pass-boundary durability seam (checkpoint.go):
+	// PassDone hands completed-pass manifests to ckpt, and TakeResume
+	// lets the owning algorithm claim resume to skip finished passes.
+	ckpt           Checkpointer
+	resume         *Checkpoint
+	resumeConsumed bool
 }
 
 // NewMemDisks creates d in-memory disks with block size b keys.

@@ -368,6 +368,7 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE pdmd_jobs gauge\n")
 	p("pdmd_jobs{state=\"queued\"} %d\n", st.Queued)
 	p("pdmd_jobs{state=\"running\"} %d\n", st.Running)
+	p("pdmd_jobs{state=\"suspended\"} %d\n", st.Suspended)
 	p("# TYPE pdmd_mem_keys gauge\n")
 	p("pdmd_mem_keys{kind=\"in_use\"} %d\n", st.MemInUse)
 	p("pdmd_mem_keys{kind=\"capacity\"} %d\n", st.MemCapacity)
@@ -388,4 +389,19 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE pdmd_uptime_seconds gauge\npdmd_uptime_seconds %g\n", st.UptimeSeconds)
 	p("# TYPE pdmd_staged_uploads gauge\npdmd_staged_uploads %d\n", s.ups.count())
 	p("# TYPE pdmd_staged_bytes gauge\npdmd_staged_bytes %d\n", s.ups.bytes())
+	// Durability: recovery outcomes this life, plus write-ahead-log health.
+	// All zero on an unjournaled daemon, emitted anyway so dashboards keyed
+	// on these series never see them disappear.
+	p("# TYPE pdmd_jobs_recovered_total counter\npdmd_jobs_recovered_total %d\n", st.Recovered)
+	p("# TYPE pdmd_jobs_resumed_total counter\npdmd_jobs_resumed_total %d\n", st.JobsResumed)
+	p("# TYPE pdmd_jobs_restarted_total counter\npdmd_jobs_restarted_total %d\n", st.JobsRestarted)
+	p("# TYPE pdmd_scratch_orphans_swept_total counter\npdmd_scratch_orphans_swept_total %d\n", st.OrphansSwept)
+	p("# TYPE pdmd_journal_bytes gauge\npdmd_journal_bytes %d\n", st.JournalBytes)
+	p("# TYPE pdmd_journal_segments gauge\npdmd_journal_segments %d\n", st.JournalSegments)
+	p("# TYPE pdmd_journal_appends_total counter\npdmd_journal_appends_total %d\n", st.JournalAppends)
+	p("# TYPE pdmd_journal_fsync_errors_total counter\npdmd_journal_fsync_errors_total %d\n", st.JournalFsyncErrors)
+	p("# TYPE pdmd_journal_compactions_total counter\npdmd_journal_compactions_total %d\n", st.JournalCompactions)
+	p("# TYPE pdmd_journal_replayed_records counter\npdmd_journal_replayed_records %d\n", st.JournalReplayed)
+	p("# TYPE pdmd_journal_torn_tails_total counter\npdmd_journal_torn_tails_total %d\n", st.JournalTornTails)
+	p("# TYPE pdmd_journal_replay_errors_total counter\npdmd_journal_replay_errors_total %d\n", st.JournalReplayErrors)
 }

@@ -429,6 +429,17 @@ func (p *permuter) process(lo, hi int, src *nodeSource, depth int) error {
 		}
 		return err
 	}
+	// Reporting-only boundary: one scatter level of this subtree done.
+	// The partition directory lives in memory, so a recovered records
+	// job restarts from input rather than resuming mid-tree.
+	if err := p.a.PassDone(pdm.Checkpoint{Alg: "permute", Pass: depth + 1, N: p.padded}); err != nil {
+		for _, c := range children {
+			if c.stripe != nil {
+				c.stripe.Free()
+			}
+		}
+		return err
+	}
 	for _, c := range children {
 		// Ownership of the partition stripe transfers to the child source,
 		// which frees it when consumed (including on error paths).

@@ -1,15 +1,21 @@
+// Package sched admits and runs jobs against global memory, disk, and
+// compute budgets, optionally journaling every lifecycle transition so a
+// restarted scheduler can recover its queue and resume interrupted work.
 package sched
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/par"
 	"repro/internal/pdm"
 )
@@ -28,6 +34,10 @@ const (
 	Failed
 	// Canceled jobs were canceled before or during execution.
 	Canceled
+	// Suspended jobs were interrupted at a pass boundary by Drain: the
+	// envelope is released and the scratch directory kept, and no terminal
+	// record is journaled, so a restarted scheduler recovers them.
+	Suspended
 )
 
 // String names the state as the service reports it.
@@ -43,6 +53,8 @@ func (s State) String() string {
 		return "failed"
 	case Canceled:
 		return "canceled"
+	case Suspended:
+		return "suspended"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -58,6 +70,13 @@ var (
 	// ErrTooLarge is returned by Submit for a job whose envelope could
 	// never fit the scheduler's total budget.
 	ErrTooLarge = errors.New("sched: job envelope exceeds the scheduler budget")
+	// ErrDraining is returned from Env.Checkpoint while the scheduler is
+	// draining: the job has a durable manifest for the pass it just
+	// finished, so it should abort here and let recovery resume it.
+	ErrDraining = errors.New("sched: draining, stop at this checkpoint")
+	// ErrUnknownRecovered is returned by Submit for a Request.ID that does
+	// not name a pending recovered job.
+	ErrUnknownRecovered = errors.New("sched: no pending recovered job with that id")
 )
 
 // Config sizes a Scheduler.
@@ -82,16 +101,31 @@ type Config struct {
 	// failure tests (an undeletable directory cannot be simulated portably
 	// when the test runs as root).
 	RemoveDir func(string) error
+	// Journal, when non-nil, receives an append-only record of every job
+	// lifecycle transition.  New replays whatever the journal recovered:
+	// jobs without a terminal record become Recovered() candidates, and
+	// scratch directories under Dir with no live journal entry are swept.
+	// The scheduler owns the journal from here on and closes it on
+	// Close/Drain.
+	Journal *journal.Journal
+	// CompactBytes triggers a compacting snapshot when the journal's
+	// on-disk size reaches this many bytes; zero disables compaction.
+	CompactBytes int64
 }
 
 // Env is what an admitted job receives: its identity, the shared compute
-// budget, and its scratch directory ("" when the scheduler is
-// memory-backed).
+// budget, its scratch directory ("" when the scheduler is memory-backed),
+// and a Checkpoint sink for durable pass manifests.
 type Env struct {
 	JobID   int
 	Limiter *par.Limiter
 	Workers int
 	Dir     string
+	// Checkpoint journals an opaque pass manifest for this job.  It
+	// returns ErrDraining when the scheduler wants the job to stop at
+	// this boundary; the job should abort with that error so it is
+	// suspended (scratch kept) rather than failed.  Always non-nil.
+	Checkpoint func(manifest []byte) error
 }
 
 // Request describes one job: its resource envelope and its body.
@@ -104,6 +138,16 @@ type Request struct {
 	MemKeys int
 	// DiskKeys is the on-disk scratch envelope reserved for the job.
 	DiskKeys int
+	// Spec is an opaque description of the job journaled with its
+	// submission record and handed back verbatim through
+	// RecoveredJob.Spec, so the owner can reconstruct Run after a
+	// restart.  Ignored without a journal.
+	Spec []byte
+	// ID, when nonzero, resubmits the pending recovered job with that
+	// identity instead of assigning a fresh one.  The job keeps its
+	// original journal records (and therefore its original scratch
+	// directory); no new submission record is written.
+	ID int
 	// Run is the job body.  It must honor ctx — the pdm layer turns a
 	// bound context into failing I/O, so a sorting Run that uses
 	// SortContext aborts promptly when canceled.
@@ -128,6 +172,13 @@ type Job struct {
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
+
+	// Journal records backing this job, kept so compaction can carry the
+	// live tail of the log forward.  Written under the scheduler's
+	// journal mutex, read under j.mu.
+	subRec   *journal.Record
+	admitRec *journal.Record
+	ckptRec  *journal.Record
 }
 
 // ID returns the job's scheduler-assigned identifier.
@@ -210,6 +261,8 @@ type Stats struct {
 	Canceled  int
 	Queued    int
 	Running   int
+	// Suspended counts jobs interrupted at a checkpoint by Drain.
+	Suspended int
 
 	MemInUse     int
 	MemCapacity  int
@@ -222,6 +275,55 @@ type Stats struct {
 	// disk outside the budget ledger, so a nonzero value is an operator
 	// signal; the per-job error is on Job.CleanupErr.
 	CleanupFailures int
+
+	// Recovered counts jobs replayed live from the journal at startup;
+	// PendingRecovered is how many have not been resubmitted yet.
+	Recovered        int
+	PendingRecovered int
+	// OrphansSwept counts scratch directories removed at startup because
+	// no live journal entry claimed them.
+	OrphansSwept int
+}
+
+// RecoveredJob describes a job the journal replayed live at startup: it
+// was submitted in a previous life and never reached a terminal state.
+// The owner reconstructs its Run body from Spec and resubmits it with
+// Request.ID = ID, or retires it with DropRecovered.
+type RecoveredJob struct {
+	ID       int
+	Label    string
+	MemKeys  int
+	DiskKeys int
+	// Spec is the opaque submission payload journaled by the previous
+	// life's Submit.
+	Spec []byte
+	// WasRunning reports that the job had been admitted (or had
+	// checkpointed) before the crash; its scratch directory survives.
+	WasRunning bool
+	// Checkpoint is the job's last journaled pass manifest, nil if it
+	// never completed a pass.
+	Checkpoint []byte
+}
+
+// recoveredState keeps a pending recovered job's replayed journal
+// records so compaction preserves them and resubmission re-attaches them.
+type recoveredState struct {
+	sub  journal.Record
+	ckpt *journal.Record
+}
+
+// submittedData is the JSON payload of a Submitted journal record.
+type submittedData struct {
+	Label    string          `json:"label,omitempty"`
+	MemKeys  int             `json:"memKeys"`
+	DiskKeys int             `json:"diskKeys"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+}
+
+// terminalData is the JSON payload of a Terminal journal record.
+type terminalData struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
 }
 
 // Scheduler admits and runs jobs against the global budgets.
@@ -229,6 +331,12 @@ type Scheduler struct {
 	cfg Config
 	lim *par.Limiter
 	mem *pdm.Arena // global internal-memory ledger
+
+	// jmu serializes every journal write (and Submit's id assignment), so
+	// journal record order matches queue order and compaction can gather
+	// the live record set without racing a concurrent append.  Lock
+	// order: jmu before mu before any j.mu.
+	jmu sync.Mutex
 
 	mu              sync.Mutex
 	cond            *sync.Cond
@@ -240,13 +348,23 @@ type Scheduler struct {
 	completed       int
 	failed          int
 	canceled        int
+	suspended       int
 	cleanupFailures int
+	orphansSwept    int
 	closed          bool
+	draining        bool
+
+	pending       map[int]*recoveredState
+	recoveredList []RecoveredJob
 
 	wg sync.WaitGroup
 }
 
-// New starts a scheduler with the given budgets.
+// New starts a scheduler with the given budgets.  When cfg.Journal is
+// set, New first replays it: jobs without terminal records become
+// Recovered() candidates (in original submission order), and scratch
+// directories under cfg.Dir with no live journal entry are removed.
+// Without a journal, every leftover job directory is an orphan.
 func New(cfg Config) (*Scheduler, error) {
 	if cfg.MemKeys <= 0 {
 		return nil, fmt.Errorf("sched: MemKeys = %d, want > 0", cfg.MemKeys)
@@ -264,15 +382,159 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg.MaxQueue = 1024
 	}
 	s := &Scheduler{
-		cfg:  cfg,
-		lim:  par.NewLimiter(cfg.Workers),
-		mem:  pdm.NewArena(cfg.MemKeys),
-		jobs: make(map[int]*Job),
+		cfg:     cfg,
+		lim:     par.NewLimiter(cfg.Workers),
+		mem:     pdm.NewArena(cfg.MemKeys),
+		jobs:    make(map[int]*Job),
+		pending: make(map[int]*recoveredState),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.recover()
+	s.sweepOrphans()
 	s.wg.Add(1)
 	go s.admit()
 	return s, nil
+}
+
+// recover replays the journal into the pending-recovered set.
+func (s *Scheduler) recover() {
+	if s.cfg.Journal == nil {
+		return
+	}
+	type track struct {
+		sub      journal.Record
+		data     submittedData
+		admitted bool
+		ckpt     *journal.Record
+		terminal bool
+	}
+	byID := make(map[int]*track)
+	var order []int
+	for _, r := range s.cfg.Journal.Replayed() {
+		if r.Job > s.nextID {
+			s.nextID = r.Job
+		}
+		switch r.Type {
+		case journal.Submitted:
+			t := &track{sub: r}
+			_ = json.Unmarshal(r.Data, &t.data)
+			if byID[r.Job] == nil {
+				order = append(order, r.Job)
+			}
+			byID[r.Job] = t
+		case journal.Admitted:
+			if t := byID[r.Job]; t != nil {
+				t.admitted = true
+			}
+		case journal.Checkpoint:
+			if t := byID[r.Job]; t != nil {
+				rr := r
+				t.ckpt = &rr
+				// A checkpoint implies the job was running even if its
+				// Admitted record was lost to a torn tail.
+				t.admitted = true
+			}
+		case journal.Terminal:
+			if t := byID[r.Job]; t != nil {
+				t.terminal = true
+			}
+		}
+	}
+	for _, id := range order {
+		t := byID[id]
+		if t.terminal {
+			continue
+		}
+		rj := RecoveredJob{
+			ID:         id,
+			Label:      t.data.Label,
+			MemKeys:    t.data.MemKeys,
+			DiskKeys:   t.data.DiskKeys,
+			Spec:       t.data.Spec,
+			WasRunning: t.admitted,
+		}
+		if t.ckpt != nil {
+			rj.Checkpoint = t.ckpt.Data
+		}
+		s.recoveredList = append(s.recoveredList, rj)
+		s.pending[id] = &recoveredState{sub: t.sub, ckpt: t.ckpt}
+	}
+}
+
+// sweepOrphans removes job scratch directories with no live journal
+// entry: leftovers of jobs that reached a terminal state right before a
+// crash, or of a previous unjournaled life.
+func (s *Scheduler) sweepOrphans() {
+	if s.cfg.Dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	remove := s.cfg.RemoveDir
+	if remove == nil {
+		remove = os.RemoveAll
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(e.Name(), "job-%d", &id); err != nil {
+			continue
+		}
+		if _, live := s.pending[id]; live {
+			continue
+		}
+		if err := remove(filepath.Join(s.cfg.Dir, e.Name())); err != nil {
+			s.cleanupFailures++
+		} else {
+			s.orphansSwept++
+		}
+	}
+}
+
+// Recovered returns the jobs replayed live from the journal, in original
+// submission order.  The owner resubmits each with Request.ID or retires
+// it with DropRecovered; until then its journal records and scratch
+// directory are preserved.
+func (s *Scheduler) Recovered() []RecoveredJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RecoveredJob, len(s.recoveredList))
+	copy(out, s.recoveredList)
+	return out
+}
+
+// DropRecovered retires a pending recovered job without rerunning it,
+// journaling a Failed terminal record (so it is not recovered again) and
+// removing its scratch directory.  It reports whether id named a pending
+// recovered job.
+func (s *Scheduler) DropRecovered(id int, err error) bool {
+	s.mu.Lock()
+	_, ok := s.pending[id]
+	if ok {
+		delete(s.pending, id)
+		s.failed++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.journalTerminal(id, Failed, err)
+	if s.cfg.Dir != "" {
+		remove := s.cfg.RemoveDir
+		if remove == nil {
+			remove = os.RemoveAll
+		}
+		if rerr := remove(filepath.Join(s.cfg.Dir, fmt.Sprintf("job-%04d", id))); rerr != nil {
+			s.mu.Lock()
+			s.cleanupFailures++
+			s.mu.Unlock()
+		}
+	}
+	return true
 }
 
 // Limiter returns the shared compute budget (for harnesses that build
@@ -284,7 +546,10 @@ func (s *Scheduler) Ledger() *pdm.Arena { return s.mem }
 
 // Submit enqueues a job.  It fails fast with ErrTooLarge for envelopes
 // that could never fit and with ErrQueueFull when the queue is at
-// capacity; otherwise the job waits its FIFO turn.
+// capacity; otherwise the job waits its FIFO turn.  With a journal, the
+// submission record is fsynced before the job is queued, and a journal
+// append failure rejects the submission — a job the log cannot recover
+// is a job the scheduler never accepted.
 func (s *Scheduler) Submit(req Request) (*Job, error) {
 	if req.Run == nil {
 		return nil, errors.New("sched: Request.Run is nil")
@@ -296,6 +561,8 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 		return nil, fmt.Errorf("%w: mem %d/%d keys, disk %d/%d keys",
 			ErrTooLarge, req.MemKeys, s.cfg.MemKeys, req.DiskKeys, s.cfg.DiskKeys)
 	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -304,9 +571,22 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	if len(s.queue) >= s.cfg.MaxQueue {
 		return nil, ErrQueueFull
 	}
-	s.nextID++
+	var rs *recoveredState
+	id := 0
+	if req.ID != 0 {
+		var ok bool
+		rs, ok = s.pending[req.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: id %d", ErrUnknownRecovered, req.ID)
+		}
+		delete(s.pending, req.ID)
+		id = req.ID
+	} else {
+		s.nextID++
+		id = s.nextID
+	}
 	j := &Job{
-		id:        s.nextID,
+		id:        id,
 		label:     req.Label,
 		memKeys:   req.MemKeys,
 		diskKeys:  req.DiskKeys,
@@ -314,6 +594,26 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 		done:      make(chan struct{}),
 		state:     Queued,
 		submitted: time.Now(),
+	}
+	if rs != nil {
+		sub := rs.sub
+		j.subRec = &sub
+		j.ckptRec = rs.ckpt
+	} else if s.cfg.Journal != nil {
+		data, err := json.Marshal(submittedData{
+			Label:    req.Label,
+			MemKeys:  req.MemKeys,
+			DiskKeys: req.DiskKeys,
+			Spec:     req.Spec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sched: journal spec: %w", err)
+		}
+		rec, err := s.cfg.Journal.Append(journal.Submitted, id, data)
+		if err != nil {
+			return nil, fmt.Errorf("sched: journal submit: %w", err)
+		}
+		j.subRec = &rec
 	}
 	s.jobs[j.id] = j
 	s.queue = append(s.queue, j)
@@ -361,23 +661,28 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Submitted:       s.nextID,
-		Completed:       s.completed,
-		Failed:          s.failed,
-		Canceled:        s.canceled,
-		Queued:          len(s.queue),
-		Running:         s.running,
-		MemInUse:        s.mem.InUse(),
-		MemCapacity:     s.mem.Capacity(),
-		DiskInUse:       s.diskInUse,
-		DiskCapacity:    s.cfg.DiskKeys,
-		Workers:         s.cfg.Workers,
-		CleanupFailures: s.cleanupFailures,
+		Submitted:        s.nextID,
+		Completed:        s.completed,
+		Failed:           s.failed,
+		Canceled:         s.canceled,
+		Queued:           len(s.queue),
+		Running:          s.running,
+		Suspended:        s.suspended,
+		MemInUse:         s.mem.InUse(),
+		MemCapacity:      s.mem.Capacity(),
+		DiskInUse:        s.diskInUse,
+		DiskCapacity:     s.cfg.DiskKeys,
+		Workers:          s.cfg.Workers,
+		CleanupFailures:  s.cleanupFailures,
+		Recovered:        len(s.recoveredList),
+		PendingRecovered: len(s.pending),
+		OrphansSwept:     s.orphansSwept,
 	}
 }
 
-// Close stops admission, cancels every remaining job, and waits for the
-// running ones to finish.  It is idempotent.
+// Close stops admission, cancels every remaining job (queued jobs are
+// journaled as canceled — a clean Close does not resurrect them), and
+// waits for the running ones to finish.  It is idempotent.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -399,6 +704,58 @@ func (s *Scheduler) Close() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.cfg.Journal != nil {
+		_ = s.cfg.Journal.Close()
+	}
+}
+
+// Drain stops admission and lets running jobs stop at their next durable
+// checkpoint: Env.Checkpoint starts returning ErrDraining, and a job
+// that aborts with it is Suspended — envelope released, scratch
+// directory and journal records kept — so a restarted scheduler resumes
+// it from that pass.  Queued jobs stay queued in the journal and
+// re-admit on restart in their original order.  If ctx expires first,
+// the remaining running jobs are canceled (suspending them at whatever
+// checkpoint they last journaled).  Drain closes the journal and
+// returns ctx.Err() when it had to force cancellation, nil on a clean
+// drain.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.mu.Lock()
+		running := make([]*Job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			running = append(running, j)
+		}
+		s.mu.Unlock()
+		for _, j := range running {
+			j.Cancel()
+		}
+		<-done
+	}
+	if s.cfg.Journal != nil {
+		_ = s.cfg.Journal.Close()
+	}
+	return forced
 }
 
 // admit is the admission goroutine: strict FIFO with head-of-line
@@ -406,7 +763,6 @@ func (s *Scheduler) Close() {
 func (s *Scheduler) admit() {
 	defer s.wg.Done()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for {
 		for !s.closed {
 			if len(s.queue) == 0 {
@@ -420,7 +776,10 @@ func (s *Scheduler) admit() {
 			if dropped {
 				s.queue = s.queue[1:]
 				s.canceled++
+				s.mu.Unlock()
+				s.journalTerminal(j.id, Canceled, context.Canceled)
 				s.finish(j, Canceled, context.Canceled)
+				s.mu.Lock()
 				continue
 			}
 			if s.fits(j) {
@@ -429,13 +788,21 @@ func (s *Scheduler) admit() {
 			s.cond.Wait()
 		}
 		if s.closed {
-			// Drain: everything still queued is canceled without ever
-			// holding resources.
-			for _, j := range s.queue {
-				s.canceled++
+			if s.draining {
+				// Drain keeps the queue: every queued job's submission
+				// record stays live in the journal, so a restarted
+				// scheduler re-admits them in this order.
+				s.mu.Unlock()
+				return
+			}
+			q := s.queue
+			s.queue = nil
+			s.canceled += len(q)
+			s.mu.Unlock()
+			for _, j := range q {
+				s.journalTerminal(j.id, Canceled, context.Canceled)
 				s.finish(j, Canceled, context.Canceled)
 			}
-			s.queue = nil
 			return
 		}
 		j := s.queue[0]
@@ -448,7 +815,10 @@ func (s *Scheduler) admit() {
 		s.diskInUse += j.diskKeys
 		s.running++
 		s.wg.Add(1)
+		s.mu.Unlock()
+		s.journalAdmitted(j)
 		go s.runJob(j)
+		s.mu.Lock()
 	}
 }
 
@@ -459,8 +829,8 @@ func (s *Scheduler) fits(j *Job) bool {
 		s.diskInUse+j.diskKeys <= s.cfg.DiskKeys
 }
 
-// finish moves a never-admitted job to a terminal state.  s.mu must be
-// held (the job holds no resources, so nothing is released).
+// finish moves a never-admitted job to a terminal state.  The job holds
+// no resources, so nothing is released.  s.mu must NOT be held.
 func (s *Scheduler) finish(j *Job, state State, err error) {
 	j.mu.Lock()
 	j.state = state
@@ -468,6 +838,110 @@ func (s *Scheduler) finish(j *Job, state State, err error) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// checkpoint journals a pass manifest for a running job.  During a drain
+// it returns ErrDraining after recording the manifest, telling the job
+// this boundary is where it stops.
+func (s *Scheduler) checkpoint(j *Job, manifest []byte) error {
+	if jr := s.cfg.Journal; jr != nil {
+		s.jmu.Lock()
+		rec, err := jr.Append(journal.Checkpoint, j.id, append([]byte(nil), manifest...))
+		if err == nil {
+			j.mu.Lock()
+			j.ckptRec = &rec
+			j.mu.Unlock()
+			s.maybeCompact(0)
+		}
+		s.jmu.Unlock()
+		// An append failure is deliberately non-fatal: the job keeps
+		// running with degraded durability (recovery falls back to an
+		// older manifest or to the input).
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	return nil
+}
+
+// journalAdmitted records that a job reached Running.  Best-effort: the
+// Admitted record is informational (a checkpoint also implies it).
+func (s *Scheduler) journalAdmitted(j *Job) {
+	jr := s.cfg.Journal
+	if jr == nil {
+		return
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	rec, err := jr.Append(journal.Admitted, j.id, nil)
+	if err == nil {
+		j.mu.Lock()
+		j.admitRec = &rec
+		j.mu.Unlock()
+	}
+}
+
+// journalTerminal records a job's terminal state and compacts the log
+// when it has outgrown CompactBytes.  s.mu and j.mu must NOT be held.
+func (s *Scheduler) journalTerminal(id int, state State, err error) {
+	jr := s.cfg.Journal
+	if jr == nil {
+		return
+	}
+	td := terminalData{State: state.String()}
+	if err != nil {
+		td.Error = err.Error()
+	}
+	data, merr := json.Marshal(td)
+	if merr != nil {
+		data = nil
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if _, aerr := jr.Append(journal.Terminal, id, data); aerr != nil {
+		return
+	}
+	s.maybeCompact(id)
+}
+
+// maybeCompact snapshots the live record set when the log is big enough.
+// s.jmu must be held (no append can race the gather); exclude names a
+// job that just went terminal but whose handle state may lag.
+func (s *Scheduler) maybeCompact(exclude int) {
+	jr := s.cfg.Journal
+	if jr == nil || s.cfg.CompactBytes <= 0 || jr.LogBytes() < s.cfg.CompactBytes {
+		return
+	}
+	var live []journal.Record
+	add := func(recs ...*journal.Record) {
+		for _, r := range recs {
+			if r != nil {
+				live = append(live, *r)
+			}
+		}
+	}
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		if id == exclude {
+			continue
+		}
+		j.mu.Lock()
+		switch j.state {
+		case Queued, Running, Suspended:
+			add(j.subRec, j.admitRec, j.ckptRec)
+		}
+		j.mu.Unlock()
+	}
+	for _, rs := range s.pending {
+		sub := rs.sub
+		add(&sub, rs.ckpt)
+	}
+	s.mu.Unlock()
+	sort.Slice(live, func(a, b int) bool { return live[a].Seq < live[b].Seq })
+	_ = jr.Compact(live)
 }
 
 // runJob executes one admitted job and releases its envelope.
@@ -494,13 +968,26 @@ func (s *Scheduler) runJob(j *Job) {
 		err = os.MkdirAll(dir, 0o755)
 	}
 	if err == nil {
-		err = j.run(ctx, Env{JobID: j.id, Limiter: s.lim, Workers: s.cfg.Workers, Dir: dir})
+		env := Env{
+			JobID:      j.id,
+			Limiter:    s.lim,
+			Workers:    s.cfg.Workers,
+			Dir:        dir,
+			Checkpoint: func(manifest []byte) error { return s.checkpoint(j, manifest) },
+		}
+		err = j.run(ctx, env)
 	}
 	state := Done
 	if err != nil {
 		state = Failed
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
 		j.mu.Lock()
-		if j.cancelRequested {
+		switch {
+		case errors.Is(err, ErrDraining) || (draining && j.cancelRequested):
+			state = Suspended
+		case j.cancelRequested:
 			state = Canceled
 		}
 		j.mu.Unlock()
@@ -512,10 +999,12 @@ func (s *Scheduler) runJob(j *Job) {
 // directory first) and records its terminal state.  A cleanup failure is
 // never silent: it is recorded on the job and counted in Stats, because a
 // directory that survives its job leaks disk the budget ledger no longer
-// accounts for.
+// accounts for.  A Suspended job keeps its scratch directory and gets no
+// terminal journal record — its submission and checkpoint records stay
+// live so the next life recovers it.
 func (s *Scheduler) release(j *Job, state State, err error, dir string) {
 	var cleanupErr error
-	if dir != "" {
+	if dir != "" && state != Suspended {
 		remove := s.cfg.RemoveDir
 		if remove == nil {
 			remove = os.RemoveAll
@@ -523,6 +1012,9 @@ func (s *Scheduler) release(j *Job, state State, err error, dir string) {
 		if rerr := remove(dir); rerr != nil {
 			cleanupErr = fmt.Errorf("sched: scratch cleanup of job %d: %w", j.id, rerr)
 		}
+	}
+	if state != Suspended {
+		s.journalTerminal(j.id, state, err)
 	}
 	s.mem.Release(j.memKeys)
 	s.mu.Lock()
@@ -538,6 +1030,8 @@ func (s *Scheduler) release(j *Job, state State, err error, dir string) {
 		s.failed++
 	case Canceled:
 		s.canceled++
+	case Suspended:
+		s.suspended++
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()

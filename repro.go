@@ -226,6 +226,11 @@ type MachineConfig struct {
 	// kernel changes wall-clock only: output, pass counts, statistics, and
 	// I/O traces are bit-identical for every choice.
 	Kernel string
+	// ReuseDisks opens the disk files already in Dir instead of truncating
+	// them — the resume path: a machine rebuilt over the scratch a crashed
+	// or suspended job left behind, so a checkpoint manifest can re-adopt
+	// its stripes.  Requires Dir and the file backend.
+	ReuseDisks bool
 }
 
 // PipelineConfig sizes the streaming I/O layer.  Depths are in stripes
@@ -334,15 +339,23 @@ func newMachine(cfg MachineConfig, lim *par.Limiter) (*Machine, error) {
 	pcfg.Limiter = lim
 	var disks []pdm.Disk
 	if cfg.Dir != "" {
-		if cfg.Backend == BackendMmap {
+		switch {
+		case cfg.ReuseDisks && cfg.Backend == BackendMmap:
+			return nil, fmt.Errorf("repro: ReuseDisks requires the file backend, not %q", cfg.Backend)
+		case cfg.ReuseDisks:
+			disks, err = pdm.OpenFileDisks(cfg.Dir, pcfg.D, pcfg.B)
+		case cfg.Backend == BackendMmap:
 			disks, err = pdm.NewMmapDisks(cfg.Dir, pcfg.D, pcfg.B)
-		} else {
+		default:
 			disks, err = pdm.NewFileDisks(cfg.Dir, pcfg.D, pcfg.B)
 		}
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		if cfg.ReuseDisks {
+			return nil, fmt.Errorf("repro: ReuseDisks requires Dir")
+		}
 		if cfg.Backend != "" {
 			return nil, fmt.Errorf("repro: Backend = %q requires Dir (in-memory machines have no disk backend)", cfg.Backend)
 		}
