@@ -7,17 +7,20 @@
 // formation at memory-load size, across worker counts and backends), and
 // the cost-model planner's prediction accuracy (predicted vs measured
 // seconds per algorithm) — and writes the results as one JSON document
-// (BENCH_pr8.json by default).  With -dist it adds the distributed scale
+// (BENCH_pr10.json by default).  With -dist it adds the distributed scale
 // series: the same latency-modeled sort run single-machine and across
 // in-process pdmd fleets of 1, 2 and 4 workers, recording words/sec and
-// the speedup over one worker.  CI runs it on every push and uploads the
-// file as an artifact, so the perf trajectory of the reproduction — and
-// any calibration drift in the planner — is recorded per commit instead
-// of living only in benchmark logs.
+// the speedup over one worker.  With -scenarios it adds the query
+// scenario series: top-K and sorted-merge ingest on latency-modeled file
+// disks against the full-sort baseline, recording each row's speedup.
+// CI runs it on every push and uploads the file as an artifact, so the
+// perf trajectory of the reproduction — and any calibration drift in the
+// planner — is recorded per commit instead of living only in benchmark
+// logs.
 //
-//	benchjson [-out BENCH_pr8.json] [-n 262144] [-mem 4096] [-jobs 12] \
+//	benchjson [-out BENCH_pr10.json] [-n 262144] [-mem 4096] [-jobs 12] \
 //	          [-workers 0] [-backend file|mmap] [-kernel comparison|radix] \
-//	          [-dist]
+//	          [-dist] [-scenarios]
 package main
 
 import (
@@ -142,20 +145,21 @@ type prediction struct {
 
 // document is the artifact schema.
 type document struct {
-	Timestamp   string         `json:"timestamp"`
-	GoVersion   string         `json:"goVersion"`
-	NumCPU      int            `json:"numCPU"`
-	EndToEnd    []endToEnd     `json:"endToEnd"`
-	Scheduler   schedulerBench `json:"scheduler"`
-	Records     []recordsBench `json:"records"`
-	Backends    []backendBench `json:"backends"`
-	Kernels     []kernelBench  `json:"kernels"`
-	Distributed []distBench    `json:"distributed,omitempty"`
-	Prediction  []prediction   `json:"prediction"`
+	Timestamp   string          `json:"timestamp"`
+	GoVersion   string          `json:"goVersion"`
+	NumCPU      int             `json:"numCPU"`
+	EndToEnd    []endToEnd      `json:"endToEnd"`
+	Scheduler   schedulerBench  `json:"scheduler"`
+	Records     []recordsBench  `json:"records"`
+	Backends    []backendBench  `json:"backends"`
+	Kernels     []kernelBench   `json:"kernels"`
+	Distributed []distBench     `json:"distributed,omitempty"`
+	Scenarios   []scenarioBench `json:"scenarios,omitempty"`
+	Prediction  []prediction    `json:"prediction"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr8.json", "output file")
+	out := flag.String("out", "BENCH_pr10.json", "output file")
 	n := flag.Int("n", 1<<18, "keys per end-to-end sort")
 	mem := flag.Int("mem", 4096, "internal memory M in keys (perfect square)")
 	jobs := flag.Int("jobs", 12, "jobs in the scheduler batch")
@@ -163,6 +167,7 @@ func main() {
 	backend := flag.String("backend", "", "restrict the paired backend series to one backend: file or mmap (default: both)")
 	kernel := flag.String("kernel", "", "restrict the paired kernel series to one kernel: comparison or radix (default: both)")
 	dist := flag.Bool("dist", false, "also measure the distributed scale series (in-process worker fleets at 1, 2 and 4 nodes)")
+	scenarios := flag.Bool("scenarios", false, "also measure the query scenario series (top-K and ingest vs the full-sort baseline on latency-modeled file disks)")
 	flag.Parse()
 	if *backend != "" && *backend != repro.BackendFile && *backend != repro.BackendMmap {
 		fmt.Fprintf(os.Stderr, "benchjson: -backend %q: want %q or %q\n", *backend, repro.BackendFile, repro.BackendMmap)
@@ -172,13 +177,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: -kernel %q: want %q or %q\n", *kernel, repro.KernelComparison, repro.KernelRadix)
 		os.Exit(2)
 	}
-	if err := run(*out, *n, *mem, *jobs, *workers, *backend, *kernel, *dist); err != nil {
+	if err := run(*out, *n, *mem, *jobs, *workers, *backend, *kernel, *dist, *scenarios); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, n, mem, jobs, workers int, backend, kernel string, dist bool) error {
+func run(out string, n, mem, jobs, workers int, backend, kernel string, dist, scenarios bool) error {
 	doc := document{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -276,6 +281,14 @@ func run(out string, n, mem, jobs, workers int, backend, kernel string, dist boo
 		doc.Distributed = rows
 	}
 
+	if scenarios {
+		rows, err := scenarioSeries(n, mem, workers)
+		if err != nil {
+			return fmt.Errorf("scenarios: %w", err)
+		}
+		doc.Scenarios = rows
+	}
+
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -284,8 +297,8 @@ func run(out string, n, mem, jobs, workers int, backend, kernel string, dist boo
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d backend rows, %d kernel rows, %d distributed rows, %d prediction points)\n",
-		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Backends), len(doc.Kernels), len(doc.Distributed), len(doc.Prediction))
+	fmt.Printf("benchjson: wrote %s (%d end-to-end runs, %d scheduler jobs, %.0f jobs/sec, %d records series, %d backend rows, %d kernel rows, %d distributed rows, %d scenario rows, %d prediction points)\n",
+		out, len(doc.EndToEnd), sb.Jobs, sb.JobsPerSec, len(doc.Records), len(doc.Backends), len(doc.Kernels), len(doc.Distributed), len(doc.Scenarios), len(doc.Prediction))
 	return nil
 }
 

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os"
+	"time"
+
+	"repro"
+)
+
+// scenarioLatency is the modeled per-block device latency for the query
+// scenario series.  As in the distributed series, the device — not the
+// CPU — must be the bottleneck for the pass-count arithmetic to show up
+// as wall time: top-K's single filter pass and ingest's single merge
+// pass only beat the full sort when each avoided pass costs something.
+// It sits above the distributed series' 40us because the comparison is
+// against a pipelined full sort that hides moderate latency well.
+const scenarioLatency = 150 * time.Microsecond
+
+// scenarioBench is one row of the query-scenario series: the same
+// latency-modeled file-disk machine runs a full sort (the baseline row),
+// a top-K with K = N/128, and a sorted-merge ingest with a batch of
+// N/32.  Words/sec counts the words the job took in (dataset plus batch
+// for ingest), so SpeedupVsFullSort reads directly as "how much faster
+// the scenario route answers the same data".
+type scenarioBench struct {
+	Scenario          string  `json:"scenario"`
+	N                 int     `json:"n"`
+	K                 int     `json:"k,omitempty"`
+	Batch             int     `json:"batch,omitempty"`
+	BlockLatencyUS    int64   `json:"blockLatencyUs"`
+	Route             string  `json:"route,omitempty"`
+	Passes            float64 `json:"passes"`
+	WallSeconds       float64 `json:"wallSeconds"`
+	WordsPerSec       float64 `json:"wordsPerSec"`
+	SpeedupVsFullSort float64 `json:"speedupVsFullSort,omitempty"`
+}
+
+// scenarioSeries measures the query-scenario rows against the full-sort
+// baseline on the same machine shape.  The dataset is sized past the
+// three-pass capacity M^1.5 on purpose: that pushes the baseline into
+// the seven-pass regime, which is exactly where answering a query
+// without sorting pays — at three passes the fixed load/unload traffic
+// both sides share caps the visible win.
+func scenarioSeries(n, mem, workers int) ([]scenarioBench, error) {
+	n *= 2
+	latencyUS := int64(scenarioLatency / time.Microsecond)
+	newMachine := func() (*repro.Machine, string, error) {
+		dir, err := os.MkdirTemp("", "benchjson-scenario-")
+		if err != nil {
+			return nil, "", err
+		}
+		m, err := repro.NewMachine(repro.MachineConfig{
+			Memory:       mem,
+			Workers:      workers,
+			Dir:          dir,
+			Backend:      repro.BackendFile,
+			BlockLatency: scenarioLatency,
+			Pipeline:     repro.PipelineConfig{Prefetch: 2, WriteBehind: 2},
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", err
+		}
+		return m, dir, nil
+	}
+
+	keys, err := (&repro.WorkloadSpec{Kind: "uniform", N: n, Seed: 1}).Generate()
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []scenarioBench
+
+	// Full-sort baseline: what answering any of these queries costs when
+	// the only tool is the sorter.
+	m, dir, err := newMachine()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	rep, err := m.Sort(append([]int64(nil), keys...), repro.Auto)
+	m.Close()
+	os.RemoveAll(dir)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0).Seconds()
+	baseline := scenarioBench{
+		Scenario:       "fullsort",
+		N:              n,
+		BlockLatencyUS: latencyUS,
+		Passes:         rep.Passes,
+		WallSeconds:    wall,
+		WordsPerSec:    float64(n) / wall,
+	}
+	rows = append(rows, baseline)
+
+	// Top-K: K well under the N/100 regime where the sampled threshold
+	// filter answers in roughly one read of the data (and small enough
+	// that the survivor budget fits the arena at this memory).
+	k := n / 256
+	if k < 1 {
+		k = 1
+	}
+	m, dir, err = newMachine()
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	_, rep, err = m.TopK(keys, k)
+	m.Close()
+	os.RemoveAll(dir)
+	if err != nil {
+		return nil, err
+	}
+	wall = time.Since(t0).Seconds()
+	row := scenarioBench{
+		Scenario:       "topk",
+		N:              n,
+		K:              k,
+		BlockLatencyUS: latencyUS,
+		Route:          rep.ScenarioRoute,
+		Passes:         rep.Passes,
+		WallSeconds:    wall,
+		WordsPerSec:    float64(n) / wall,
+	}
+	if baseline.WordsPerSec > 0 {
+		row.SpeedupVsFullSort = row.WordsPerSec / baseline.WordsPerSec
+	}
+	rows = append(rows, row)
+
+	// Sorted-merge ingest: a batch a small fraction of the dataset, so
+	// one in-memory batch sort plus one merge pass replaces re-sorting
+	// the world.
+	dataset, err := (&repro.WorkloadSpec{Kind: "sorted", N: n}).Generate()
+	if err != nil {
+		return nil, err
+	}
+	bn := n / 32
+	batch, err := (&repro.WorkloadSpec{Kind: "uniform", N: bn, Seed: 7}).Generate()
+	if err != nil {
+		return nil, err
+	}
+	m, dir, err = newMachine()
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	_, rep, err = m.Ingest(dataset, batch)
+	m.Close()
+	os.RemoveAll(dir)
+	if err != nil {
+		return nil, err
+	}
+	wall = time.Since(t0).Seconds()
+	row = scenarioBench{
+		Scenario:       "ingest",
+		N:              n,
+		Batch:          bn,
+		BlockLatencyUS: latencyUS,
+		Route:          rep.ScenarioRoute,
+		Passes:         rep.Passes,
+		WallSeconds:    wall,
+		WordsPerSec:    float64(n+bn) / wall,
+	}
+	if baseline.WordsPerSec > 0 {
+		row.SpeedupVsFullSort = row.WordsPerSec / baseline.WordsPerSec
+	}
+	rows = append(rows, row)
+
+	return rows, nil
+}

@@ -53,6 +53,8 @@ func main() {
 		err = cmdCancel(os.Args[2:])
 	case "sort":
 		err = cmdSort(os.Args[2:])
+	case "topk", "quantile", "groupby", "ingest":
+		err = cmdScenario(os.Args[1], os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -72,7 +74,13 @@ commands:
   status  poll one job's status (-watch follows it to completion)
   jobs    list every job the daemon knows, with recovery provenance
   cancel  cancel one job
-  sort    run a distributed sort across many daemons`)
+  sort    run a distributed sort across many daemons
+
+query scenarios (single daemon; -plan prints the cost comparison only):
+  topk      k smallest keys of a generated dataset   (-k)
+  quantile  the key of a target rank                  (-rank, 0 = median)
+  groupby   count/sum/min/max aggregation by key      (-groups hint)
+  ingest    fold a batch into a sorted dataset        (-batch)`)
 }
 
 var httpClient = &http.Client{Timeout: 30 * time.Second}
@@ -226,6 +234,97 @@ func cmdCancel(args []string) error {
 		return err
 	}
 	return printJSON(raw)
+}
+
+// cmdScenario submits one query-scenario job to a single daemon, waits for
+// it, and prints the status plus the result page.  With -plan it only asks
+// GET /plan/scenario for the cost comparison (scenario route vs full sort)
+// and prints that.
+//
+//	pdmctl groupby -worker http://host:8080 -kind fewdistinct -n 1000000 -distinct 500
+//	pdmctl topk -worker http://host:8080 -n 1000000 -k 100 -plan
+func cmdScenario(kind string, args []string) error {
+	fs := flag.NewFlagSet(kind, flag.ExitOnError)
+	worker := fs.String("worker", "http://localhost:8080", "daemon base URL")
+	wkind := fs.String("kind", "perm", "dataset workload kind (ingest always uses \"sorted\")")
+	n := fs.Int("n", 1<<20, "dataset size in keys")
+	seed := fs.Int64("seed", 1, "workload seed")
+	k := fs.Int("k", 100, "top-K count (topk)")
+	rank := fs.Int("rank", 0, "1-indexed target rank (quantile; 0 = median)")
+	groups := fs.Int("groups", 0, "distinct-group hint (groupby; 0 = unknown)")
+	distinct := fs.Int("distinct", 0, "distinct values for zipf/fewdistinct workloads")
+	batch := fs.Int("batch", 1<<14, "batch size (ingest)")
+	limit := fs.Int("limit", 32, "result keys/groups to print")
+	planOnly := fs.Bool("plan", false, "print the scenario plan, run nothing")
+	label := fs.String("label", "pdmctl", "job label")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	spec := repro.JobSpec{
+		Workload: &repro.WorkloadSpec{Kind: *wkind, N: *n, Seed: *seed, Distinct: *distinct},
+		Scenario: kind,
+		Label:    *label,
+	}
+	switch kind {
+	case "topk":
+		spec.TopK = *k
+	case "quantile":
+		if *rank == 0 {
+			*rank = (*n + 1) / 2
+		}
+		spec.Rank = *rank
+	case "groupby":
+		spec.Groups = *groups
+	case "ingest":
+		spec.Workload.Kind = "sorted"
+		bk, err := (&repro.WorkloadSpec{Kind: "uniform", N: *batch, Seed: *seed}).Generate()
+		if err != nil {
+			return err
+		}
+		spec.IngestBatch = bk
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	if *planOnly {
+		raw, err := call(http.MethodPost, *worker+"/plan/scenario", body)
+		if err != nil {
+			return err
+		}
+		return printJSON(raw)
+	}
+	raw, err := call(http.MethodPost, *worker+"/jobs", body)
+	if err != nil {
+		return err
+	}
+	var st repro.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	for st.State == repro.JobQueued || st.State == repro.JobRunning {
+		time.Sleep(250 * time.Millisecond)
+		if raw, err = call(http.MethodGet, fmt.Sprintf("%s/jobs/%d", *worker, st.ID), nil); err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return err
+		}
+	}
+	if err := printJSON(raw); err != nil {
+		return err
+	}
+	if st.State != repro.JobDone {
+		return fmt.Errorf("%s: job %d ended %s: %s", kind, st.ID, st.State, st.Error)
+	}
+	path := fmt.Sprintf("%s/jobs/%d/result?limit=%d", *worker, st.ID, *limit)
+	if kind == "groupby" {
+		path = fmt.Sprintf("%s/jobs/%d/groups?limit=%d", *worker, st.ID, *limit)
+	}
+	res, err := call(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
 }
 
 func cmdSort(args []string) error {

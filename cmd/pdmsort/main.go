@@ -30,6 +30,16 @@
 // -latency models a per-block device latency on the simulated disks (it
 // slows the sort and shifts the explain table exactly as real positioning
 // latency would).
+//
+// Query scenarios answer a question about the keys instead of sorting them
+// all, when the planner prices the scenario route under the full sort:
+//
+//	pdmsort -in keys.bin -topk 100          # the 100 smallest keys -> -out
+//	pdmsort -in keys.bin -quantile 500000   # the key of rank 500000 -> stdout
+//	pdmsort -in sorted.bin -ingest new.bin  # fold a batch into a sorted file
+//
+// Combining a scenario flag with -explain prints the scenario's cost
+// comparison (predicted passes vs the full sort) without running it.
 package main
 
 import (
@@ -74,6 +84,22 @@ type options struct {
 	workers  int
 	latency  time.Duration
 	explain  bool
+	topk     int
+	quantile int
+	ingest   string
+}
+
+// scenarioKind names the query scenario the flags select; "" is a sort.
+func (o *options) scenarioKind() string {
+	switch {
+	case o.topk > 0:
+		return "topk"
+	case o.quantile > 0:
+		return "quantile"
+	case o.ingest != "":
+		return "ingest"
+	}
+	return ""
 }
 
 func main() {
@@ -97,6 +123,9 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "compute worker pool width (0 = GOMAXPROCS; output is identical for any value)")
 	flag.DurationVar(&o.latency, "latency", 0, "modeled per-block device latency on every disk (e.g. 2ms)")
 	flag.BoolVar(&o.explain, "explain", false, "print the planner's ranked candidate table and exit without sorting")
+	flag.IntVar(&o.topk, "topk", 0, "write only the K smallest keys (scenario; planner may filter in one pass)")
+	flag.IntVar(&o.quantile, "quantile", 0, "print the key of this 1-indexed rank (scenario)")
+	flag.StringVar(&o.ingest, "ingest", "", "fold this binary key file into the sorted -in dataset (scenario)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -159,6 +188,24 @@ func validate(o options) error {
 	case o.kernel != "" && o.kernel != repro.KernelAuto && o.kernel != repro.KernelComparison && o.kernel != repro.KernelRadix:
 		return usageError{fmt.Errorf("-kernel %q: want %q, %q, or %q", o.kernel, repro.KernelAuto, repro.KernelComparison, repro.KernelRadix)}
 	}
+	scenarios := 0
+	for _, on := range []bool{o.topk > 0, o.quantile > 0, o.ingest != ""} {
+		if on {
+			scenarios++
+		}
+	}
+	switch {
+	case o.topk < 0:
+		return usageError{fmt.Errorf("-topk %d: want > 0", o.topk)}
+	case o.quantile < 0:
+		return usageError{fmt.Errorf("-quantile %d: want > 0", o.quantile)}
+	case scenarios > 1:
+		return usageError{errors.New("-topk, -quantile, and -ingest are mutually exclusive")}
+	case scenarios == 1 && o.csv != "":
+		return usageError{errors.New("query scenarios work on bare keys, not -csv records")}
+	case scenarios == 1 && o.alg != "auto":
+		return usageError{errors.New("query scenarios plan their own algorithm; drop -alg")}
+	}
 	return nil
 }
 
@@ -220,6 +267,10 @@ func run(o options) error {
 	}
 	defer m.Close()
 
+	if kind := o.scenarioKind(); kind != "" {
+		return runScenario(o, m, kind, keys, out)
+	}
+
 	if o.explain {
 		spec := repro.SortSpec{N: len(keys)}
 		if o.alg == "radix" {
@@ -275,6 +326,98 @@ func run(o options) error {
 	}
 	printReport(rep, out, backend, m.Kernel(), wall)
 	return nil
+}
+
+// runScenario answers a query-scenario flag: with -explain it prints the
+// scenario plan (the route's predicted passes against the full sort it
+// competes with), otherwise it runs the scenario and reports the measured
+// passes in the same currency.
+func runScenario(o options, m *repro.Machine, kind string, keys []int64, out string) error {
+	var batch []int64
+	var err error
+	if kind == "ingest" {
+		if batch, err = readKeys(o.ingest); err != nil {
+			return err
+		}
+	}
+	if o.explain {
+		p, err := m.ExplainScenario(repro.ScenarioSpec{
+			Kind: kind, N: len(keys), K: o.topk, Rank: o.quantile, Batch: len(batch),
+		})
+		if err != nil {
+			return err
+		}
+		printScenarioPlan(os.Stdout, p)
+		return nil
+	}
+	t0 := time.Now()
+	var rep *repro.Report
+	switch kind {
+	case "topk":
+		var top []int64
+		top, rep, err = m.TopK(keys, o.topk)
+		if err == nil {
+			err = writeKeys(out, top)
+		}
+	case "quantile":
+		var v int64
+		v, rep, err = m.Quantile(keys, o.quantile)
+		if err == nil {
+			fmt.Printf("rank %d key: %d\n", o.quantile, v)
+			out = ""
+		}
+	case "ingest":
+		var merged []int64
+		merged, rep, err = m.Ingest(keys, batch)
+		if err == nil {
+			err = writeKeys(out, merged)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	printScenarioReport(rep, out, time.Since(t0))
+	return nil
+}
+
+// printScenarioPlan renders one scenario's cost comparison.
+func printScenarioPlan(w io.Writer, p *repro.ScenarioPlanReport) {
+	if !p.Feasible {
+		fmt.Fprintf(w, "scenario %s: infeasible: %s\n", p.Kind, p.Reason)
+		return
+	}
+	exact := "floor"
+	if p.Exact {
+		exact = "exact"
+	}
+	fmt.Fprintf(w, "scenario %s via %s: %.3f read / %.3f write passes (%s; %d/%d steps over %d padded words)\n",
+		p.Kind, p.Route, p.ReadPasses, p.WritePasses, exact, p.ReadSteps, p.WriteSteps, p.PaddedN)
+	if p.Sample > 0 {
+		fmt.Fprintf(w, "sample: %d keys, survivor budget %d\n", p.Sample, p.Budget)
+	}
+	fmt.Fprintf(w, "full sort (%s): %.3f read passes\n", p.FullSortAlgorithm, p.FullSortReadPasses)
+	decision := "full sort"
+	if p.UseScenario {
+		decision = "scenario route"
+	}
+	fmt.Fprintf(w, "auto picks: %s\n", decision)
+}
+
+// printScenarioReport summarizes a scenario run in the pass currency.
+func printScenarioReport(rep *repro.Report, out string, wall time.Duration) {
+	fmt.Printf("%s via %s: %.3f read passes, %.3f write passes over %d keys",
+		rep.Scenario, rep.ScenarioRoute, rep.ReadPasses, rep.WritePasses, rep.N)
+	if rep.FellBack {
+		fmt.Printf(" (detected a sampling miss; fell back)")
+	}
+	fmt.Printf("\nI/O: %s\n", rep.IO)
+	if secs := wall.Seconds(); secs > 0 {
+		fmt.Printf("%.2fM words/sec (%d words in %v)\n",
+			float64(rep.N)/secs/1e6, rep.N, wall.Round(time.Millisecond))
+	}
+	if out != "" {
+		fmt.Printf("output: %s\n", out)
+	}
 }
 
 // printExplain renders the planner's ranked candidate table.  Every

@@ -1,0 +1,115 @@
+package memsort
+
+import (
+	"encoding/binary"
+	"math"
+	"slices"
+	"testing"
+)
+
+// FuzzStreamMerge feeds StreamMerge fuzzer-shaped lane sets — lane count,
+// per-lane keys, and chunk boundaries (empty chunks included) all derive
+// from the input bytes — and checks the streaming-merge contract: every
+// emission fits the winning lane's current chunk, the concatenated output
+// is sorted, it is a multiset permutation of the inputs, and ties come out
+// in lane order (the stability the distributed sort's determinism rests
+// on).
+func FuzzStreamMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 5, 1, 2, 3, 4, 5, 0, 2, 9, 9})
+	f.Add([]byte("\x04\x10chunky\x00\x00\x00\x00\x00\x00lanes\xff\xff\x07"))
+	f.Add([]byte{2, 8, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		k := int(next())%5 + 1
+		type chunkedLane struct {
+			chunks [][]int64
+			flat   []int64
+		}
+		lanes := make([]chunkedLane, k)
+		for l := range lanes {
+			n := int(next()) % 40
+			keys := make([]int64, n)
+			for i := range keys {
+				var raw [8]byte
+				for b := range raw {
+					raw[b] = next()
+				}
+				v := int64(binary.LittleEndian.Uint64(raw[:]) % 64) // small range forces ties
+				keys[i] = v
+			}
+			slices.Sort(keys) // chunks of one lane must concatenate sorted
+			lanes[l].flat = keys
+			zeros := 0
+			for off := 0; off < n; {
+				sz := int(next()) % (n - off + 1) // zero-length chunks allowed
+				if sz == 0 {
+					if zeros++; zeros > 3 { // bound the empty-chunk runs
+						sz = n - off
+					}
+				}
+				lanes[l].chunks = append(lanes[l].chunks, keys[off:off+sz])
+				off += sz
+			}
+		}
+
+		cursors := make([]int, k)   // next chunk to hand out per lane
+		heads := make([][]int64, k) // current chunk as seen by the merge
+		pos := make([]int, k)       // consumed keys of the current chunk
+		refill := func(lane int) ([]int64, error) {
+			if cursors[lane] >= len(lanes[lane].chunks) {
+				return nil, nil
+			}
+			c := lanes[lane].chunks[cursors[lane]]
+			cursors[lane]++
+			heads[lane], pos[lane] = c, 0
+			return c, nil
+		}
+		var out []int64
+		var outLanes []int
+		err := StreamMerge(k, refill, func(lane, n int) error {
+			if n <= 0 || pos[lane]+n > len(heads[lane]) {
+				t.Fatalf("emission of %d keys does not fit lane %d's chunk (%d of %d consumed)",
+					n, lane, pos[lane], len(heads[lane]))
+			}
+			out = append(out, heads[lane][pos[lane]:pos[lane]+n]...)
+			for i := 0; i < n; i++ {
+				outLanes = append(outLanes, lane)
+			}
+			pos[lane] += n
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("StreamMerge: %v", err)
+		}
+		if !slices.IsSorted(out) {
+			t.Fatal("merged output is not sorted")
+		}
+		var want []int64
+		for _, l := range lanes {
+			want = append(want, l.flat...)
+		}
+		got := append([]int64(nil), out...)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("merged output is not a permutation of the inputs (%d vs %d keys)", len(got), len(want))
+		}
+		// Stability: within a run of equal keys, lanes never decrease.
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] && outLanes[i] < outLanes[i-1] {
+				t.Fatalf("tie on key %d emitted lane %d after lane %d", out[i], outLanes[i], outLanes[i-1])
+			}
+		}
+		// Padding discipline: the merge never invents the sentinel.
+		if slices.Contains(out, math.MaxInt64) {
+			t.Fatal("sentinel key leaked into the merge output")
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package pdmdapi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// pageBounds parses and validates ?offset=N&limit=M against n records —
+// the one pagination contract every result-serving endpoint (/keys,
+// /records, /result, /groups) shares.  The limit clamps overflow-safely to
+// the remaining records (a huge limit must not overflow offset+limit into
+// a negative slice bound), but an offset beyond n is a 400: silently
+// rewriting it would hand a client paging with a stale total an empty 200
+// page indistinguishable from the end of the data.  offset == n is valid
+// and yields the empty final page.
+func pageBounds(w http.ResponseWriter, r *http.Request, n int) (offset, limit int, ok bool) {
+	offset, limit = 0, n
+	var err error
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
+			return 0, 0, false
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return 0, 0, false
+		}
+	}
+	if offset < 0 || offset > n {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("offset %d outside [0, %d]", offset, n))
+		return 0, 0, false
+	}
+	if limit < 0 || limit > n-offset {
+		limit = n - offset
+	}
+	return offset, limit, true
+}

@@ -1,0 +1,244 @@
+package pdmdapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"testing"
+
+	"repro"
+)
+
+// The scenario surface: POST /jobs with a scenario field, GET
+// /jobs/{id}/result and /groups under the shared pagination contract, and
+// GET|POST /plan/scenario for the dry-run pricing.
+
+func submitScenario(t *testing.T, base string, body map[string]any) int {
+	t.Helper()
+	resp, obj := postJSON(t, base+"/jobs", body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d: %v", resp.StatusCode, obj)
+	}
+	var id int
+	if err := json.Unmarshal(obj["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestScenarioJobsOverHTTP(t *testing.T) {
+	ts, _ := testServer(t)
+	const n = 8192
+
+	// Top-K: /result pages the 64 ascending winners.
+	topkID := submitScenario(t, ts.URL, map[string]any{
+		"scenario": "topk", "topK": 64,
+		"workload": map[string]any{"kind": "uniform", "n": n, "seed": 71},
+	})
+	st := pollUntil(t, ts.URL, topkID, repro.JobDone)
+	if st.Scenario != "topk" {
+		t.Fatalf("status scenario = %q", st.Scenario)
+	}
+	resp, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, topkID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /result = %d", resp.StatusCode)
+	}
+	var topRes struct {
+		Kind   string  `json:"kind"`
+		N      int     `json:"n"`
+		Offset int     `json:"offset"`
+		Keys   []int64 `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topRes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if topRes.Kind != "topk" || topRes.N != 64 || len(topRes.Keys) != 64 || !slices.IsSorted(topRes.Keys) {
+		t.Fatalf("topk result = %+v", topRes)
+	}
+	// The shared pagination contract applies to /result too.
+	for _, tc := range []struct {
+		query    string
+		wantCode int
+		wantLen  int
+	}{
+		{"offset=60&limit=10", http.StatusOK, 4},
+		{"offset=64", http.StatusOK, 0},
+		{"offset=65", http.StatusBadRequest, 0},
+		{"limit=banana", http.StatusBadRequest, 0},
+	} {
+		resp, err := testClient.Get(fmt.Sprintf("%s/jobs/%d/result?%s", ts.URL, topkID, tc.query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page struct {
+			Keys []int64 `json:"keys"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("result?%s: %v", tc.query, err)
+		}
+		if resp.StatusCode != tc.wantCode {
+			t.Fatalf("result?%s = %d, want %d", tc.query, resp.StatusCode, tc.wantCode)
+		}
+		if tc.wantCode == http.StatusOK && len(page.Keys) != tc.wantLen {
+			t.Fatalf("result?%s: %d keys, want %d", tc.query, len(page.Keys), tc.wantLen)
+		}
+	}
+	// /groups on a non-groupby scenario is a 404.
+	resp, err = testClient.Get(fmt.Sprintf("%s/jobs/%d/groups", ts.URL, topkID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /groups on topk = %d, want 404", resp.StatusCode)
+	}
+
+	// Quantile: the value rides inline on /result.
+	quantID := submitScenario(t, ts.URL, map[string]any{
+		"scenario": "quantile", "rank": n / 2,
+		"workload": map[string]any{"kind": "uniform", "n": n, "seed": 72},
+	})
+	pollUntil(t, ts.URL, quantID, repro.JobDone)
+	resp, err = testClient.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, quantID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := decodeObject(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /result = %d", resp.StatusCode)
+	}
+	if _, ok := obj["value"]; !ok {
+		t.Fatalf("quantile result has no value: %v", obj)
+	}
+
+	// Group-by: inline keys + payloads, aggregates paged on /groups.
+	keys := []int64{5, 3, 5, 3, 5, 9, 3, 9}
+	pays := []int64{1, 10, 2, 20, 3, 100, 30, -100}
+	gbID := submitScenario(t, ts.URL, map[string]any{
+		"scenario": "groupby", "groups": 3,
+		"keys": keys, "groupPayloads": pays,
+	})
+	pollUntil(t, ts.URL, gbID, repro.JobDone)
+	resp, err = testClient.Get(fmt.Sprintf("%s/jobs/%d/groups", ts.URL, gbID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /groups = %d", resp.StatusCode)
+	}
+	var groupsRes struct {
+		N      int              `json:"n"`
+		Groups []repro.GroupAgg `json:"groups"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&groupsRes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := []repro.GroupAgg{
+		{Key: 3, Count: 3, Sum: 60, Min: 10, Max: 30},
+		{Key: 5, Count: 3, Sum: 6, Min: 1, Max: 3},
+		{Key: 9, Count: 2, Sum: 0, Min: -100, Max: 100},
+	}
+	if groupsRes.N != 3 || !slices.Equal(groupsRes.Groups, want) {
+		t.Fatalf("groups = %+v, want %+v", groupsRes.Groups, want)
+	}
+
+	// Ingest with keepKeys: /result serves the merged output.
+	batch := []int64{-7, 42, 9000000}
+	inID := submitScenario(t, ts.URL, map[string]any{
+		"scenario": "ingest", "ingestBatch": batch, "keepKeys": true,
+		"workload": map[string]any{"kind": "sorted", "n": n},
+	})
+	pollUntil(t, ts.URL, inID, repro.JobDone)
+	resp, err = testClient.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, inID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inRes struct {
+		Kind string  `json:"kind"`
+		N    int     `json:"n"`
+		Keys []int64 `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&inRes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if inRes.Kind != "ingest" || inRes.N != n+len(batch) || !slices.IsSorted(inRes.Keys) {
+		t.Fatalf("ingest result kind=%q n=%d sorted=%v", inRes.Kind, inRes.N, slices.IsSorted(inRes.Keys))
+	}
+
+	// /result on a plain sort job is a 404.
+	sortID := submitScenario(t, ts.URL, map[string]any{
+		"workload": map[string]any{"kind": "perm", "n": 2048, "seed": 73},
+	})
+	pollUntil(t, ts.URL, sortID, repro.JobDone)
+	resp, err = testClient.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, sortID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /result on a sort job = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPlanScenarioEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, obj := postJSON(t, ts.URL+"/plan/scenario", map[string]any{
+		"scenario": "topk", "topK": 64,
+		"workload": map[string]any{"kind": "uniform", "n": 65536, "seed": 1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /plan/scenario = %d: %v", resp.StatusCode, obj)
+	}
+	var rep repro.ScenarioPlanReport
+	raw, _ := json.Marshal(obj)
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != "topk" || !rep.Feasible || !rep.UseScenario || rep.Route != "filter" {
+		t.Fatalf("plan = %+v", rep)
+	}
+	if rep.ReadPasses >= rep.FullSortReadPasses {
+		t.Fatalf("scenario %.3f read passes not under full sort %.3f", rep.ReadPasses, rep.FullSortReadPasses)
+	}
+	// A non-scenario spec is a 400.
+	resp, _ = postJSON(t, ts.URL+"/plan/scenario", map[string]any{
+		"workload": map[string]any{"kind": "uniform", "n": 1024},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plan without scenario = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestScenarioSubmitRejections(t *testing.T) {
+	ts, _ := testServer(t)
+	w := map[string]any{"kind": "uniform", "n": 4096, "seed": 1}
+	bad := []map[string]any{
+		{"scenario": "topk", "topK": 1, "workload": w, "alg": "seven"},                  // planner picks, not the client
+		{"scenario": "topk", "topK": 1, "workload": w, "universe": 1024},                // comparison sorts only
+		{"scenario": "median", "workload": w},                                           // unknown kind
+		{"scenario": "topk", "workload": w},                                             // k missing
+		{"scenario": "ingest", "workload": map[string]any{"kind": "sorted", "n": 4096}}, // batch missing
+		{"workload": w, "ingestBatch": []int64{1}},                                      // batch without scenario
+	}
+	for i, body := range bad {
+		resp, obj := postJSON(t, ts.URL+"/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad[%d] = %d, want 400 (%v)", i, resp.StatusCode, obj)
+		}
+	}
+	// alg "auto" is explicitly fine on a scenario job.
+	id := submitScenario(t, ts.URL, map[string]any{
+		"scenario": "topk", "topK": 8, "alg": "auto",
+		"workload": map[string]any{"kind": "uniform", "n": 4096, "seed": 2},
+	})
+	pollUntil(t, ts.URL, id, repro.JobDone)
+}

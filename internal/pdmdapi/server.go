@@ -56,6 +56,19 @@ type SubmitRequest struct {
 	Kernel   string `json:"kernel,omitempty"`
 	KeepKeys bool   `json:"keepKeys,omitempty"`
 	Label    string `json:"label,omitempty"`
+
+	// Scenario makes the job a query scenario instead of a sort: "topk",
+	// "quantile", "groupby", or "ingest", parameterized by the fields
+	// below (see repro.JobSpec).  Results come back from GET
+	// /jobs/{id}/result (and /groups for groupby).
+	Scenario string `json:"scenario,omitempty"`
+	TopK     int    `json:"topK,omitempty"`
+	Rank     int    `json:"rank,omitempty"`
+	Groups   int    `json:"groups,omitempty"`
+	// GroupPayloads is the group-by aggregation column, paired with Keys.
+	GroupPayloads []int64 `json:"groupPayloads,omitempty"`
+	// IngestBatch is the batch folded into the sorted Keys dataset.
+	IngestBatch []int64 `json:"ingestBatch,omitempty"`
 }
 
 // server wraps the scheduler with the HTTP surface.
@@ -91,11 +104,15 @@ func New(sch *repro.Scheduler, opts Options) http.Handler {
 	mux.HandleFunc("POST /jobs", s.submit)
 	mux.HandleFunc("GET /plan", s.plan)
 	mux.HandleFunc("POST /plan", s.plan)
+	mux.HandleFunc("GET /plan/scenario", s.planScenario)
+	mux.HandleFunc("POST /plan/scenario", s.planScenario)
 	mux.HandleFunc("GET /jobs", s.list)
 	mux.HandleFunc("GET /jobs/{id}", s.status)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
 	mux.HandleFunc("GET /jobs/{id}/keys", s.keys)
 	mux.HandleFunc("GET /jobs/{id}/records", s.records)
+	mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /jobs/{id}/groups", s.groups)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("POST /uploads", s.uploadCreate)
@@ -145,18 +162,37 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 // exception, so callers decode through decodeBody's hard cap first.
 func specFromRequest(w http.ResponseWriter, req SubmitRequest) (repro.JobSpec, bool) {
 	spec := repro.JobSpec{
-		Keys:         req.Keys,
-		Payloads:     req.Payloads,
-		Workload:     req.Workload,
-		Universe:     req.Universe,
-		Memory:       req.Memory,
-		Disks:        req.Disks,
-		Workers:      req.Workers,
-		BlockLatency: time.Duration(req.BlockLatencyUS) * time.Microsecond,
-		Backend:      req.Backend,
-		Kernel:       req.Kernel,
-		KeepKeys:     req.KeepKeys,
-		Label:        req.Label,
+		Keys:          req.Keys,
+		Payloads:      req.Payloads,
+		Workload:      req.Workload,
+		Universe:      req.Universe,
+		Memory:        req.Memory,
+		Disks:         req.Disks,
+		Workers:       req.Workers,
+		BlockLatency:  time.Duration(req.BlockLatencyUS) * time.Microsecond,
+		Backend:       req.Backend,
+		Kernel:        req.Kernel,
+		KeepKeys:      req.KeepKeys,
+		Label:         req.Label,
+		Scenario:      req.Scenario,
+		TopK:          req.TopK,
+		Rank:          req.Rank,
+		Groups:        req.Groups,
+		GroupPayloads: req.GroupPayloads,
+		IngestBatch:   req.IngestBatch,
+	}
+	if req.Scenario != "" {
+		// Scenario routes plan their own (fallback) sort; a forced
+		// algorithm or radix universe contradicts that.
+		if req.Alg != "" && req.Alg != "auto" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("alg %q is not valid on a scenario job (the planner picks)", req.Alg))
+			return repro.JobSpec{}, false
+		}
+		if req.Universe != 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("universe is not valid on a scenario job"))
+			return repro.JobSpec{}, false
+		}
+		return spec, true
 	}
 	if req.Alg == "radix" {
 		if spec.Universe < 0 {
@@ -273,37 +309,6 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// pageBounds parses and validates ?offset=N&limit=M against n records.
-// The limit clamps overflow-safely to the remaining records (a huge limit
-// must not overflow offset+limit into a negative slice bound), but an
-// offset beyond n is a 400: silently rewriting it would hand a client
-// paging with a stale total an empty 200 page indistinguishable from the
-// end of the data.  offset == n is valid and yields the empty final page.
-func pageBounds(w http.ResponseWriter, r *http.Request, n int) (offset, limit int, ok bool) {
-	offset, limit = 0, n
-	var err error
-	if v := r.URL.Query().Get("offset"); v != "" {
-		if offset, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
-			return 0, 0, false
-		}
-	}
-	if v := r.URL.Query().Get("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
-			return 0, 0, false
-		}
-	}
-	if offset < 0 || offset > n {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("offset %d outside [0, %d]", offset, n))
-		return 0, 0, false
-	}
-	if limit < 0 || limit > n-offset {
-		limit = n - offset
-	}
-	return offset, limit, true
-}
-
 func (s *server) keys(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.jobID(w, r)
 	if !ok {
@@ -347,6 +352,82 @@ func (s *server) records(w http.ResponseWriter, r *http.Request) {
 		"offset":   offset,
 		"keys":     keys[offset : offset+limit],
 		"payloads": payloads[offset : offset+limit],
+	})
+}
+
+// planScenario dry-runs the scenario planner: the same body as a scenario
+// submit, the answer the scenario route's predicted steps and passes
+// against the full-sort alternative — no job is created.
+func (s *server) planScenario(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.sch.ExplainScenario(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// result serves a completed scenario job's answer: the quantile value
+// inline, and the result keys (top-K, or the merged ingest output of a
+// KeepKeys job) under the shared pagination contract.  Group-by results
+// live on /groups.
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.sch.ScenarioResult(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	offset, limit, ok := pageBounds(w, r, len(res.Keys))
+	if !ok {
+		return
+	}
+	body := map[string]any{
+		"kind":   res.Kind,
+		"n":      len(res.Keys),
+		"offset": offset,
+		"keys":   res.Keys[offset : offset+limit],
+	}
+	if res.Value != nil {
+		body["value"] = *res.Value
+	}
+	if res.Groups != nil {
+		body["groups"] = len(res.Groups)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// groups serves a completed group-by job's aggregates, sorted by key, with
+// the same pagination contract as keys.
+func (s *server) groups(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.jobID(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.sch.ScenarioResult(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if res.Kind != "groupby" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %d is a %q scenario, not groupby", id, res.Kind))
+		return
+	}
+	offset, limit, ok := pageBounds(w, r, len(res.Groups))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":      len(res.Groups),
+		"offset": offset,
+		"groups": res.Groups[offset : offset+limit],
 	})
 }
 

@@ -1,0 +1,17 @@
+// Package scenario implements the query kernels that answer common
+// questions without a full sort, in the same charged-pass accounting as
+// internal/core: top-K/quantile selection (one filtering pass at sampled
+// thresholds), external group-by aggregation (one hashed pass when the
+// groups fit in memory, a hash-partition round trip otherwise), and
+// sorted-merge ingest (a two-lane StreamMerge pass folding a sorted batch
+// into a sorted dataset).
+//
+// Every kernel streams its charged I/O through internal/stream, so the
+// oblivious-accounting guarantee carries over: outputs, pass counts,
+// pdm.Stats, and I/O traces are bit-identical across worker counts, disk
+// backends, and compute kernels — only the wall clock changes.  The
+// matching closed-form step predictions live in internal/plan
+// (TopKPlan/QuantilePlan/GroupByPlan/IngestPlan); the deterministic
+// sample/budget formulas are shared so a plan's steps are the steps a run
+// charges.
+package scenario

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/pdm"
+	"repro/internal/stream"
+)
+
+// ErrOverflow reports that a filter pass found more survivors than its
+// memory budget: the sampled threshold window was too generous (duplicate
+// pileups, adversarial inputs).  Callers fall back to the full sort, like
+// core's probabilistic algorithms fall back on cleanup overflow.
+var ErrOverflow = errors.New("scenario: filter survivors exceeded the memory budget")
+
+// FilterResult is one filtering pass's outcome.
+type FilterResult struct {
+	// Kept are the surviving keys in input order (not yet sorted).
+	Kept []int64
+	// Below counts keys strictly below the window's low edge.
+	Below int
+}
+
+// Filter streams the padded input stripe once (a single charged read
+// pass) and keeps the keys inside the threshold window: v ≤ hi, and
+// v ≥ lo when hasLo is set, counting the keys below lo.  Padding
+// sentinels (MaxInt64) never survive — callers must reject hi = MaxInt64
+// before planning the pass.  At most cap survivors are held (one arena
+// allocation); one more aborts with ErrOverflow.
+//
+// The scan is sequential and single-buffered, so the result, the charged
+// steps, and the I/O trace are identical for any worker count, backend,
+// or kernel.
+func Filter(a *pdm.Array, in *pdm.Stripe, lo, hi int64, hasLo bool, cap int) (*FilterResult, error) {
+	padded := in.Len()
+	stripe := a.StripeWidth()
+	if padded <= 0 || padded%stripe != 0 {
+		return nil, fmt.Errorf("scenario: filter input %d is not stripe-padded (stripe %d)", padded, stripe)
+	}
+	if hi == math.MaxInt64 {
+		return nil, fmt.Errorf("scenario: filter threshold %d would keep the padding sentinels", hi)
+	}
+	if cap < 0 {
+		cap = 0
+	}
+	a.Arena().SetPhase("scenario/filter")
+	defer a.Arena().SetPhase("")
+	buf, err := a.Arena().Alloc(stripe)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Arena().Free(buf)
+	kept, err := a.Arena().Alloc(cap)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Arena().Free(kept)
+
+	rd, err := stream.NewStripeReader(in, 0, padded, stripe)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+
+	res := &FilterResult{}
+	nk := 0
+	for off := 0; off < padded; off += stripe {
+		if err := rd.FillFlat(buf); err != nil {
+			return nil, err
+		}
+		for _, v := range buf {
+			if hasLo && v < lo {
+				res.Below++
+				continue
+			}
+			if v > hi {
+				continue
+			}
+			if nk == cap {
+				return nil, ErrOverflow
+			}
+			kept[nk] = v
+			nk++
+		}
+	}
+	res.Kept = append([]int64(nil), kept[:nk]...)
+	return res, nil
+}

@@ -464,6 +464,13 @@ type Report struct {
 	Workers           int
 	ComputeSeconds    float64
 	WorkerUtilization float64
+	// Scenario names the query scenario that produced this report ("topk",
+	// "quantile", "groupby", "ingest"; empty for plain sorts) and
+	// ScenarioRoute the strategy it ran ("filter", "onepass", "partition",
+	// "merge", or "fullsort" when the planner priced the scenario out or a
+	// sampling miss fell back — the FellBack flag distinguishes the two).
+	Scenario      string
+	ScenarioRoute string
 	// Records observability (SortRecords and SortPairs only; zero for the
 	// key-only entry points).  KeyRounds counts the packed key+index sorts
 	// the record sort ran (1 unless keys needed all 64 bits, in which case

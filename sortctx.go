@@ -35,3 +35,35 @@ func (m *Machine) SortRecordsContext(ctx context.Context, keys []int64, payloads
 	defer m.a.BindContext(nil)
 	return m.SortRecords(keys, payloads, alg)
 }
+
+// TopKContext is TopK bound to ctx, with the same abort semantics as
+// SortContext.
+func (m *Machine) TopKContext(ctx context.Context, keys []int64, k int) ([]int64, *Report, error) {
+	m.a.BindContext(ctx)
+	defer m.a.BindContext(nil)
+	return m.TopK(keys, k)
+}
+
+// QuantileContext is Quantile bound to ctx, with the same abort semantics
+// as SortContext.
+func (m *Machine) QuantileContext(ctx context.Context, keys []int64, r int) (int64, *Report, error) {
+	m.a.BindContext(ctx)
+	defer m.a.BindContext(nil)
+	return m.Quantile(keys, r)
+}
+
+// GroupByContext is GroupBy bound to ctx, with the same abort semantics as
+// SortContext.
+func (m *Machine) GroupByContext(ctx context.Context, keys, payloads []int64, groups int) ([]GroupAgg, *Report, error) {
+	m.a.BindContext(ctx)
+	defer m.a.BindContext(nil)
+	return m.GroupBy(keys, payloads, groups)
+}
+
+// IngestContext is Ingest bound to ctx, with the same abort semantics as
+// SortContext.
+func (m *Machine) IngestContext(ctx context.Context, dataset, batch []int64) ([]int64, *Report, error) {
+	m.a.BindContext(ctx)
+	defer m.a.BindContext(nil)
+	return m.Ingest(dataset, batch)
+}
